@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Kernel-model ablations over simkernel — quantifying how much each
+ * modelled OS mechanism contributes to the paper's findings. Each row
+ * removes or scales one mechanism and reports what happens to median
+ * and tail latency at 1K QPS (HDSearch shape):
+ *
+ *   - context-switch cost (the paper's 5-20 µs figure),
+ *   - the idle (C-state/cold-cache) penalty that produces the
+ *     low-load median inversion,
+ *   - core count (40-core Skylake vs smaller hosts),
+ *   - worker-pool width (the §VII thread-pool-sizing question),
+ *   - wire delay (datacenter fabric vs loopback).
+ *
+ * Flags: --qps=N --window-ms=N
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "stats/table.h"
+
+using namespace musuite;
+
+int
+main(int argc, char **argv)
+{
+    const bench::Flags flags(argc, argv);
+    printBanner(std::cout,
+                "simkernel ablations: which OS mechanism causes what");
+
+    const double qps = flags.num("qps", 1000);
+    const double window_us = flags.num("window-ms", 4000) * 1000.0;
+    const sim::ServiceParams service = sim::hdsearchParams();
+
+    struct Variant
+    {
+        std::string name;
+        std::function<void(sim::MachineParams &)> tweak;
+    };
+    const std::vector<Variant> variants = {
+        {"baseline (paper model)", [](sim::MachineParams &) {}},
+        {"ctx switch 0us",
+         [](sim::MachineParams &m) { m.ctxSwitchUs = 0; }},
+        {"ctx switch 20us",
+         [](sim::MachineParams &m) { m.ctxSwitchUs = 20; }},
+        {"no idle penalty",
+         [](sim::MachineParams &m) { m.idlePenaltyUs = 0; }},
+        {"idle penalty 2x",
+         [](sim::MachineParams &m) { m.idlePenaltyUs *= 2; }},
+        {"8 cores",
+         [](sim::MachineParams &m) { m.cores = 8; }},
+        {"4 workers",
+         [](sim::MachineParams &m) { m.workerThreads = 4; }},
+        {"64 workers",
+         [](sim::MachineParams &m) { m.workerThreads = 64; }},
+        {"wire delay 1us (same rack)",
+         [](sim::MachineParams &m) { m.wireDelayUs = 1; }},
+        {"wire delay 50us (cross-pod)",
+         [](sim::MachineParams &m) { m.wireDelayUs = 50; }},
+    };
+
+    Table table({"variant", "p50", "p99", "p99.9",
+                 "activeexe_p99", "cs/query"});
+    for (const Variant &variant : variants) {
+        sim::MachineParams machine;
+        variant.tweak(machine);
+        const sim::SimResult result =
+            sim::simulate(machine, service, qps, window_us, 271);
+        table.row()
+            .cell(variant.name)
+            .nanos(result.latency.valueAtQuantile(0.5))
+            .nanos(result.latency.valueAtQuantile(0.99))
+            .nanos(result.latency.valueAtQuantile(0.999))
+            .nanos(result
+                       .osBreakdown[size_t(OsCategory::ActiveExe)]
+                       .valueAtQuantile(0.99))
+            .cell(result.completed
+                      ? double(result.contextSwitches) /
+                            double(result.completed)
+                      : 0.0,
+                  2);
+    }
+    table.print(std::cout);
+
+    // The low-load median inversion depends on the idle penalty:
+    // show the 100-vs-1K ratio with and without it.
+    printBanner(std::cout, "median(100)/median(1K) vs idle penalty");
+    Table ratios({"idle_penalty_us", "ratio"});
+    for (double penalty : {0.0, 50.0, 150.0, 300.0}) {
+        sim::MachineParams machine;
+        machine.idlePenaltyUs = penalty;
+        const auto low =
+            sim::simulate(machine, service, 100.0, window_us, 271);
+        const auto mid =
+            sim::simulate(machine, service, 1000.0, window_us, 271);
+        ratios.row()
+            .cell(penalty, 0)
+            .cell(double(low.latency.valueAtQuantile(0.5)) /
+                      double(std::max<int64_t>(
+                          1, mid.latency.valueAtQuantile(0.5))),
+                  3);
+    }
+    ratios.print(std::cout);
+
+    std::cout << "\nReading: zeroing the idle penalty flattens the "
+                 "low-load median inversion (Fig. 10's mechanism); "
+                 "context-switch cost and worker width move the "
+                 "Active-Exe tail (Figs. 15-18's mechanism); wire "
+                 "delay only shifts the distribution without changing "
+                 "its shape.\n";
+    return 0;
+}

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the µSuite substrates: hashing
+ * throughput (Router's route computation), LSH lookup, posting-list
+ * intersection (linear vs skip-accelerated), distance kernels, NMF
+ * prediction, mucache ops, histogram recording, and serde round
+ * trips. These back the per-component cost claims in DESIGN.md and
+ * the simkernel service-time parameters.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "hash/spooky.h"
+#include "index/lsh.h"
+#include "index/postings.h"
+#include "index/vectors.h"
+#include "kv/mucache.h"
+#include "ml/cf.h"
+#include "dataset/datasets.h"
+#include "serde/wire.h"
+#include "stats/histogram.h"
+
+namespace musuite {
+namespace {
+
+// --------------------------------------------------------------------
+// SpookyHash: paper claims ~1 B/cycle short keys, ~3 B/cycle long.
+// --------------------------------------------------------------------
+
+void
+BM_SpookyShortKey(benchmark::State &state)
+{
+    const std::string key(size_t(state.range(0)), 'k');
+    for (auto _ : state)
+        benchmark::DoNotOptimize(SpookyHash::hash128(key));
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_SpookyShortKey)->Arg(8)->Arg(32)->Arg(128);
+
+void
+BM_SpookyLongKey(benchmark::State &state)
+{
+    const std::string key(size_t(state.range(0)), 'k');
+    for (auto _ : state)
+        benchmark::DoNotOptimize(SpookyHash::hash128(key));
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_SpookyLongKey)->Arg(256)->Arg(4096)->Arg(65536);
+
+void
+BM_ShardForKey(benchmark::State &state)
+{
+    Rng rng(1);
+    std::vector<std::string> keys;
+    for (int i = 0; i < 1024; ++i)
+        keys.push_back("user" + std::to_string(rng.next() % 1000000));
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(shardForKey(keys[i++ & 1023], 16));
+    }
+}
+BENCHMARK(BM_ShardForKey);
+
+// --------------------------------------------------------------------
+// Distance kernels and LSH.
+// --------------------------------------------------------------------
+
+void
+BM_SquaredL2(benchmark::State &state)
+{
+    Rng rng(2);
+    const size_t dim = size_t(state.range(0));
+    std::vector<float> a(dim), b(dim);
+    for (size_t d = 0; d < dim; ++d) {
+        a[d] = float(rng.nextGaussian());
+        b[d] = float(rng.nextGaussian());
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(squaredL2(a, b));
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_SquaredL2)->Arg(128)->Arg(512)->Arg(2048);
+
+void
+BM_LshQuery(benchmark::State &state)
+{
+    GmmOptions gmm;
+    gmm.numVectors = 4000;
+    gmm.dimension = size_t(state.range(0));
+    gmm.clusters = 32;
+    GmmDataset dataset(gmm);
+
+    LshParams params;
+    params.numTables = 8;
+    params.hashesPerTable = 10;
+    params.multiProbes = 8;
+    LshIndex index(gmm.dimension, params);
+    for (uint64_t i = 0; i < dataset.vectors().size(); ++i)
+        index.insert(dataset.vectors().view(i),
+                     {uint32_t(i % 4), uint32_t(i / 4)});
+
+    Rng rng(3);
+    const auto query = dataset.sampleQuery(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(index.query(query));
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_LshQuery)->Arg(64)->Arg(128);
+
+void
+BM_BruteForceTopK(benchmark::State &state)
+{
+    GmmOptions gmm;
+    gmm.numVectors = size_t(state.range(0));
+    gmm.dimension = 128;
+    GmmDataset dataset(gmm);
+    BruteForceScanner scanner(dataset.vectors());
+    Rng rng(4);
+    const auto query = dataset.sampleQuery(rng);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(scanner.topK(query, 4));
+}
+BENCHMARK(BM_BruteForceTopK)->Arg(1000)->Arg(4000);
+
+// --------------------------------------------------------------------
+// Posting lists: linear merge vs skip-driven intersection.
+// --------------------------------------------------------------------
+
+PostingList
+makeList(Rng &rng, size_t n, uint32_t universe)
+{
+    std::vector<uint32_t> docs;
+    docs.reserve(n);
+    uint32_t doc = 0;
+    for (size_t i = 0; i < n; ++i) {
+        doc += 1 + uint32_t(rng.nextBounded(universe / n));
+        docs.push_back(doc);
+    }
+    return PostingList(std::move(docs));
+}
+
+void
+BM_IntersectLinear(benchmark::State &state)
+{
+    Rng rng(5);
+    const PostingList a = makeList(rng, size_t(state.range(0)), 1u << 24);
+    const PostingList b = makeList(rng, size_t(state.range(1)), 1u << 24);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(intersectLinear(a, b));
+}
+BENCHMARK(BM_IntersectLinear)
+    ->Args({1000, 1000})
+    ->Args({100, 100000})
+    ->Args({10000, 10000});
+
+void
+BM_IntersectWithSkips(benchmark::State &state)
+{
+    Rng rng(5);
+    const PostingList a = makeList(rng, size_t(state.range(0)), 1u << 24);
+    const PostingList b = makeList(rng, size_t(state.range(1)), 1u << 24);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(intersectWithSkips(a, b));
+}
+BENCHMARK(BM_IntersectWithSkips)
+    ->Args({1000, 1000})
+    ->Args({100, 100000})
+    ->Args({10000, 10000});
+
+// --------------------------------------------------------------------
+// Recommend: CF prediction cost.
+// --------------------------------------------------------------------
+
+void
+BM_CfPredict(benchmark::State &state)
+{
+    RatingsOptions options;
+    options.users = size_t(state.range(0));
+    options.items = 200;
+    auto dataset = makeRatingsDataset(options, 100);
+    CfOptions cf_options;
+    cf_options.nmf.maxIterations = 20;
+    CollaborativeFilter cf(std::move(dataset.ratings), cf_options);
+
+    size_t i = 0;
+    for (auto _ : state) {
+        const auto &[user, item] =
+            dataset.heldOutQueries[i++ % dataset.heldOutQueries.size()];
+        benchmark::DoNotOptimize(cf.predict(user, item));
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_CfPredict)->Arg(100)->Arg(400);
+
+// --------------------------------------------------------------------
+// mucache.
+// --------------------------------------------------------------------
+
+void
+BM_MuCacheGetHit(benchmark::State &state)
+{
+    MuCache cache;
+    for (int i = 0; i < 10000; ++i)
+        cache.set("key" + std::to_string(i), std::string(128, 'v'));
+    Rng rng(6);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.get(
+            "key" + std::to_string(rng.nextBounded(10000))));
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_MuCacheGetHit);
+
+void
+BM_MuCacheSet(benchmark::State &state)
+{
+    MuCache cache;
+    Rng rng(7);
+    const std::string value(128, 'v');
+    for (auto _ : state) {
+        cache.set("key" + std::to_string(rng.nextBounded(10000)),
+                  value);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_MuCacheSet);
+
+// --------------------------------------------------------------------
+// Measurement substrate.
+// --------------------------------------------------------------------
+
+void
+BM_HistogramRecord(benchmark::State &state)
+{
+    Histogram hist;
+    Rng rng(8);
+    for (auto _ : state)
+        hist.record(int64_t(rng.nextBounded(1u << 24)));
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_HistogramRecord);
+
+void
+BM_WireRoundTrip(benchmark::State &state)
+{
+    std::vector<float> features(size_t(state.range(0)));
+    Rng rng(9);
+    for (float &f : features)
+        f = float(rng.nextGaussian());
+    for (auto _ : state) {
+        WireWriter out;
+        out.putFloatVector(features);
+        out.putVarint(4);
+        WireReader in(out.view());
+        benchmark::DoNotOptimize(in.getFloatVector());
+        benchmark::DoNotOptimize(in.getVarint());
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0) * 4);
+}
+BENCHMARK(BM_WireRoundTrip)->Arg(128)->Arg(2048);
+
+} // namespace
+} // namespace musuite
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the murpc layer itself: unary
+ * round-trip latency across payload sizes and threading models,
+ * asynchronous pipelined throughput, local-channel (transport-less)
+ * dispatch cost, and frame codec overhead. These isolate the RPC
+ * fabric's contribution to the service latencies the fig* benches
+ * report.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "base/threading.h"
+#include "rpc/client.h"
+#include "rpc/local_channel.h"
+#include "rpc/message.h"
+#include "rpc/server.h"
+
+namespace musuite {
+namespace rpc {
+namespace {
+
+constexpr uint32_t kEcho = 1;
+
+std::unique_ptr<Server>
+makeEchoServer(ServerOptions options = {})
+{
+    auto server = std::make_unique<Server>(options);
+    server->registerHandler(kEcho, [](ServerCallPtr call) {
+        call->respondOk(call->body());
+    });
+    server->start();
+    return server;
+}
+
+void
+BM_UnaryRoundTrip(benchmark::State &state)
+{
+    auto server = makeEchoServer();
+    RpcClient client(server->port());
+    const std::string body(size_t(state.range(0)), 'x');
+    for (auto _ : state) {
+        auto result = client.callSync(kEcho, body);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_UnaryRoundTrip)->Arg(16)->Arg(512)->Arg(16384);
+
+void
+BM_UnaryRoundTripInlineServer(benchmark::State &state)
+{
+    ServerOptions options;
+    options.dispatchToWorkers = false;
+    options.workerThreads = 1;
+    auto server = makeEchoServer(options);
+    RpcClient client(server->port());
+    const std::string body(512, 'x');
+    for (auto _ : state) {
+        auto result = client.callSync(kEcho, body);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_UnaryRoundTripInlineServer);
+
+void
+BM_PipelinedThroughput(benchmark::State &state)
+{
+    auto server = makeEchoServer();
+    RpcClient client(server->port());
+    const std::string body(64, 'x');
+    const int window = int(state.range(0));
+
+    for (auto _ : state) {
+        std::atomic<int> outstanding{window};
+        CountdownLatch latch{uint32_t(window)};
+        for (int i = 0; i < window; ++i) {
+            client.call(kEcho, body,
+                        [&](const Status &, std::string_view) {
+                            latch.countDown();
+                        });
+        }
+        latch.wait();
+        benchmark::DoNotOptimize(outstanding.load());
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * window);
+}
+BENCHMARK(BM_PipelinedThroughput)->Arg(8)->Arg(64);
+
+void
+BM_LocalChannelDispatch(benchmark::State &state)
+{
+    auto server = makeEchoServer();
+    LocalChannel channel(*server);
+    const std::string body(512, 'x');
+    for (auto _ : state) {
+        auto result = channel.callSync(kEcho, body);
+        benchmark::DoNotOptimize(result);
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()));
+}
+BENCHMARK(BM_LocalChannelDispatch);
+
+void
+BM_FrameCodec(benchmark::State &state)
+{
+    MessageHeader header;
+    header.kind = MessageKind::Request;
+    header.method = 42;
+    header.requestId = 123456789;
+    const std::string body(size_t(state.range(0)), 'p');
+    for (auto _ : state) {
+        const std::string frame = encodeFrame(header, body);
+        MessageHeader parsed;
+        std::string_view payload;
+        benchmark::DoNotOptimize(decodeFrame(frame, parsed, payload));
+    }
+    state.SetBytesProcessed(int64_t(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_FrameCodec)->Arg(64)->Arg(4096);
+
+} // namespace
+} // namespace rpc
+} // namespace musuite
+
+BENCHMARK_MAIN();

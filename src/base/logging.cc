@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Implementation of the musuite logging sink.
+ */
+
+#include "base/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <ctime>
+#include <mutex>
+
+namespace musuite {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::mutex g_sink_mutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info:  return "INFO ";
+      case LogLevel::Warn:  return "WARN ";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Fatal: return "FATAL";
+    }
+    return "?????";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+logMessage(LogLevel level, const char *file, int line,
+           const std::string &msg)
+{
+    if (level < logLevel() && level != LogLevel::Fatal)
+        return;
+
+    // Strip the directory part of the path for terser records.
+    const char *base = file;
+    for (const char *p = file; *p; ++p) {
+        if (*p == '/')
+            base = p + 1;
+    }
+
+    std::lock_guard<std::mutex> guard(g_sink_mutex);
+    std::fprintf(stderr, "[%s %s:%d] %s\n", levelName(level), base, line,
+                 msg.c_str());
+}
+
+} // namespace musuite

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal logging and error-reporting facilities for musuite.
+ *
+ * Follows the gem5 convention of distinguishing panic() (an internal
+ * invariant was violated — abort) from fatal() (the user asked for
+ * something impossible — clean exit), plus inform()/warn() for status.
+ */
+
+#ifndef MUSUITE_BASE_LOGGING_H
+#define MUSUITE_BASE_LOGGING_H
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace musuite {
+
+/** Severity of a log record. */
+enum class LogLevel {
+    Debug,
+    Info,
+    Warn,
+    Error,
+    Fatal,
+};
+
+/**
+ * Emit one formatted log line to stderr.
+ *
+ * @param level Severity; Fatal exits the process, callers of panic abort.
+ * @param file Source file of the call site.
+ * @param line Source line of the call site.
+ * @param msg Fully formatted message body.
+ */
+void logMessage(LogLevel level, const char *file, int line,
+                const std::string &msg);
+
+/** Process-wide minimum severity; records below it are dropped. */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+namespace detail {
+
+/** Stream-style log record builder used by the MUSUITE_LOG macro. */
+class LogRecord
+{
+  public:
+    LogRecord(LogLevel level, const char *file, int line, bool abort_after)
+        : level(level), file(file), line(line), abortAfter(abort_after)
+    {}
+
+    ~LogRecord()
+    {
+        logMessage(level, file, line, stream.str());
+        if (abortAfter)
+            std::abort();
+        if (level == LogLevel::Fatal)
+            std::exit(1);
+    }
+
+    template <typename T>
+    LogRecord &
+    operator<<(const T &value)
+    {
+        stream << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level;
+    const char *file;
+    int line;
+    bool abortAfter;
+    std::ostringstream stream;
+};
+
+} // namespace detail
+
+} // namespace musuite
+
+#define MUSUITE_LOG(level) \
+    ::musuite::detail::LogRecord(level, __FILE__, __LINE__, false)
+
+/** Status message with no connotation of incorrect behaviour. */
+#define MUSUITE_INFORM() MUSUITE_LOG(::musuite::LogLevel::Info)
+/** Something may not be implemented as well as it should be. */
+#define MUSUITE_WARN() MUSUITE_LOG(::musuite::LogLevel::Warn)
+/** The user requested something the system cannot do; exits(1). */
+#define MUSUITE_FATAL() MUSUITE_LOG(::musuite::LogLevel::Fatal)
+/** An internal invariant broke; aborts (may dump core). */
+#define MUSUITE_PANIC() \
+    ::musuite::detail::LogRecord(::musuite::LogLevel::Fatal, __FILE__, \
+                                 __LINE__, true)
+
+/** Assert-like check active in all build types. */
+#define MUSUITE_CHECK(cond) \
+    if (!(cond)) MUSUITE_PANIC() << "check failed: " #cond << " — "
+
+#endif // MUSUITE_BASE_LOGGING_H

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Implementation of xoshiro256** and the layered distributions.
+ */
+
+#include "base/rng.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace musuite {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : state)
+        word = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(state[1] * 5, 7) * 9;
+    const uint64_t t = state[1] << 17;
+
+    state[2] ^= state[0];
+    state[3] ^= state[1];
+    state[1] ^= state[2];
+    state[0] ^= state[3];
+    state[2] ^= t;
+    state[3] = rotl(state[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    MUSUITE_CHECK(bound > 0) << "nextBounded(0)";
+    // Lemire's multiply-shift rejection method.
+    uint64_t x = next();
+    __uint128_t m = __uint128_t(x) * __uint128_t(bound);
+    uint64_t l = uint64_t(m);
+    if (l < bound) {
+        uint64_t threshold = -bound % bound;
+        while (l < threshold) {
+            x = next();
+            m = __uint128_t(x) * __uint128_t(bound);
+            l = uint64_t(m);
+        }
+    }
+    return uint64_t(m >> 64);
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    MUSUITE_CHECK(lo <= hi) << "nextRange(" << lo << ", " << hi << ")";
+    return lo + int64_t(nextBounded(uint64_t(hi - lo) + 1));
+}
+
+double
+Rng::nextDouble()
+{
+    return double(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasSpare) {
+        hasSpare = false;
+        return spareGaussian;
+    }
+    double u1, u2;
+    do {
+        u1 = nextDouble();
+    } while (u1 <= 1e-300);
+    u2 = nextDouble();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spareGaussian = mag * std::sin(2.0 * M_PI * u2);
+    hasSpare = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::nextExponential(double rate)
+{
+    MUSUITE_CHECK(rate > 0) << "nextExponential rate must be positive";
+    double u;
+    do {
+        u = nextDouble();
+    } while (u <= 1e-300);
+    return -std::log(u) / rate;
+}
+
+uint64_t
+Rng::nextPoisson(double mean)
+{
+    MUSUITE_CHECK(mean >= 0) << "nextPoisson mean must be non-negative";
+    if (mean == 0)
+        return 0;
+    if (mean < 30.0) {
+        // Knuth's product-of-uniforms method.
+        double limit = std::exp(-mean);
+        double product = nextDouble();
+        uint64_t count = 0;
+        while (product > limit) {
+            product *= nextDouble();
+            ++count;
+        }
+        return count;
+    }
+    // Normal approximation for large means; adequate for data-set
+    // shaping (never used for latency-critical sampling).
+    double v = nextGaussian(mean, std::sqrt(mean));
+    return v <= 0 ? 0 : uint64_t(v + 0.5);
+}
+
+Rng
+Rng::split()
+{
+    return Rng(next() ^ 0xA02BDBF7BB3C0A7ull);
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double exponent)
+    : n(n), exponent(exponent)
+{
+    MUSUITE_CHECK(n > 0) << "Zipf over empty domain";
+    MUSUITE_CHECK(exponent > 0) << "Zipf exponent must be positive";
+    hIntegralX1 = hIntegral(1.5) - 1.0;
+    hIntegralN = hIntegral(double(n) + 0.5);
+    s = 2.0 - hIntegralInverse(hIntegral(2.5) - h(2.0));
+}
+
+double
+ZipfSampler::h(double x) const
+{
+    return std::exp(-exponent * std::log(x));
+}
+
+double
+ZipfSampler::hIntegral(double x) const
+{
+    const double log_x = std::log(x);
+    // Stable evaluation of (x^(1-e) - 1) / (1 - e) that degrades
+    // gracefully to log(x) as e -> 1.
+    const double t = (1.0 - exponent) * log_x;
+    double helper;
+    if (std::fabs(t) > 1e-8)
+        helper = std::expm1(t) / t;
+    else
+        helper = 1.0 + t * 0.5 * (1.0 + t / 3.0 * (1.0 + t * 0.25));
+    return log_x * helper;
+}
+
+double
+ZipfSampler::hIntegralInverse(double x) const
+{
+    double t = x * (1.0 - exponent);
+    if (t < -1.0)
+        t = -1.0; // Guard against numerical round-off below -1.
+    double log_result;
+    if (std::fabs(t) > 1e-8)
+        log_result = std::log1p(t) / (1.0 - exponent);
+    else
+        log_result = x / (1.0 + t * 0.5 * (1.0 + t / 1.5 * (1.0 + t * 0.25)));
+    return std::exp(log_result);
+}
+
+uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    while (true) {
+        const double u =
+            hIntegralN + rng.nextDouble() * (hIntegralX1 - hIntegralN);
+        const double x = hIntegralInverse(u);
+        uint64_t k = uint64_t(x + 0.5);
+        if (k < 1)
+            k = 1;
+        else if (k > n)
+            k = n;
+        if (double(k) - x <= s || u >= hIntegral(double(k) + 0.5) -
+                                           h(double(k))) {
+            return k;
+        }
+    }
+}
+
+AliasSampler::AliasSampler(const std::vector<double> &weights)
+    : prob(weights.size()), alias(weights.size())
+{
+    MUSUITE_CHECK(!weights.empty()) << "alias table over empty domain";
+    double total = 0;
+    for (double w : weights) {
+        MUSUITE_CHECK(w >= 0) << "negative weight";
+        total += w;
+    }
+    MUSUITE_CHECK(total > 0) << "all-zero weights";
+
+    const size_t count = weights.size();
+    std::vector<double> scaled(count);
+    for (size_t i = 0; i < count; ++i)
+        scaled[i] = weights[i] * double(count) / total;
+
+    std::vector<uint32_t> small, large;
+    small.reserve(count);
+    large.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        (scaled[i] < 1.0 ? small : large).push_back(uint32_t(i));
+    }
+
+    while (!small.empty() && !large.empty()) {
+        uint32_t less = small.back();
+        small.pop_back();
+        uint32_t more = large.back();
+        prob[less] = scaled[less];
+        alias[less] = more;
+        scaled[more] = (scaled[more] + scaled[less]) - 1.0;
+        if (scaled[more] < 1.0) {
+            large.pop_back();
+            small.push_back(more);
+        }
+    }
+    for (uint32_t i : large)
+        prob[i] = 1.0;
+    for (uint32_t i : small)
+        prob[i] = 1.0; // Numerical leftovers round to certainty.
+}
+
+uint64_t
+AliasSampler::sample(Rng &rng) const
+{
+    const uint64_t column = rng.nextBounded(prob.size());
+    return rng.nextDouble() < prob[column] ? column : alias[column];
+}
+
+} // namespace musuite

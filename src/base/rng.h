@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Deterministic random-number generation for workloads and data sets.
+ *
+ * Everything in musuite that is random is seeded through one of these
+ * generators so that experiments are reproducible under --seed. The core
+ * generator is xoshiro256**, which is tiny, fast, and has no global
+ * state; distributions (uniform, Gaussian, exponential, Poisson, Zipf)
+ * are layered on top of it.
+ */
+
+#ifndef MUSUITE_BASE_RNG_H
+#define MUSUITE_BASE_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace musuite {
+
+/**
+ * xoshiro256** pseudo-random generator. Satisfies the
+ * UniformRandomBitGenerator concept so it can also feed <random> if
+ * ever needed.
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    /** Seed via splitmix64 expansion of a single 64-bit value. */
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    static constexpr uint64_t min() { return 0; }
+    static constexpr uint64_t max() { return ~uint64_t(0); }
+
+    /** Next raw 64-bit output. */
+    uint64_t operator()() { return next(); }
+    uint64_t next();
+
+    /** Uniform integer in [0, bound) without modulo bias. */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Standard normal via Box-Muller (with cached spare). */
+    double nextGaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double
+    nextGaussian(double mean, double stddev)
+    {
+        return mean + stddev * nextGaussian();
+    }
+
+    /** Exponential with the given rate (mean 1/rate). */
+    double nextExponential(double rate);
+
+    /** Poisson-distributed count with the given mean. */
+    uint64_t nextPoisson(double mean);
+
+    /** Bernoulli trial with probability p of true. */
+    bool nextBool(double p) { return nextDouble() < p; }
+
+    /** Split off an independently seeded child generator. */
+    Rng split();
+
+  private:
+    uint64_t state[4];
+    double spareGaussian = 0.0;
+    bool hasSpare = false;
+};
+
+/**
+ * Zipf(n, s) sampler over ranks 1..n using rejection-inversion
+ * (Hörmann & Derflinger), O(1) memory and O(1) expected time per
+ * sample. Rank 1 is the most popular element.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n Number of elements (ranks 1..n).
+     * @param exponent Skew s > 0; s≈1 approximates natural-language
+     *                 word frequencies, s≈0.99 is the YCSB default.
+     */
+    ZipfSampler(uint64_t n, double exponent);
+
+    /** Draw a rank in [1, n]. */
+    uint64_t sample(Rng &rng) const;
+
+    uint64_t size() const { return n; }
+    double skew() const { return exponent; }
+
+  private:
+    double h(double x) const;
+    double hIntegral(double x) const;
+    double hIntegralInverse(double x) const;
+
+    uint64_t n;
+    double exponent;
+    double hIntegralX1;
+    double hIntegralN;
+    double s;
+};
+
+/**
+ * Sampler over an explicit discrete distribution (normalized weights),
+ * used where exact frequencies matter more than memory (e.g., the
+ * synthetic document corpus vocabulary). O(1) per sample via the alias
+ * method.
+ */
+class AliasSampler
+{
+  public:
+    explicit AliasSampler(const std::vector<double> &weights);
+
+    /** Draw an index in [0, weights.size()). */
+    uint64_t sample(Rng &rng) const;
+
+    size_t size() const { return prob.size(); }
+
+  private:
+    std::vector<double> prob;
+    std::vector<uint32_t> alias;
+};
+
+} // namespace musuite
+
+#endif // MUSUITE_BASE_RNG_H

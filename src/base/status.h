@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Lightweight Status / Result error-propagation types used across the
+ * musuite RPC surface, mirroring gRPC's status-code vocabulary.
+ */
+
+#ifndef MUSUITE_BASE_STATUS_H
+#define MUSUITE_BASE_STATUS_H
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "base/logging.h"
+
+namespace musuite {
+
+/** Error codes; a deliberately small subset of the gRPC code space. */
+enum class StatusCode {
+    Ok = 0,
+    Cancelled,
+    InvalidArgument,
+    DeadlineExceeded,
+    NotFound,
+    AlreadyExists,
+    ResourceExhausted,
+    FailedPrecondition,
+    Unimplemented,
+    Internal,
+    Unavailable,
+};
+
+/** Human-readable name of a status code. */
+inline const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:                 return "OK";
+      case StatusCode::Cancelled:          return "CANCELLED";
+      case StatusCode::InvalidArgument:    return "INVALID_ARGUMENT";
+      case StatusCode::DeadlineExceeded:   return "DEADLINE_EXCEEDED";
+      case StatusCode::NotFound:           return "NOT_FOUND";
+      case StatusCode::AlreadyExists:      return "ALREADY_EXISTS";
+      case StatusCode::ResourceExhausted:  return "RESOURCE_EXHAUSTED";
+      case StatusCode::FailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::Unimplemented:      return "UNIMPLEMENTED";
+      case StatusCode::Internal:           return "INTERNAL";
+      case StatusCode::Unavailable:        return "UNAVAILABLE";
+    }
+    return "UNKNOWN";
+}
+
+/**
+ * Outcome of an operation: a code plus an optional message. Statuses are
+ * cheap to copy when OK (empty message).
+ */
+class Status
+{
+  public:
+    Status() : _code(StatusCode::Ok) {}
+    Status(StatusCode code, std::string message)
+        : _code(code), _message(std::move(message))
+    {}
+
+    static Status ok() { return Status(); }
+
+    bool isOk() const { return _code == StatusCode::Ok; }
+    StatusCode code() const { return _code; }
+    const std::string &message() const { return _message; }
+
+    /** Render as "CODE: message" for logs. */
+    std::string
+    toString() const
+    {
+        if (isOk())
+            return "OK";
+        return std::string(statusCodeName(_code)) + ": " + _message;
+    }
+
+    bool
+    operator==(const Status &other) const
+    {
+        return _code == other._code;
+    }
+
+  private:
+    StatusCode _code;
+    std::string _message;
+};
+
+/**
+ * A value or a non-OK Status. Minimal expected-like type; access to the
+ * value of an errored Result panics, so callers must test first.
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : _state(std::move(value)) {}
+    Result(Status status) : _state(std::move(status))
+    {
+        MUSUITE_CHECK(!std::get<Status>(_state).isOk())
+            << "Result constructed from OK status without a value";
+    }
+
+    bool isOk() const { return std::holds_alternative<T>(_state); }
+
+    const Status &
+    status() const
+    {
+        static const Status ok_status = Status::ok();
+        if (isOk())
+            return ok_status;
+        return std::get<Status>(_state);
+    }
+
+    T &
+    value()
+    {
+        MUSUITE_CHECK(isOk()) << "accessing value of " << status().toString();
+        return std::get<T>(_state);
+    }
+
+    const T &
+    value() const
+    {
+        MUSUITE_CHECK(isOk()) << "accessing value of " << status().toString();
+        return std::get<T>(_state);
+    }
+
+    T
+    take()
+    {
+        MUSUITE_CHECK(isOk()) << "taking value of " << status().toString();
+        return std::move(std::get<T>(_state));
+    }
+
+  private:
+    std::variant<T, Status> _state;
+};
+
+} // namespace musuite
+
+#endif // MUSUITE_BASE_STATUS_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Implementation of thread utilities.
+ */
+
+#include "base/threading.h"
+
+#include <pthread.h>
+
+namespace musuite {
+
+void
+setCurrentThreadName(const std::string &name)
+{
+    // The kernel limits names to 15 chars + NUL.
+    std::string truncated = name.substr(0, 15);
+    pthread_setname_np(pthread_self(), truncated.c_str());
+}
+
+ScopedThread::ScopedThread(std::string name, std::function<void()> body)
+    : thread([name = std::move(name), body = std::move(body)] {
+          setCurrentThreadName(name);
+          body();
+      })
+{}
+
+ScopedThread &
+ScopedThread::operator=(ScopedThread &&other)
+{
+    if (this != &other) {
+        join();
+        thread = std::move(other.thread);
+    }
+    return *this;
+}
+
+void
+ScopedThread::join()
+{
+    if (thread.joinable())
+        thread.join();
+}
+
+} // namespace musuite

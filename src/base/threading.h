@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Thread utilities: named joining threads and a small countdown latch
+ * used to synchronize fan-out completion (the "count down and merge"
+ * step of the µSuite mid-tier response path).
+ */
+
+#ifndef MUSUITE_BASE_THREADING_H
+#define MUSUITE_BASE_THREADING_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace musuite {
+
+/** Name the calling thread (visible in /proc and debuggers). */
+void setCurrentThreadName(const std::string &name);
+
+/**
+ * A joining thread with a name. Mirrors std::jthread join-on-destroy
+ * semantics without the stop-token machinery we do not need.
+ */
+class ScopedThread
+{
+  public:
+    ScopedThread() = default;
+    ScopedThread(std::string name, std::function<void()> body);
+    ~ScopedThread() { join(); }
+
+    ScopedThread(ScopedThread &&) = default;
+    ScopedThread &operator=(ScopedThread &&other);
+
+    ScopedThread(const ScopedThread &) = delete;
+    ScopedThread &operator=(const ScopedThread &) = delete;
+
+    void join();
+    bool joinable() const { return thread.joinable(); }
+
+  private:
+    std::thread thread;
+};
+
+/**
+ * Countdown latch: constructed with the fan-out width, counted down by
+ * leaf response handlers, waited on by whoever merges. The last
+ * countDown() wakes waiters.
+ */
+class CountdownLatch
+{
+  public:
+    explicit CountdownLatch(uint32_t count) : remaining(count) {}
+
+    /** Decrement; returns true iff this call released the latch. */
+    bool
+    countDown()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        if (remaining == 0)
+            return false;
+        if (--remaining == 0) {
+            lock.unlock();
+            released.notify_all();
+            return true;
+        }
+        return false;
+    }
+
+    /** Block until the count reaches zero. */
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        released.wait(lock, [&] { return remaining == 0; });
+    }
+
+    uint32_t
+    pending() const
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        return remaining;
+    }
+
+  private:
+    mutable std::mutex mutex;
+    std::condition_variable released;
+    uint32_t remaining;
+};
+
+} // namespace musuite
+
+#endif // MUSUITE_BASE_THREADING_H

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Implementation of monotonic-clock helpers.
+ */
+
+#include "base/time_util.h"
+
+#include <cstdio>
+#include <ctime>
+
+namespace musuite {
+
+int64_t
+nowNanos()
+{
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return int64_t(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+void
+sleepUntilNanos(int64_t deadline_ns)
+{
+    timespec ts;
+    ts.tv_sec = deadline_ns / 1000000000;
+    ts.tv_nsec = deadline_ns % 1000000000;
+    while (clock_nanosleep(CLOCK_MONOTONIC, TIMER_ABSTIME, &ts, nullptr)) {
+        // Retry on EINTR; clock_nanosleep with TIMER_ABSTIME resumes
+        // against the same absolute deadline so no drift accumulates.
+    }
+}
+
+void
+sleepForNanos(int64_t duration_ns)
+{
+    sleepUntilNanos(nowNanos() + duration_ns);
+}
+
+std::string
+formatNanos(int64_t ns)
+{
+    char buf[64];
+    double v = double(ns);
+    if (ns < 1000) {
+        std::snprintf(buf, sizeof(buf), "%ldns", long(ns));
+    } else if (ns < 1000 * 1000) {
+        std::snprintf(buf, sizeof(buf), "%.2fus", v / 1e3);
+    } else if (ns < 1000LL * 1000 * 1000) {
+        std::snprintf(buf, sizeof(buf), "%.2fms", v / 1e6);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2fs", v / 1e9);
+    }
+    return buf;
+}
+
+} // namespace musuite

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Clock helpers. All latency measurement in musuite uses the monotonic
+ * clock expressed in integer nanoseconds, so arithmetic stays exact and
+ * cheap on hot paths.
+ */
+
+#ifndef MUSUITE_BASE_TIME_UTIL_H
+#define MUSUITE_BASE_TIME_UTIL_H
+
+#include <cstdint>
+#include <string>
+
+namespace musuite {
+
+/** Nanoseconds on the monotonic (steady) clock. */
+int64_t nowNanos();
+
+/** Microseconds on the monotonic clock (nowNanos() / 1000). */
+inline int64_t nowMicros() { return nowNanos() / 1000; }
+
+/**
+ * Sleep until the given monotonic deadline. Uses clock_nanosleep for the
+ * bulk of the interval; open-loop load generators rely on this to place
+ * request send times independently of response times (the defence against
+ * coordinated omission).
+ */
+void sleepUntilNanos(int64_t deadline_ns);
+
+/** Sleep for a relative number of nanoseconds. */
+void sleepForNanos(int64_t duration_ns);
+
+/**
+ * Format a nanosecond quantity with an adaptive unit, e.g. "17.3us" or
+ * "4.25ms", for human-readable reports.
+ */
+std::string formatNanos(int64_t ns);
+
+} // namespace musuite
+
+#endif // MUSUITE_BASE_TIME_UTIL_H

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Implementation of the synthetic data-set generators.
+ */
+
+#include "dataset/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace musuite {
+
+// --------------------------------------------------------------------
+// GmmDataset
+// --------------------------------------------------------------------
+
+GmmDataset::GmmDataset(GmmOptions options_in)
+    : options(options_in), store(options_in.dimension)
+{
+    MUSUITE_CHECK(options.clusters >= 1) << "need >= 1 cluster";
+    Rng rng(options.seed);
+
+    centroids.resize(options.clusters * options.dimension);
+    for (float &coordinate : centroids)
+        coordinate =
+            float(rng.nextGaussian(0.0, options.spaceScale));
+
+    store.reserve(options.numVectors);
+    assignment.resize(options.numVectors);
+    std::vector<float> vec(options.dimension);
+    for (size_t i = 0; i < options.numVectors; ++i) {
+        const uint32_t cluster =
+            uint32_t(rng.nextBounded(options.clusters));
+        assignment[i] = cluster;
+        const float *centroid =
+            centroids.data() + size_t(cluster) * options.dimension;
+        for (size_t d = 0; d < options.dimension; ++d) {
+            vec[d] = centroid[d] +
+                     float(rng.nextGaussian(0.0, options.clusterStddev));
+        }
+        store.add(vec);
+    }
+}
+
+std::vector<float>
+GmmDataset::sampleQuery(Rng &rng) const
+{
+    const uint32_t cluster = uint32_t(rng.nextBounded(options.clusters));
+    const float *centroid =
+        centroids.data() + size_t(cluster) * options.dimension;
+    std::vector<float> query(options.dimension);
+    for (size_t d = 0; d < options.dimension; ++d) {
+        query[d] = centroid[d] +
+                   float(rng.nextGaussian(0.0, options.clusterStddev));
+    }
+    return query;
+}
+
+// --------------------------------------------------------------------
+// TextCorpus
+// --------------------------------------------------------------------
+
+TextCorpus::TextCorpus(CorpusOptions options_in)
+    : options(options_in),
+      termSampler(options_in.vocabulary, options_in.zipfExponent)
+{
+    Rng rng(options.seed);
+    docs.resize(options.numDocuments);
+    for (auto &doc : docs) {
+        const uint64_t length =
+            std::max<uint64_t>(1,
+                               rng.nextPoisson(options.meanDocLength));
+        doc.reserve(length);
+        for (uint64_t w = 0; w < length; ++w) {
+            // Ranks are 1-based; term ids 0-based.
+            doc.push_back(uint32_t(termSampler.sample(rng) - 1));
+        }
+    }
+}
+
+std::vector<uint32_t>
+TextCorpus::sampleQuery(Rng &rng, size_t max_terms) const
+{
+    // Real query lengths skew short; bias low but allow up to max.
+    const size_t terms =
+        1 + size_t(rng.nextBounded(std::max<size_t>(1, max_terms)));
+    std::vector<uint32_t> query;
+    query.reserve(terms);
+    for (size_t t = 0; t < terms; ++t)
+        query.push_back(uint32_t(termSampler.sample(rng) - 1));
+    // Queries are term sets: dedupe.
+    std::sort(query.begin(), query.end());
+    query.erase(std::unique(query.begin(), query.end()), query.end());
+    return query;
+}
+
+// --------------------------------------------------------------------
+// Ratings
+// --------------------------------------------------------------------
+
+RatingsDataset
+makeRatingsDataset(RatingsOptions options, size_t held_out_queries)
+{
+    Rng rng(options.seed);
+
+    // Planted latent preference structure: users and items each get a
+    // non-negative latent vector; true affinity is their dot product
+    // rescaled into the 1..5 star range.
+    std::vector<double> user_factors(options.users * options.latentRank);
+    std::vector<double> item_factors(options.items * options.latentRank);
+    for (double &f : user_factors)
+        f = rng.nextDouble();
+    for (double &f : item_factors)
+        f = rng.nextDouble();
+
+    auto true_rating = [&](uint32_t user, uint32_t item) {
+        double dot = 0.0;
+        for (size_t k = 0; k < options.latentRank; ++k) {
+            dot += user_factors[user * options.latentRank + k] *
+                   item_factors[item * options.latentRank + k];
+        }
+        // Expected dot of two U(0,1)^r vectors is r/4; normalize to
+        // roughly fill 1..5.
+        const double scaled =
+            1.0 + 4.0 * dot / (double(options.latentRank) * 0.5);
+        return std::clamp(scaled + rng.nextGaussian(0, options.noiseStddev),
+                          0.5, 5.0);
+    };
+
+    std::vector<Rating> observed;
+    std::vector<std::vector<bool>> seen(
+        options.users, std::vector<bool>(options.items, false));
+    for (uint32_t user = 0; user < options.users; ++user) {
+        uint64_t count =
+            std::max<uint64_t>(1,
+                               rng.nextPoisson(options.meanRatingsPerUser));
+        count = std::min<uint64_t>(count, options.items);
+        for (uint64_t c = 0; c < count; ++c) {
+            uint32_t item;
+            do {
+                item = uint32_t(rng.nextBounded(options.items));
+            } while (seen[user][item]);
+            seen[user][item] = true;
+            observed.push_back(
+                {user, item, true_rating(user, item)});
+        }
+    }
+
+    RatingsDataset dataset{
+        SparseRatings(options.users, options.items, std::move(observed)),
+        {}};
+
+    // Held-out queries come strictly from empty cells.
+    dataset.heldOutQueries.reserve(held_out_queries);
+    size_t guard = 0;
+    while (dataset.heldOutQueries.size() < held_out_queries &&
+           guard++ < held_out_queries * 100) {
+        const uint32_t user = uint32_t(rng.nextBounded(options.users));
+        const uint32_t item = uint32_t(rng.nextBounded(options.items));
+        if (!seen[user][item])
+            dataset.heldOutQueries.push_back({user, item});
+    }
+    return dataset;
+}
+
+// --------------------------------------------------------------------
+// KvWorkload
+// --------------------------------------------------------------------
+
+KvWorkload::KvWorkload(KvWorkloadOptions options_in)
+    : options(options_in),
+      keySampler(options_in.numKeys, options_in.zipfExponent)
+{}
+
+std::string
+KvWorkload::keyAt(uint64_t index) const
+{
+    return "user" + std::to_string(1000000000ull + index);
+}
+
+std::string
+KvWorkload::valueFor(std::string_view key) const
+{
+    // Deterministic pseudo-random bytes derived from the key, so
+    // correctness checks can recompute the expected value.
+    std::string value;
+    value.reserve(options.valueBytes);
+    uint64_t state = 0xCBF29CE484222325ull;
+    for (char c : key)
+        state = (state ^ uint8_t(c)) * 0x100000001B3ull;
+    while (value.size() < options.valueBytes) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        value.push_back(char('a' + (state % 26)));
+    }
+    return value;
+}
+
+KvOp
+KvWorkload::sampleOp(Rng &rng) const
+{
+    KvOp op;
+    const uint64_t rank = keySampler.sample(rng); // 1-based.
+    op.key = keyAt(rank - 1);
+    op.isGet = rng.nextBool(options.getFraction);
+    if (!op.isGet)
+        op.value = valueFor(op.key);
+    return op;
+}
+
+} // namespace musuite

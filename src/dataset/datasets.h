@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Deterministic synthetic data sets for the four µSuite services.
+ *
+ * The paper's corpora are external artifacts (Open Images feature
+ * vectors, a Wikipedia shard, MovieLens, a "Twitter" key-value set).
+ * These generators produce structurally equivalent synthetic data —
+ * the properties that drive service cost are preserved (dimension and
+ * cluster structure for HDSearch; Zipfian term frequencies and
+ * document lengths for Set Algebra; matrix shape/sparsity with planted
+ * latent factors for Recommend; key popularity skew and value sizes
+ * for Router) — and everything is reproducible from a seed.
+ */
+
+#ifndef MUSUITE_DATASET_DATASETS_H
+#define MUSUITE_DATASET_DATASETS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "index/vectors.h"
+#include "ml/matrix.h"
+
+namespace musuite {
+
+// --------------------------------------------------------------------
+// HDSearch: Gaussian-mixture feature vectors.
+// --------------------------------------------------------------------
+
+struct GmmOptions
+{
+    size_t numVectors = 10000;
+    size_t dimension = 128;  //!< Paper uses 2048; scaled by flags.
+    size_t clusters = 64;
+    double clusterStddev = 0.15; //!< Within-cluster spread.
+    double spaceScale = 1.0;     //!< Centroid coordinate scale.
+    uint64_t seed = 11;
+};
+
+/** A generated corpus plus the machinery to draw realistic queries. */
+class GmmDataset
+{
+  public:
+    explicit GmmDataset(GmmOptions options);
+
+    const FeatureStore &vectors() const { return store; }
+    size_t clusterOf(uint64_t index) const { return assignment[index]; }
+
+    /**
+     * Draw a query near a random cluster centroid — like a user's
+     * photo resembling images already in the corpus.
+     */
+    std::vector<float> sampleQuery(Rng &rng) const;
+
+  private:
+    GmmOptions options;
+    FeatureStore store;
+    std::vector<uint32_t> assignment;
+    std::vector<float> centroids; //!< clusters x dim.
+};
+
+// --------------------------------------------------------------------
+// Set Algebra: Zipf-distributed document corpus.
+// --------------------------------------------------------------------
+
+struct CorpusOptions
+{
+    size_t numDocuments = 20000;
+    size_t vocabulary = 20000;
+    double zipfExponent = 1.05; //!< Natural-language-like skew.
+    double meanDocLength = 120;
+    uint64_t seed = 13;
+};
+
+class TextCorpus
+{
+  public:
+    explicit TextCorpus(CorpusOptions options);
+
+    const std::vector<std::vector<uint32_t>> &documents() const
+    {
+        return docs;
+    }
+    size_t size() const { return docs.size(); }
+
+    /**
+     * Draw a search query of 1..max_terms words biased by corpus word
+     * frequencies (paper: queries span <= 10 words, generated from
+     * word occurrence probabilities).
+     */
+    std::vector<uint32_t> sampleQuery(Rng &rng,
+                                      size_t max_terms = 10) const;
+
+  private:
+    CorpusOptions options;
+    std::vector<std::vector<uint32_t>> docs;
+    ZipfSampler termSampler;
+};
+
+// --------------------------------------------------------------------
+// Recommend: ratings with planted latent structure.
+// --------------------------------------------------------------------
+
+struct RatingsOptions
+{
+    size_t users = 500;
+    size_t items = 400;
+    double meanRatingsPerUser = 20;
+    size_t latentRank = 6;    //!< Planted concept count.
+    double noiseStddev = 0.2;
+    uint64_t seed = 17;
+};
+
+struct RatingsDataset
+{
+    SparseRatings ratings;
+    /** Held-out {user, item} query pairs from *empty* matrix cells
+     *  (the paper's load generator never queries training cells). */
+    std::vector<std::pair<uint32_t, uint32_t>> heldOutQueries;
+};
+
+RatingsDataset makeRatingsDataset(RatingsOptions options,
+                                  size_t held_out_queries = 1000);
+
+// --------------------------------------------------------------------
+// Router: skewed key-value records (YCSB-A-like workload).
+// --------------------------------------------------------------------
+
+struct KvWorkloadOptions
+{
+    size_t numKeys = 50000;
+    size_t valueBytes = 128;
+    double zipfExponent = 0.99; //!< YCSB default skew.
+    double getFraction = 0.5;   //!< Workload A: 50/50 gets and sets.
+    uint64_t seed = 19;
+};
+
+/** One generated get or set operation. */
+struct KvOp
+{
+    bool isGet = true;
+    std::string key;
+    std::string value; //!< Sets only.
+};
+
+class KvWorkload
+{
+  public:
+    explicit KvWorkload(KvWorkloadOptions options);
+
+    /** Key for index i (stable across runs). */
+    std::string keyAt(uint64_t index) const;
+
+    /** Deterministic value body for a key. */
+    std::string valueFor(std::string_view key) const;
+
+    /** Draw one operation under the configured mix and skew. */
+    KvOp sampleOp(Rng &rng) const;
+
+    size_t keyCount() const { return options.numKeys; }
+
+  private:
+    KvWorkloadOptions options;
+    ZipfSampler keySampler;
+};
+
+} // namespace musuite
+
+#endif // MUSUITE_DATASET_DATASETS_H

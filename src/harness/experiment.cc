@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Implementation of the characterization windows.
+ */
+
+#include "harness/experiment.h"
+
+#include "ostrace/sync.h"
+
+namespace musuite {
+
+WindowReport
+runOpenLoopWindow(ServiceDeployment &deployment,
+                  const WindowOptions &options)
+{
+    rpc::RpcClient client(deployment.midTierPort(),
+                          options.frontEndClient);
+    Rng request_rng(options.seed ^ 0xF00DF00Dull);
+
+    // Window-edge snapshots: reset what is resettable, snapshot the
+    // rest.
+    resetSyscalls();
+    resetContentionStats();
+    (void)osTrace().collect(); // Drop pre-window samples.
+    const ContextSwitches cs_before = sampleContextSwitches();
+    const SyscallSnapshot sys_before = snapshotSyscalls();
+
+    OpenLoopLoadGen::Options load_options;
+    load_options.qps = options.qps;
+    load_options.durationNs = options.durationNs;
+    load_options.seed = options.seed;
+    OpenLoopLoadGen generator(load_options);
+
+    const uint32_t method = deployment.frontEndMethod();
+    LoadResult load = generator.run(
+        [&](uint64_t, std::function<void(bool)> done) {
+            client.call(method, deployment.sampleRequestBody(request_rng),
+                        [&deployment, done = std::move(done)](
+                            const Status &status,
+                            std::string_view payload) {
+                            done(status.isOk() &&
+                                 deployment.validateResponse(payload));
+                        });
+        });
+
+    WindowReport report;
+    report.load = std::move(load);
+    report.syscalls =
+        diffSyscalls(sys_before, snapshotSyscalls());
+    report.contextSwitches =
+        diffContextSwitches(cs_before, sampleContextSwitches());
+    const auto &contention = contentionStats();
+    report.hitmEvents =
+        contention.lockContended.load(std::memory_order_relaxed);
+    report.futexWaits =
+        contention.futexWaits.load(std::memory_order_relaxed);
+    report.futexWakes =
+        contention.futexWakes.load(std::memory_order_relaxed);
+    report.osBreakdown = osTrace().collect();
+    return report;
+}
+
+double
+measureSaturation(ServiceDeployment &deployment, int max_workers,
+                  int64_t per_step_ns)
+{
+    rpc::ClientOptions client_options;
+    client_options.connections = 4;
+    client_options.completionThreads = 1;
+    client_options.name = "satgen";
+    rpc::RpcClient client(deployment.midTierPort(), client_options);
+
+    const uint32_t method = deployment.frontEndMethod();
+    std::mutex rng_mutex;
+    Rng rng(deployment.kind() == ServiceKind::Router ? 77 : 78);
+
+    return findSaturationThroughput(
+        [&](uint64_t) {
+            std::string body;
+            {
+                std::lock_guard<std::mutex> guard(rng_mutex);
+                body = deployment.sampleRequestBody(rng);
+            }
+            auto result = client.callSync(method, std::move(body));
+            return result.isOk();
+        },
+        max_workers, per_step_ns);
+}
+
+} // namespace musuite

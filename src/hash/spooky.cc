@@ -1,0 +1,223 @@
+/**
+ * @file
+ * SpookyHash-V2-style implementation. The mix networks follow the
+ * published structure (rotate / add / xor schedules sized so every
+ * input bit diffuses to every output bit within a few rounds); see the
+ * property tests in tests/hash_test.cc for the avalanche and
+ * distribution guarantees we actually rely on.
+ */
+
+#include "hash/spooky.h"
+
+#include <cstring>
+
+namespace musuite {
+
+namespace {
+
+inline uint64_t
+rot64(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+/** Read up to 8 little-endian bytes, zero-padding the remainder. */
+inline uint64_t
+readPartial(const uint8_t *p, size_t n)
+{
+    uint64_t v = 0;
+    std::memcpy(&v, p, n);
+    return v;
+}
+
+inline uint64_t
+read64(const uint8_t *p)
+{
+    uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+}
+
+/** 4-lane mix for the short path (applied every 32 bytes). */
+inline void
+shortMix(uint64_t &h0, uint64_t &h1, uint64_t &h2, uint64_t &h3)
+{
+    h2 = rot64(h2, 50); h2 += h3; h0 ^= h2;
+    h3 = rot64(h3, 52); h3 += h0; h1 ^= h3;
+    h0 = rot64(h0, 30); h0 += h1; h2 ^= h0;
+    h1 = rot64(h1, 41); h1 += h2; h3 ^= h1;
+    h2 = rot64(h2, 54); h2 += h3; h0 ^= h2;
+    h3 = rot64(h3, 48); h3 += h0; h1 ^= h3;
+    h0 = rot64(h0, 38); h0 += h1; h2 ^= h0;
+    h1 = rot64(h1, 37); h1 += h2; h3 ^= h1;
+    h2 = rot64(h2, 62); h2 += h3; h0 ^= h2;
+    h3 = rot64(h3, 34); h3 += h0; h1 ^= h3;
+    h0 = rot64(h0, 5);  h0 += h1; h2 ^= h0;
+    h1 = rot64(h1, 36); h1 += h2; h3 ^= h1;
+}
+
+/** 4-lane finalization for the short path. */
+inline void
+shortEnd(uint64_t &h0, uint64_t &h1, uint64_t &h2, uint64_t &h3)
+{
+    h3 ^= h2; h2 = rot64(h2, 15); h3 += h2;
+    h0 ^= h3; h3 = rot64(h3, 52); h0 += h3;
+    h1 ^= h0; h0 = rot64(h0, 26); h1 += h0;
+    h2 ^= h1; h1 = rot64(h1, 51); h2 += h1;
+    h3 ^= h2; h2 = rot64(h2, 28); h3 += h2;
+    h0 ^= h3; h3 = rot64(h3, 9);  h0 += h3;
+    h1 ^= h0; h0 = rot64(h0, 47); h1 += h0;
+    h2 ^= h1; h1 = rot64(h1, 54); h2 += h1;
+    h3 ^= h2; h2 = rot64(h2, 32); h3 += h2;
+    h0 ^= h3; h3 = rot64(h3, 25); h0 += h3;
+    h1 ^= h0; h0 = rot64(h0, 63); h1 += h0;
+}
+
+/** 12-lane mix for the long path (applied every 96 bytes). */
+inline void
+longMix(const uint64_t *data, uint64_t *s)
+{
+    s[0] += data[0];  s[2] ^= s[10]; s[11] ^= s[0];
+    s[0] = rot64(s[0], 11);  s[11] += s[1];
+    s[1] += data[1];  s[3] ^= s[11]; s[0] ^= s[1];
+    s[1] = rot64(s[1], 32);  s[0] += s[2];
+    s[2] += data[2];  s[4] ^= s[0];  s[1] ^= s[2];
+    s[2] = rot64(s[2], 43);  s[1] += s[3];
+    s[3] += data[3];  s[5] ^= s[1];  s[2] ^= s[3];
+    s[3] = rot64(s[3], 31);  s[2] += s[4];
+    s[4] += data[4];  s[6] ^= s[2];  s[3] ^= s[4];
+    s[4] = rot64(s[4], 17);  s[3] += s[5];
+    s[5] += data[5];  s[7] ^= s[3];  s[4] ^= s[5];
+    s[5] = rot64(s[5], 28);  s[4] += s[6];
+    s[6] += data[6];  s[8] ^= s[4];  s[5] ^= s[6];
+    s[6] = rot64(s[6], 39);  s[5] += s[7];
+    s[7] += data[7];  s[9] ^= s[5];  s[6] ^= s[7];
+    s[7] = rot64(s[7], 57);  s[6] += s[8];
+    s[8] += data[8];  s[10] ^= s[6]; s[7] ^= s[8];
+    s[8] = rot64(s[8], 55);  s[7] += s[9];
+    s[9] += data[9];  s[11] ^= s[7]; s[8] ^= s[9];
+    s[9] = rot64(s[9], 54);  s[8] += s[10];
+    s[10] += data[10]; s[0] ^= s[8]; s[9] ^= s[10];
+    s[10] = rot64(s[10], 22); s[9] += s[11];
+    s[11] += data[11]; s[1] ^= s[9]; s[10] ^= s[11];
+    s[11] = rot64(s[11], 46); s[10] += s[0];
+}
+
+/** One round of 12-lane finalization. */
+inline void
+endPartial(uint64_t *h)
+{
+    h[11] += h[1]; h[2] ^= h[11]; h[1] = rot64(h[1], 44);
+    h[0]  += h[2]; h[3] ^= h[0];  h[2] = rot64(h[2], 15);
+    h[1]  += h[3]; h[4] ^= h[1];  h[3] = rot64(h[3], 34);
+    h[2]  += h[4]; h[5] ^= h[2];  h[4] = rot64(h[4], 21);
+    h[3]  += h[5]; h[6] ^= h[3];  h[5] = rot64(h[5], 38);
+    h[4]  += h[6]; h[7] ^= h[4];  h[6] = rot64(h[6], 33);
+    h[5]  += h[7]; h[8] ^= h[5];  h[7] = rot64(h[7], 10);
+    h[6]  += h[8]; h[9] ^= h[6];  h[8] = rot64(h[8], 13);
+    h[7]  += h[9]; h[10] ^= h[7]; h[9] = rot64(h[9], 38);
+    h[8]  += h[10]; h[11] ^= h[8]; h[10] = rot64(h[10], 53);
+    h[9]  += h[11]; h[0] ^= h[9];  h[11] = rot64(h[11], 42);
+    h[10] += h[0];  h[1] ^= h[10]; h[0] = rot64(h[0], 54);
+}
+
+inline void
+longEnd(const uint64_t *data, uint64_t *h)
+{
+    for (int i = 0; i < 12; ++i)
+        h[i] += data[i];
+    endPartial(h);
+    endPartial(h);
+    endPartial(h);
+}
+
+} // namespace
+
+Hash128
+SpookyHash::shortHash(const void *data, size_t length, uint64_t seed1,
+                      uint64_t seed2)
+{
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    size_t remaining = length;
+
+    uint64_t a = seed1;
+    uint64_t b = seed2;
+    uint64_t c = arbitraryConst;
+    uint64_t d = arbitraryConst;
+
+    // Consume 32-byte blocks.
+    while (remaining >= 32) {
+        c += read64(p);
+        d += read64(p + 8);
+        shortMix(a, b, c, d);
+        a += read64(p + 16);
+        b += read64(p + 24);
+        p += 32;
+        remaining -= 32;
+    }
+
+    // Consume a trailing 16-byte block if present.
+    if (remaining >= 16) {
+        c += read64(p);
+        d += read64(p + 8);
+        shortMix(a, b, c, d);
+        p += 16;
+        remaining -= 16;
+    }
+
+    // Fold the final 0..15 bytes plus the total length into d's top.
+    d += uint64_t(length) << 56;
+    if (remaining >= 8) {
+        c += read64(p);
+        if (remaining > 8)
+            d += readPartial(p + 8, remaining - 8);
+    } else if (remaining > 0) {
+        c += readPartial(p, remaining);
+    } else {
+        c += arbitraryConst;
+        d += arbitraryConst;
+    }
+    shortEnd(a, b, c, d);
+    return Hash128{a, b};
+}
+
+Hash128
+SpookyHash::longHash(const void *data, size_t length, uint64_t seed1,
+                     uint64_t seed2)
+{
+    constexpr size_t block = 96; // 12 lanes x 8 bytes.
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    size_t remaining = length;
+
+    uint64_t h[12];
+    h[0] = h[3] = h[6] = h[9] = seed1;
+    h[1] = h[4] = h[7] = h[10] = seed2;
+    h[2] = h[5] = h[8] = h[11] = arbitraryConst;
+
+    uint64_t lanes[12];
+    while (remaining >= block) {
+        std::memcpy(lanes, p, block);
+        longMix(lanes, h);
+        p += block;
+        remaining -= block;
+    }
+
+    // Zero-pad the final partial block; record length in the pad byte.
+    uint8_t tail[block] = {};
+    std::memcpy(tail, p, remaining);
+    tail[block - 1] = uint8_t(remaining);
+    std::memcpy(lanes, tail, block);
+    longEnd(lanes, h);
+    return Hash128{h[0], h[1]};
+}
+
+Hash128
+SpookyHash::hash128(const void *data, size_t length, uint64_t seed1,
+                    uint64_t seed2)
+{
+    if (length < shortThreshold)
+        return shortHash(data, length, seed1, seed2);
+    return longHash(data, length, seed1, seed2);
+}
+
+} // namespace musuite

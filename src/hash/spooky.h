@@ -1,0 +1,99 @@
+/**
+ * @file
+ * 128-bit non-cryptographic hash in the style of Bob Jenkins'
+ * SpookyHash V2, the hash µSuite's Router uses to spread keys across
+ * memcached leaves. Re-implemented from scratch with the same
+ * structure: a 4-lane "short" path for keys under 192 bytes (the common
+ * case for cache keys — ~1 byte/cycle) and a 12-lane "long" path
+ * (~3 bytes/cycle). Output quality (avalanche, bucket uniformity, low
+ * collision rate) is validated by property tests rather than upstream
+ * test vectors; Router only requires a fast, well-distributed hash.
+ */
+
+#ifndef MUSUITE_HASH_SPOOKY_H
+#define MUSUITE_HASH_SPOOKY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace musuite {
+
+/** A 128-bit hash value. */
+struct Hash128
+{
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+
+    bool
+    operator==(const Hash128 &other) const
+    {
+        return lo == other.lo && hi == other.hi;
+    }
+};
+
+class SpookyHash
+{
+  public:
+    /**
+     * Hash an arbitrary byte array.
+     *
+     * @param data Bytes to hash (any alignment, any length).
+     * @param length Number of bytes.
+     * @param seed1 First 64 bits of seed.
+     * @param seed2 Second 64 bits of seed.
+     */
+    static Hash128 hash128(const void *data, size_t length,
+                           uint64_t seed1 = 0, uint64_t seed2 = 0);
+
+    /** First 64 bits of hash128. */
+    static uint64_t
+    hash64(const void *data, size_t length, uint64_t seed = 0)
+    {
+        return hash128(data, length, seed, seed).lo;
+    }
+
+    static Hash128
+    hash128(std::string_view key, uint64_t seed1 = 0, uint64_t seed2 = 0)
+    {
+        return hash128(key.data(), key.size(), seed1, seed2);
+    }
+
+    static uint64_t
+    hash64(std::string_view key, uint64_t seed = 0)
+    {
+        return hash64(key.data(), key.size(), seed);
+    }
+
+  private:
+    /** Keys shorter than this take the 4-lane short path. */
+    static constexpr size_t shortThreshold = 192;
+    static constexpr uint64_t arbitraryConst = 0xDEADBEEFDEADBEEFull;
+
+    static Hash128 shortHash(const void *data, size_t length,
+                             uint64_t seed1, uint64_t seed2);
+    static Hash128 longHash(const void *data, size_t length,
+                            uint64_t seed1, uint64_t seed2);
+};
+
+/**
+ * Map a hashed key to one of n shards. Uses the high 64 bits times n
+ * shifted down (multiply-shift), which is unbiased for n << 2^64 and
+ * avoids the modulo hot-spot of low-entropy low bits.
+ */
+inline uint32_t
+shardForHash(const Hash128 &h, uint32_t n_shards)
+{
+    return uint32_t((__uint128_t(h.hi) * n_shards) >> 64);
+}
+
+/** Hash a key and map it to a shard in one call. */
+inline uint32_t
+shardForKey(std::string_view key, uint32_t n_shards)
+{
+    return shardForHash(SpookyHash::hash128(key), n_shards);
+}
+
+} // namespace musuite
+
+#endif // MUSUITE_HASH_SPOOKY_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Implementation of vector storage and distance kernels.
+ */
+
+#include "index/vectors.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "base/logging.h"
+
+namespace musuite {
+
+uint64_t
+FeatureStore::add(std::span<const float> vector)
+{
+    MUSUITE_CHECK(vector.size() == dim)
+        << "vector dimension " << vector.size() << " != store " << dim;
+    data.insert(data.end(), vector.begin(), vector.end());
+    return count++;
+}
+
+float
+squaredL2(std::span<const float> a, std::span<const float> b)
+{
+    float sum = 0.0f;
+    const size_t n = a.size();
+    for (size_t i = 0; i < n; ++i) {
+        const float d = a[i] - b[i];
+        sum += d * d;
+    }
+    return sum;
+}
+
+float
+dotProduct(std::span<const float> a, std::span<const float> b)
+{
+    float sum = 0.0f;
+    const size_t n = a.size();
+    for (size_t i = 0; i < n; ++i)
+        sum += a[i] * b[i];
+    return sum;
+}
+
+float
+cosineSimilarity(std::span<const float> a, std::span<const float> b)
+{
+    const float dot = dotProduct(a, b);
+    const float na = dotProduct(a, a);
+    const float nb = dotProduct(b, b);
+    if (na == 0.0f || nb == 0.0f)
+        return 0.0f;
+    return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+std::vector<Neighbor>
+mergeTopK(const std::vector<std::vector<Neighbor>> &sorted_lists, size_t k)
+{
+    // K-way merge over already-sorted leaf responses.
+    struct Cursor
+    {
+        const std::vector<Neighbor> *list;
+        size_t pos;
+    };
+    auto cmp = [](const Cursor &a, const Cursor &b) {
+        return (*b.list)[b.pos] < (*a.list)[a.pos]; // Min-heap.
+    };
+    std::priority_queue<Cursor, std::vector<Cursor>, decltype(cmp)>
+        heap(cmp);
+    for (const auto &list : sorted_lists) {
+        if (!list.empty())
+            heap.push(Cursor{&list, 0});
+    }
+
+    std::vector<Neighbor> merged;
+    merged.reserve(k);
+    while (!heap.empty() && merged.size() < k) {
+        Cursor cursor = heap.top();
+        heap.pop();
+        merged.push_back((*cursor.list)[cursor.pos]);
+        if (++cursor.pos < cursor.list->size())
+            heap.push(cursor);
+    }
+    return merged;
+}
+
+} // namespace musuite

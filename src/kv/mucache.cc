@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Implementation of mucache.
+ */
+
+#include "kv/mucache.h"
+
+#include "base/logging.h"
+#include "base/time_util.h"
+#include "hash/spooky.h"
+
+namespace musuite {
+
+MuCache::MuCache(CacheOptions options_in)
+    : options(options_in)
+{
+    MUSUITE_CHECK(options.shardCount > 0) << "need >= 1 shard";
+    perShardBudget = options.capacityBytes / options.shardCount;
+    MUSUITE_CHECK(perShardBudget > 0) << "capacity too small to shard";
+    for (size_t i = 0; i < options.shardCount; ++i)
+        shards.push_back(std::make_unique<Shard>());
+}
+
+MuCache::Shard &
+MuCache::shardFor(std::string_view key)
+{
+    return *shards[shardForKey(key, uint32_t(shards.size()))];
+}
+
+const MuCache::Shard &
+MuCache::shardFor(std::string_view key) const
+{
+    return *shards[shardForKey(key, uint32_t(shards.size()))];
+}
+
+size_t
+MuCache::entryBytes(const Entry &entry)
+{
+    // Approximate per-item overhead of list/map nodes.
+    constexpr size_t overhead = 64;
+    return entry.key.size() + entry.value.size() + overhead;
+}
+
+void
+MuCache::eraseLocked(
+    Shard &shard,
+    std::unordered_map<std::string_view,
+                       std::list<Entry>::iterator>::iterator it)
+{
+    auto list_it = it->second;
+    shard.bytes -= entryBytes(*list_it);
+    shard.index.erase(it);
+    shard.lru.erase(list_it);
+}
+
+bool
+MuCache::set(std::string_view key, std::string_view value, int64_t ttl_ns)
+{
+    Entry entry;
+    entry.key.assign(key);
+    entry.value.assign(value);
+    entry.expiryNs = ttl_ns > 0 ? nowNanos() + ttl_ns : 0;
+    const size_t incoming = entryBytes(entry);
+    if (incoming > perShardBudget)
+        return false;
+
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    shard.stats.sets++;
+
+    auto it = shard.index.find(key);
+    if (it != shard.index.end())
+        eraseLocked(shard, it);
+
+    shard.lru.push_front(std::move(entry));
+    shard.index.emplace(std::string_view(shard.lru.front().key),
+                        shard.lru.begin());
+    shard.bytes += incoming;
+
+    // Evict least-recently-used entries to honor the budget.
+    while (shard.bytes > perShardBudget && shard.lru.size() > 1) {
+        auto victim = std::prev(shard.lru.end());
+        shard.stats.evictions++;
+        auto idx = shard.index.find(std::string_view(victim->key));
+        eraseLocked(shard, idx);
+    }
+    return true;
+}
+
+std::optional<std::string>
+MuCache::get(std::string_view key)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> guard(shard.mutex);
+
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+        shard.stats.misses++;
+        return std::nullopt;
+    }
+    auto list_it = it->second;
+    if (list_it->expiryNs != 0 && nowNanos() >= list_it->expiryNs) {
+        shard.stats.expirations++;
+        shard.stats.misses++;
+        eraseLocked(shard, it);
+        return std::nullopt;
+    }
+
+    shard.stats.hits++;
+    // Refresh recency.
+    shard.lru.splice(shard.lru.begin(), shard.lru, list_it);
+    return list_it->value;
+}
+
+bool
+MuCache::remove(std::string_view key)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> guard(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end())
+        return false;
+    shard.stats.deletes++;
+    eraseLocked(shard, it);
+    return true;
+}
+
+CacheStats
+MuCache::stats() const
+{
+    CacheStats total;
+    for (const auto &shard : shards) {
+        std::lock_guard<std::mutex> guard(shard->mutex);
+        total.hits += shard->stats.hits;
+        total.misses += shard->stats.misses;
+        total.sets += shard->stats.sets;
+        total.deletes += shard->stats.deletes;
+        total.evictions += shard->stats.evictions;
+        total.expirations += shard->stats.expirations;
+        total.currentItems += shard->lru.size();
+        total.currentBytes += shard->bytes;
+    }
+    return total;
+}
+
+uint64_t
+MuCache::itemCount() const
+{
+    uint64_t count = 0;
+    for (const auto &shard : shards) {
+        std::lock_guard<std::mutex> guard(shard->mutex);
+        count += shard->lru.size();
+    }
+    return count;
+}
+
+void
+MuCache::clear()
+{
+    for (auto &shard : shards) {
+        std::lock_guard<std::mutex> guard(shard->mutex);
+        shard->index.clear();
+        shard->lru.clear();
+        shard->bytes = 0;
+    }
+}
+
+} // namespace musuite

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * mucache: a sharded in-memory LRU key-value store.
+ *
+ * The memcached stand-in behind µSuite Router's leaf microservice: a
+ * hash table sharded to bound lock contention, per-shard LRU eviction
+ * under a byte budget, optional TTL expiry, and memcached-shaped
+ * statistics. The leaf RPC wrapper (services/router) exposes get/set
+ * over murpc exactly as the paper's leaves wrap memcached with gRPC.
+ */
+
+#ifndef MUSUITE_KV_MUCACHE_H
+#define MUSUITE_KV_MUCACHE_H
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace musuite {
+
+struct CacheOptions
+{
+    size_t shardCount = 8;
+    size_t capacityBytes = 64u << 20; //!< Whole-cache budget.
+};
+
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t sets = 0;
+    uint64_t deletes = 0;
+    uint64_t evictions = 0;
+    uint64_t expirations = 0;
+    uint64_t currentItems = 0;
+    uint64_t currentBytes = 0;
+};
+
+class MuCache
+{
+  public:
+    explicit MuCache(CacheOptions options = {});
+
+    /**
+     * Insert or replace a value.
+     * @param ttl_ns Relative time-to-live; 0 never expires.
+     * @return false only if the item alone exceeds the shard budget.
+     */
+    bool set(std::string_view key, std::string_view value,
+             int64_t ttl_ns = 0);
+
+    /** Fetch a value, refreshing its LRU position. */
+    std::optional<std::string> get(std::string_view key);
+
+    /** Delete a key. @return true if it existed. */
+    bool remove(std::string_view key);
+
+    /** Aggregate statistics across shards. */
+    CacheStats stats() const;
+
+    uint64_t itemCount() const;
+
+    /** Drop everything (tests). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::string value;
+        int64_t expiryNs; //!< 0 = never.
+    };
+
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        std::list<Entry> lru; //!< Front = most recent.
+        std::unordered_map<std::string_view,
+                           std::list<Entry>::iterator> index;
+        size_t bytes = 0;
+        CacheStats stats;
+    };
+
+    Shard &shardFor(std::string_view key);
+    const Shard &shardFor(std::string_view key) const;
+    static size_t entryBytes(const Entry &entry);
+    /** Erase an entry known to be present. Lock held. */
+    void eraseLocked(Shard &shard,
+                     std::unordered_map<std::string_view,
+                                        std::list<Entry>::iterator>::
+                         iterator it);
+
+    CacheOptions options;
+    size_t perShardBudget;
+    std::vector<std::unique_ptr<Shard>> shards;
+};
+
+} // namespace musuite
+
+#endif // MUSUITE_KV_MUCACHE_H

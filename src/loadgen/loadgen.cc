@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Implementation of the open- and closed-loop load generators.
+ */
+
+#include "loadgen/loadgen.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "base/threading.h"
+#include "base/time_util.h"
+
+namespace musuite {
+
+namespace {
+
+/** Completion-side state shared with in-flight callbacks. */
+struct OpenLoopState
+{
+    std::mutex mutex;
+    Histogram latency;
+    uint64_t completed = 0;
+    uint64_t errors = 0;
+    std::atomic<uint64_t> outstanding{0};
+};
+
+} // namespace
+
+LoadResult
+OpenLoopLoadGen::run(const AsyncIssue &issue)
+{
+    auto state = std::make_shared<OpenLoopState>();
+    Rng rng(options.seed);
+
+    const int64_t start = nowNanos();
+    const int64_t deadline = start + options.durationNs;
+    // Inter-arrival gaps are exponential: a Poisson arrival process.
+    const double rate_per_ns = options.qps / 1e9;
+
+    uint64_t issued = 0;
+    int64_t scheduled = start;
+    while (issued < options.maxRequests) {
+        scheduled += int64_t(rng.nextExponential(rate_per_ns));
+        if (scheduled >= deadline)
+            break;
+        sleepUntilNanos(scheduled);
+
+        const uint64_t seq = issued++;
+        state->outstanding.fetch_add(1, std::memory_order_relaxed);
+        // Latency is measured from the *scheduled* send time: if the
+        // generator itself fell behind (service pushed back), the
+        // wait counts against the service, not the generator.
+        const int64_t scheduled_ns = scheduled;
+        issue(seq, [state, scheduled_ns](bool ok) {
+            const int64_t now = nowNanos();
+            {
+                std::lock_guard<std::mutex> guard(state->mutex);
+                if (ok) {
+                    state->latency.record(now - scheduled_ns);
+                    state->completed++;
+                } else {
+                    state->errors++;
+                }
+            }
+            state->outstanding.fetch_sub(1, std::memory_order_release);
+        });
+    }
+
+    // Drain stragglers.
+    const int64_t drain_deadline = nowNanos() + options.drainTimeoutNs;
+    while (state->outstanding.load(std::memory_order_acquire) > 0 &&
+           nowNanos() < drain_deadline) {
+        sleepForNanos(100'000);
+    }
+
+    LoadResult result;
+    {
+        std::lock_guard<std::mutex> guard(state->mutex);
+        result.latency = state->latency;
+        result.completed = state->completed;
+        result.errors = state->errors;
+    }
+    result.issued = issued;
+    result.offeredQps = options.qps;
+    result.elapsedNs = nowNanos() - start;
+    result.achievedQps =
+        result.elapsedNs > 0
+            ? double(result.completed) * 1e9 / double(result.elapsedNs)
+            : 0.0;
+    return result;
+}
+
+LoadResult
+ClosedLoopLoadGen::run(const SyncIssue &issue)
+{
+    struct WorkerState
+    {
+        Histogram latency;
+        uint64_t completed = 0;
+        uint64_t errors = 0;
+        uint64_t issued = 0;
+    };
+    std::vector<WorkerState> states(size_t(options.workers));
+    std::atomic<uint64_t> next_seq{0};
+    const int64_t start = nowNanos();
+    const int64_t deadline = start + options.durationNs;
+
+    {
+        std::vector<ScopedThread> workers;
+        for (int w = 0; w < options.workers; ++w) {
+            workers.emplace_back(
+                "loadgen-" + std::to_string(w), [&, w] {
+                    WorkerState &mine = states[size_t(w)];
+                    while (nowNanos() < deadline) {
+                        const uint64_t seq = next_seq.fetch_add(1);
+                        const int64_t t0 = nowNanos();
+                        const bool ok = issue(seq);
+                        mine.issued++;
+                        if (ok) {
+                            mine.latency.record(nowNanos() - t0);
+                            mine.completed++;
+                        } else {
+                            mine.errors++;
+                        }
+                    }
+                });
+        }
+    } // Joins all workers.
+
+    LoadResult result;
+    for (const WorkerState &state : states) {
+        result.latency.merge(state.latency);
+        result.completed += state.completed;
+        result.errors += state.errors;
+        result.issued += state.issued;
+    }
+    result.elapsedNs = nowNanos() - start;
+    result.achievedQps =
+        result.elapsedNs > 0
+            ? double(result.completed) * 1e9 / double(result.elapsedNs)
+            : 0.0;
+    return result;
+}
+
+double
+findSaturationThroughput(const ClosedLoopLoadGen::SyncIssue &issue,
+                         int max_workers, int64_t per_step_ns,
+                         double plateau_fraction)
+{
+    double best = 0.0;
+    for (int workers = 1; workers <= max_workers; workers *= 2) {
+        ClosedLoopLoadGen::Options options;
+        options.workers = workers;
+        options.durationNs = per_step_ns;
+        ClosedLoopLoadGen generator(options);
+        const LoadResult result = generator.run(issue);
+        if (result.achievedQps <= best * (1.0 + plateau_fraction) &&
+            best > 0.0) {
+            return best;
+        }
+        best = std::max(best, result.achievedQps);
+    }
+    return best;
+}
+
+} // namespace musuite

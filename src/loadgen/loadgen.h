@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Load generators with the paper's measurement methodology (§V).
+ *
+ * Two modes, used exactly as the paper uses them:
+ *
+ *  - Closed loop: a fixed number of synchronous workers issue
+ *    back-to-back requests; used only to establish peak sustainable
+ *    (saturation) throughput, where latency is meaningless.
+ *
+ *  - Open loop: request send times are drawn a priori from a Poisson
+ *    process at the offered load and laid out on the monotonic clock;
+ *    latency for request i is measured from its *scheduled* send time,
+ *    so a stalled service inflates the latency of every queued request
+ *    instead of silently pausing the generator. This is the defence
+ *    against the coordinated-omission problem the paper calls out in
+ *    CloudSuite/YCSB-style closed-loop testers.
+ */
+
+#ifndef MUSUITE_LOADGEN_LOADGEN_H
+#define MUSUITE_LOADGEN_LOADGEN_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "stats/histogram.h"
+
+namespace musuite {
+
+/** Outcome of one load-generation run. */
+struct LoadResult
+{
+    Histogram latency;        //!< End-to-end ns per completed request.
+    uint64_t issued = 0;
+    uint64_t completed = 0;
+    uint64_t errors = 0;
+    double offeredQps = 0.0;  //!< Open loop only.
+    double achievedQps = 0.0; //!< completed / elapsed.
+    int64_t elapsedNs = 0;
+
+    /** Drop rate sanity check for experiments. */
+    double
+    errorRate() const
+    {
+        return issued ? double(errors) / double(issued) : 0.0;
+    }
+};
+
+class OpenLoopLoadGen
+{
+  public:
+    /**
+     * Issue one asynchronous request. Must not block; call done()
+     * exactly once (from any thread) with the request's outcome.
+     */
+    using AsyncIssue =
+        std::function<void(uint64_t seq, std::function<void(bool ok)> done)>;
+
+    struct Options
+    {
+        double qps = 1000.0;        //!< Offered load.
+        int64_t durationNs = 1'000'000'000;
+        uint64_t maxRequests = UINT64_MAX;
+        uint64_t seed = 1;
+        int64_t drainTimeoutNs = 5'000'000'000; //!< Wait for stragglers.
+    };
+
+    explicit OpenLoopLoadGen(Options options) : options(options) {}
+
+    /** Run to completion on the calling thread. */
+    LoadResult run(const AsyncIssue &issue);
+
+  private:
+    Options options;
+};
+
+class ClosedLoopLoadGen
+{
+  public:
+    /** Issue one synchronous request; return success. */
+    using SyncIssue = std::function<bool(uint64_t seq)>;
+
+    struct Options
+    {
+        int workers = 8;
+        int64_t durationNs = 1'000'000'000;
+    };
+
+    explicit ClosedLoopLoadGen(Options options) : options(options) {}
+
+    LoadResult run(const SyncIssue &issue);
+
+  private:
+    Options options;
+};
+
+/**
+ * Establish peak sustainable throughput by sweeping closed-loop worker
+ * counts until the achieved QPS plateaus (< plateau_fraction gain), as
+ * the paper does for Fig. 9.
+ *
+ * @param issue Synchronous request issuer shared by all workers.
+ * @param per_step_ns Measurement window per worker count.
+ * @return Peak achieved QPS observed.
+ */
+double findSaturationThroughput(const ClosedLoopLoadGen::SyncIssue &issue,
+                                int max_workers = 64,
+                                int64_t per_step_ns = 500'000'000,
+                                double plateau_fraction = 0.05);
+
+} // namespace musuite
+
+#endif // MUSUITE_LOADGEN_LOADGEN_H

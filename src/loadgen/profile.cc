@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Implementation of time-varying load profiles.
+ */
+
+#include "loadgen/profile.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "base/logging.h"
+#include "base/time_util.h"
+
+namespace musuite {
+
+LoadProfile::LoadProfile(std::vector<Knot> knots_in)
+    : knots(std::move(knots_in))
+{
+    MUSUITE_CHECK(knots.size() >= 2) << "profile needs >= 2 knots";
+    peak = 0.0;
+    int64_t previous = -1;
+    for (const Knot &knot : knots) {
+        MUSUITE_CHECK(knot.atNs > previous) << "knots must be ordered";
+        MUSUITE_CHECK(knot.qps >= 0.0) << "negative rate";
+        previous = knot.atNs;
+        peak = std::max(peak, knot.qps);
+    }
+    MUSUITE_CHECK(peak > 0.0) << "all-zero profile";
+}
+
+double
+LoadProfile::qpsAt(int64_t t_ns) const
+{
+    if (t_ns <= knots.front().atNs)
+        return knots.front().qps;
+    if (t_ns >= knots.back().atNs)
+        return knots.back().qps;
+    // Find the segment containing t and interpolate.
+    auto it = std::upper_bound(
+        knots.begin(), knots.end(), t_ns,
+        [](int64_t t, const Knot &knot) { return t < knot.atNs; });
+    const Knot &hi = *it;
+    const Knot &lo = *(it - 1);
+    const double fraction =
+        double(t_ns - lo.atNs) / double(hi.atNs - lo.atNs);
+    return lo.qps + fraction * (hi.qps - lo.qps);
+}
+
+LoadProfile
+LoadProfile::constant(double qps, int64_t duration_ns)
+{
+    return LoadProfile({{0, qps}, {duration_ns, qps}});
+}
+
+LoadProfile
+LoadProfile::flashCrowd(double baseline_qps, double spike_factor,
+                        int64_t duration_ns, int64_t spike_start_ns,
+                        int64_t spike_length_ns)
+{
+    MUSUITE_CHECK(spike_start_ns > 0 &&
+                  spike_start_ns + spike_length_ns < duration_ns)
+        << "spike must fit inside the window";
+    const double spike_qps = baseline_qps * spike_factor;
+    // Sharp (1 us) edges approximate a step while keeping knots
+    // strictly ordered.
+    const int64_t edge = 1000;
+    return LoadProfile({{0, baseline_qps},
+                        {spike_start_ns, baseline_qps},
+                        {spike_start_ns + edge, spike_qps},
+                        {spike_start_ns + spike_length_ns, spike_qps},
+                        {spike_start_ns + spike_length_ns + edge,
+                         baseline_qps},
+                        {duration_ns, baseline_qps}});
+}
+
+LoadProfile
+LoadProfile::diurnal(double low_qps, double high_qps,
+                     int64_t duration_ns)
+{
+    return LoadProfile({{0, low_qps},
+                        {duration_ns / 2, high_qps},
+                        {duration_ns, low_qps}});
+}
+
+std::vector<PhaseResult>
+ProfiledLoadGen::run(const OpenLoopLoadGen::AsyncIssue &issue)
+{
+    // Phase setup.
+    std::vector<PhaseResult> phases;
+    std::vector<int64_t> bounds = options.phaseBounds;
+    if (bounds.empty())
+        bounds = {0};
+    for (size_t i = 0; i < bounds.size(); ++i) {
+        PhaseResult phase;
+        phase.fromNs = bounds[i];
+        phase.toNs = i + 1 < bounds.size() ? bounds[i + 1]
+                                           : profile.durationNs();
+        phase.name = i < options.phaseNames.size()
+                         ? options.phaseNames[i]
+                         : "phase" + std::to_string(i);
+        phases.push_back(std::move(phase));
+    }
+    auto phase_of = [&](int64_t offset_ns) -> PhaseResult & {
+        for (size_t i = phases.size(); i-- > 0;) {
+            if (offset_ns >= phases[i].fromNs)
+                return phases[i];
+        }
+        return phases.front();
+    };
+
+    struct Shared
+    {
+        std::mutex mutex;
+        std::atomic<uint64_t> outstanding{0};
+    };
+    auto shared = std::make_shared<Shared>();
+
+    Rng rng(options.seed);
+    const int64_t start = nowNanos();
+    const int64_t duration = profile.durationNs();
+    const double peak_rate_per_ns = profile.peakQps() / 1e9;
+
+    // Non-homogeneous Poisson via thinning: draw candidate arrivals
+    // at the peak rate, accept each with probability qps(t)/peak.
+    uint64_t issued = 0;
+    int64_t offset = 0;
+    while (true) {
+        offset += int64_t(rng.nextExponential(peak_rate_per_ns));
+        if (offset >= duration)
+            break;
+        if (!rng.nextBool(profile.qpsAt(offset) / profile.peakQps()))
+            continue;
+
+        const int64_t scheduled = start + offset;
+        sleepUntilNanos(scheduled);
+        PhaseResult &phase = phase_of(offset);
+        ++issued;
+        phase.load.issued++;
+        shared->outstanding.fetch_add(1, std::memory_order_relaxed);
+        issue(issued, [shared, &phase, scheduled](bool ok) {
+            const int64_t now = nowNanos();
+            {
+                std::lock_guard<std::mutex> guard(shared->mutex);
+                if (ok) {
+                    phase.load.latency.record(now - scheduled);
+                    phase.load.completed++;
+                } else {
+                    phase.load.errors++;
+                }
+            }
+            shared->outstanding.fetch_sub(1,
+                                          std::memory_order_release);
+        });
+    }
+
+    const int64_t drain_deadline = nowNanos() + options.drainTimeoutNs;
+    while (shared->outstanding.load(std::memory_order_acquire) > 0 &&
+           nowNanos() < drain_deadline) {
+        sleepForNanos(100'000);
+    }
+
+    for (PhaseResult &phase : phases) {
+        phase.load.elapsedNs = phase.toNs - phase.fromNs;
+        phase.load.offeredQps =
+            profile.qpsAt((phase.fromNs + phase.toNs) / 2);
+        phase.load.achievedQps =
+            phase.load.elapsedNs > 0
+                ? double(phase.load.completed) * 1e9 /
+                      double(phase.load.elapsedNs)
+                : 0.0;
+    }
+    return phases;
+}
+
+} // namespace musuite

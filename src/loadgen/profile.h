@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Time-varying load profiles.
+ *
+ * The paper motivates wide-ranging load support with drastic diurnal
+ * load changes, "flash crowd" spikes (traffic after a major news
+ * event), and explosive customer growth (the Pokemon Go launch)
+ * — §VI-B. A LoadProfile is a piecewise-linear offered-load curve
+ * qps(t); ProfiledLoadGen drives a non-homogeneous Poisson process
+ * along it and reports per-phase latency distributions, so a bench
+ * can show how tails behave *through* a spike, not just at steady
+ * loads.
+ */
+
+#ifndef MUSUITE_LOADGEN_PROFILE_H
+#define MUSUITE_LOADGEN_PROFILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "loadgen/loadgen.h"
+
+namespace musuite {
+
+/**
+ * Piecewise-linear offered load over time. Between knots the rate is
+ * interpolated linearly; before the first and after the last knot it
+ * is held constant.
+ */
+class LoadProfile
+{
+  public:
+    struct Knot
+    {
+        int64_t atNs;  //!< Time since profile start.
+        double qps;    //!< Offered load at that instant.
+    };
+
+    /** Knots must be time-ordered with non-negative rates. */
+    explicit LoadProfile(std::vector<Knot> knots);
+
+    /** Offered load at time t (ns since start). */
+    double qpsAt(int64_t t_ns) const;
+
+    /** Largest rate anywhere on the profile (thinning envelope). */
+    double peakQps() const { return peak; }
+
+    /** Profile end: the last knot's time. */
+    int64_t durationNs() const { return knots.back().atNs; }
+
+    /** Steady load for the whole duration. */
+    static LoadProfile constant(double qps, int64_t duration_ns);
+
+    /**
+     * Flash crowd: baseline load with a spike_factor× surge between
+     * [spike_start, spike_start + spike_length], with sharp edges.
+     */
+    static LoadProfile flashCrowd(double baseline_qps,
+                                  double spike_factor,
+                                  int64_t duration_ns,
+                                  int64_t spike_start_ns,
+                                  int64_t spike_length_ns);
+
+    /**
+     * Diurnal-like cycle: ramps lo → hi → lo over the duration
+     * (one "day" compressed into the window).
+     */
+    static LoadProfile diurnal(double low_qps, double high_qps,
+                               int64_t duration_ns);
+
+  private:
+    std::vector<Knot> knots;
+    double peak;
+};
+
+/** One phase of a profiled run, for per-phase reporting. */
+struct PhaseResult
+{
+    std::string name;
+    int64_t fromNs = 0; //!< Phase window within the run.
+    int64_t toNs = 0;
+    LoadResult load;    //!< Requests *scheduled* inside the window.
+};
+
+class ProfiledLoadGen
+{
+  public:
+    struct Options
+    {
+        uint64_t seed = 1;
+        int64_t drainTimeoutNs = 5'000'000'000;
+        /**
+         * Phase boundaries (ns since start) for reporting; phase i
+         * covers [bounds[i], bounds[i+1]). Empty = one phase.
+         */
+        std::vector<int64_t> phaseBounds;
+        std::vector<std::string> phaseNames;
+    };
+
+    ProfiledLoadGen(LoadProfile profile, Options options)
+        : profile(std::move(profile)), options(std::move(options))
+    {}
+
+    /**
+     * Drive the profile with a non-homogeneous Poisson process
+     * (thinning against the peak rate) and return one LoadResult per
+     * phase. The issue callback contract matches OpenLoopLoadGen.
+     */
+    std::vector<PhaseResult> run(
+        const OpenLoopLoadGen::AsyncIssue &issue);
+
+  private:
+    LoadProfile profile;
+    Options options;
+};
+
+} // namespace musuite
+
+#endif // MUSUITE_LOADGEN_PROFILE_H

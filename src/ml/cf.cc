@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Implementation of user-based collaborative filtering.
+ */
+
+#include "ml/cf.h"
+
+#include <algorithm>
+
+namespace musuite {
+
+CollaborativeFilter::CollaborativeFilter(SparseRatings ratings_in,
+                                         CfOptions options_in)
+    : ratings(std::move(ratings_in)), options(options_in),
+      nmf(factorize(ratings, options_in.nmf))
+{}
+
+std::vector<UserNeighbor>
+CollaborativeFilter::nearestUsers(uint32_t user) const
+{
+    std::vector<UserNeighbor> scored;
+    if (user >= ratings.userCount())
+        return scored;
+    scored.reserve(ratings.userCount() - 1);
+    const auto query_row = nmf.w.row(user);
+    for (uint32_t other = 0; other < ratings.userCount(); ++other) {
+        if (other == user)
+            continue;
+        if (ratings.userRatings(other).empty())
+            continue; // Cold users carry no preference signal.
+        scored.push_back(
+            {other, vectorSimilarity(query_row, nmf.w.row(other),
+                                     options.metric)});
+    }
+    const size_t keep = std::min(options.neighbors, scored.size());
+    std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                      [](const UserNeighbor &a, const UserNeighbor &b) {
+                          return a.similarity > b.similarity;
+                      });
+    scored.resize(keep);
+    return scored;
+}
+
+double
+CollaborativeFilter::predict(uint32_t user, uint32_t item) const
+{
+    if (user >= ratings.userCount() || item >= ratings.itemCount())
+        return ratings.globalMean();
+
+    // An observed rating is the ground truth; return it directly.
+    if (const Rating *observed = ratings.find(user, item))
+        return observed->value;
+
+    const auto neighbors = nearestUsers(user);
+    double weighted = 0.0;
+    double weight = 0.0;
+    for (const UserNeighbor &neighbor : neighbors) {
+        if (neighbor.similarity <= 0.0)
+            continue;
+        // Use the neighbour's observed rating when present, else its
+        // NMF-completed approximation.
+        double value;
+        if (const Rating *seen = ratings.find(neighbor.user, item))
+            value = seen->value;
+        else
+            value = nmf.predict(neighbor.user, item);
+        weighted += neighbor.similarity * value;
+        weight += neighbor.similarity;
+    }
+    if (weight <= 0.0)
+        return nmf.predict(user, item);
+    return weighted / weight;
+}
+
+} // namespace musuite

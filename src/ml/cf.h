@@ -1,0 +1,65 @@
+/**
+ * @file
+ * User-based collaborative filtering with a k-nearest-neighbour
+ * neighbourhood (the mlpack allknn stand-in of paper §III-D).
+ *
+ * Offline, a leaf factorizes its shard of the utility matrix with NMF;
+ * online, a {user, item} query finds the k users most similar to the
+ * query user in latent-factor space (cosine/Pearson/Euclidean) and
+ * predicts the rating as the similarity-weighted average of the
+ * neighbours' (observed or NMF-completed) ratings for the item.
+ */
+
+#ifndef MUSUITE_ML_CF_H
+#define MUSUITE_ML_CF_H
+
+#include <vector>
+
+#include "ml/matrix.h"
+#include "ml/nmf.h"
+
+namespace musuite {
+
+struct CfOptions
+{
+    NmfOptions nmf;
+    size_t neighbors = 10; //!< k in allknn.
+    SimilarityMetric metric = SimilarityMetric::Cosine;
+};
+
+/** One neighbour of a query user. */
+struct UserNeighbor
+{
+    uint32_t user = 0;
+    double similarity = 0.0;
+};
+
+class CollaborativeFilter
+{
+  public:
+    /** Train (sparse-matrix composition + factorization) offline. */
+    CollaborativeFilter(SparseRatings ratings, CfOptions options = {});
+
+    /**
+     * Predict the rating user would give item via the neighbourhood
+     * algorithm. Users/items outside the training range fall back to
+     * the global mean (the paper restricts queries to users with at
+     * least one rating, but a robust service must not crash).
+     */
+    double predict(uint32_t user, uint32_t item) const;
+
+    /** The k most similar users (excluding the query user). */
+    std::vector<UserNeighbor> nearestUsers(uint32_t user) const;
+
+    const NmfModel &model() const { return nmf; }
+    const SparseRatings &trainingData() const { return ratings; }
+
+  private:
+    SparseRatings ratings;
+    CfOptions options;
+    NmfModel nmf;
+};
+
+} // namespace musuite
+
+#endif // MUSUITE_ML_CF_H

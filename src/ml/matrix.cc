@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Implementation of sparse ratings and similarity metrics.
+ */
+
+#include "ml/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace musuite {
+
+SparseRatings::SparseRatings(size_t users, size_t items,
+                             std::vector<Rating> observed)
+    : nUsers(users), nItems(items), entries(std::move(observed))
+{
+    for (const Rating &rating : entries) {
+        MUSUITE_CHECK(rating.user < nUsers) << "user id out of range";
+        MUSUITE_CHECK(rating.item < nItems) << "item id out of range";
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const Rating &a, const Rating &b) {
+                  return a.user < b.user ||
+                         (a.user == b.user && a.item < b.item);
+              });
+
+    userOffsets.assign(nUsers + 1, 0);
+    for (const Rating &rating : entries)
+        userOffsets[rating.user + 1]++;
+    for (size_t u = 0; u < nUsers; ++u)
+        userOffsets[u + 1] += userOffsets[u];
+
+    double sum = 0.0;
+    for (const Rating &rating : entries)
+        sum += rating.value;
+    mean = entries.empty() ? 0.0 : sum / double(entries.size());
+}
+
+std::span<const Rating>
+SparseRatings::userRatings(uint32_t user) const
+{
+    if (user >= nUsers)
+        return {};
+    const size_t begin = userOffsets[user];
+    const size_t end = userOffsets[user + 1];
+    return {entries.data() + begin, end - begin};
+}
+
+const Rating *
+SparseRatings::find(uint32_t user, uint32_t item) const
+{
+    const auto ratings = userRatings(user);
+    auto it = std::lower_bound(
+        ratings.begin(), ratings.end(), item,
+        [](const Rating &rating, uint32_t target) {
+            return rating.item < target;
+        });
+    if (it != ratings.end() && it->item == item)
+        return &*it;
+    return nullptr;
+}
+
+const char *
+similarityMetricName(SimilarityMetric metric)
+{
+    switch (metric) {
+      case SimilarityMetric::Cosine:    return "cosine";
+      case SimilarityMetric::Pearson:   return "pearson";
+      case SimilarityMetric::Euclidean: return "euclidean";
+    }
+    return "?";
+}
+
+double
+vectorSimilarity(std::span<const double> a, std::span<const double> b,
+                 SimilarityMetric metric)
+{
+    MUSUITE_CHECK(a.size() == b.size()) << "similarity size mismatch";
+    const size_t n = a.size();
+    if (n == 0)
+        return 0.0;
+
+    switch (metric) {
+      case SimilarityMetric::Cosine: {
+        double dot = 0, na = 0, nb = 0;
+        for (size_t i = 0; i < n; ++i) {
+            dot += a[i] * b[i];
+            na += a[i] * a[i];
+            nb += b[i] * b[i];
+        }
+        if (na == 0 || nb == 0)
+            return 0.0;
+        return dot / (std::sqrt(na) * std::sqrt(nb));
+      }
+      case SimilarityMetric::Pearson: {
+        double ma = 0, mb = 0;
+        for (size_t i = 0; i < n; ++i) {
+            ma += a[i];
+            mb += b[i];
+        }
+        ma /= double(n);
+        mb /= double(n);
+        double cov = 0, va = 0, vb = 0;
+        for (size_t i = 0; i < n; ++i) {
+            const double da = a[i] - ma;
+            const double db = b[i] - mb;
+            cov += da * db;
+            va += da * da;
+            vb += db * db;
+        }
+        if (va == 0 || vb == 0)
+            return 0.0;
+        return cov / (std::sqrt(va) * std::sqrt(vb));
+      }
+      case SimilarityMetric::Euclidean: {
+        // Map distance to (0, 1]: identical vectors score 1.
+        double dist2 = 0;
+        for (size_t i = 0; i < n; ++i) {
+            const double d = a[i] - b[i];
+            dist2 += d * d;
+        }
+        return 1.0 / (1.0 + std::sqrt(dist2));
+      }
+    }
+    return 0.0;
+}
+
+} // namespace musuite

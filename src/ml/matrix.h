@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Dense and sparse matrices for the Recommend service's collaborative
+ * filtering (the mlpack stand-in).
+ */
+
+#ifndef MUSUITE_ML_MATRIX_H
+#define MUSUITE_ML_MATRIX_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace musuite {
+
+/** Row-major dense matrix of doubles. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+    Matrix(size_t rows, size_t cols, double fill = 0.0)
+        : nRows(rows), nCols(cols), cells(rows * cols, fill)
+    {}
+
+    size_t rows() const { return nRows; }
+    size_t cols() const { return nCols; }
+
+    double &
+    at(size_t r, size_t c)
+    {
+        return cells[r * nCols + c];
+    }
+
+    double
+    at(size_t r, size_t c) const
+    {
+        return cells[r * nCols + c];
+    }
+
+    std::span<double>
+    row(size_t r)
+    {
+        return {cells.data() + r * nCols, nCols};
+    }
+
+    std::span<const double>
+    row(size_t r) const
+    {
+        return {cells.data() + r * nCols, nCols};
+    }
+
+    const std::vector<double> &data() const { return cells; }
+
+  private:
+    size_t nRows = 0;
+    size_t nCols = 0;
+    std::vector<double> cells;
+};
+
+/** One observed rating. */
+struct Rating
+{
+    uint32_t user = 0;
+    uint32_t item = 0;
+    double value = 0.0;
+};
+
+/**
+ * The sparsely populated user-item utility matrix V (paper §III-D):
+ * observed {user, item, rating} tuples with per-user CSR access.
+ */
+class SparseRatings
+{
+  public:
+    SparseRatings(size_t users, size_t items,
+                  std::vector<Rating> observed);
+
+    size_t userCount() const { return nUsers; }
+    size_t itemCount() const { return nItems; }
+    size_t observedCount() const { return entries.size(); }
+
+    /** All observed tuples (training loop order). */
+    const std::vector<Rating> &observed() const { return entries; }
+
+    /** Observed ratings of one user (sorted by item). */
+    std::span<const Rating> userRatings(uint32_t user) const;
+
+    /** Rating of (user, item) if observed. */
+    const Rating *find(uint32_t user, uint32_t item) const;
+
+    /** Mean of all observed ratings. */
+    double globalMean() const { return mean; }
+
+  private:
+    size_t nUsers;
+    size_t nItems;
+    std::vector<Rating> entries;     //!< Sorted by (user, item).
+    std::vector<size_t> userOffsets; //!< CSR offsets, size nUsers+1.
+    double mean = 0.0;
+};
+
+/** Similarity metrics for the neighbourhood algorithm. */
+enum class SimilarityMetric {
+    Cosine,
+    Pearson,
+    Euclidean,
+};
+
+const char *similarityMetricName(SimilarityMetric metric);
+
+/** Similarity of two equal-length vectors under the given metric. */
+double vectorSimilarity(std::span<const double> a,
+                        std::span<const double> b,
+                        SimilarityMetric metric);
+
+} // namespace musuite
+
+#endif // MUSUITE_ML_MATRIX_H

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Implementation of masked multiplicative-update NMF.
+ */
+
+#include "ml/nmf.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+#include "base/rng.h"
+
+namespace musuite {
+
+namespace {
+
+constexpr double epsilon = 1e-12;
+
+double
+rmseOf(const Matrix &w, const Matrix &h, const SparseRatings &ratings)
+{
+    if (ratings.observedCount() == 0)
+        return 0.0;
+    const size_t rank = w.cols();
+    double sum = 0.0;
+    for (const Rating &rating : ratings.observed()) {
+        double pred = 0.0;
+        for (size_t k = 0; k < rank; ++k)
+            pred += w.at(rating.user, k) * h.at(k, rating.item);
+        const double err = rating.value - pred;
+        sum += err * err;
+    }
+    return std::sqrt(sum / double(ratings.observedCount()));
+}
+
+} // namespace
+
+double
+NmfModel::predict(uint32_t user, uint32_t item) const
+{
+    double pred = 0.0;
+    for (size_t k = 0; k < w.cols(); ++k)
+        pred += w.at(user, k) * h.at(k, item);
+    return pred;
+}
+
+NmfModel
+factorize(const SparseRatings &ratings, NmfOptions options)
+{
+    MUSUITE_CHECK(options.rank >= 1) << "rank must be >= 1";
+    const size_t m = ratings.userCount();
+    const size_t n = ratings.itemCount();
+    const size_t r = options.rank;
+
+    Rng rng(options.seed);
+    NmfModel model;
+    model.w = Matrix(m, r);
+    model.h = Matrix(r, n);
+    for (size_t u = 0; u < m; ++u) {
+        for (size_t k = 0; k < r; ++k)
+            model.w.at(u, k) = 0.1 + rng.nextDouble();
+    }
+    for (size_t k = 0; k < r; ++k) {
+        for (size_t i = 0; i < n; ++i)
+            model.h.at(k, i) = 0.1 + rng.nextDouble();
+    }
+    if (ratings.observedCount() == 0)
+        return model;
+
+    double previous_rmse = rmseOf(model.w, model.h, ratings);
+
+    for (size_t iter = 0; iter < options.maxIterations; ++iter) {
+        // --- W update: W ∘ ((M∘V)Hᵀ) / ((M∘WH)Hᵀ) -------------------
+        Matrix w_num(m, r), w_den(m, r);
+        for (const Rating &rating : ratings.observed()) {
+            double pred = 0.0;
+            for (size_t k = 0; k < r; ++k)
+                pred += model.w.at(rating.user, k) *
+                        model.h.at(k, rating.item);
+            for (size_t k = 0; k < r; ++k) {
+                const double hk = model.h.at(k, rating.item);
+                w_num.at(rating.user, k) += rating.value * hk;
+                w_den.at(rating.user, k) += pred * hk;
+            }
+        }
+        for (size_t u = 0; u < m; ++u) {
+            for (size_t k = 0; k < r; ++k) {
+                model.w.at(u, k) *= w_num.at(u, k) /
+                                    (w_den.at(u, k) + epsilon);
+            }
+        }
+
+        // --- H update: H ∘ (Wᵀ(M∘V)) / (Wᵀ(M∘WH)) -------------------
+        Matrix h_num(r, n), h_den(r, n);
+        for (const Rating &rating : ratings.observed()) {
+            double pred = 0.0;
+            for (size_t k = 0; k < r; ++k)
+                pred += model.w.at(rating.user, k) *
+                        model.h.at(k, rating.item);
+            for (size_t k = 0; k < r; ++k) {
+                const double wk = model.w.at(rating.user, k);
+                h_num.at(k, rating.item) += rating.value * wk;
+                h_den.at(k, rating.item) += pred * wk;
+            }
+        }
+        for (size_t k = 0; k < r; ++k) {
+            for (size_t i = 0; i < n; ++i) {
+                model.h.at(k, i) *= h_num.at(k, i) /
+                                    (h_den.at(k, i) + epsilon);
+            }
+        }
+
+        model.iterationsRun = iter + 1;
+        const double rmse = rmseOf(model.w, model.h, ratings);
+        if (previous_rmse > 0.0 &&
+            (previous_rmse - rmse) / previous_rmse < options.tolerance) {
+            previous_rmse = rmse;
+            break;
+        }
+        previous_rmse = rmse;
+    }
+    model.finalRmse = previous_rmse;
+    return model;
+}
+
+double
+observedRmse(const NmfModel &model, const SparseRatings &ratings)
+{
+    return rmseOf(model.w, model.h, ratings);
+}
+
+} // namespace musuite

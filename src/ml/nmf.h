@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Non-negative matrix factorization of the sparse utility matrix.
+ *
+ * Recommend (paper §III-D) decomposes the m×n user-item rating matrix
+ * V into non-negative W (m×r) and H (r×n) with V ≈ WH, where rank r is
+ * the number of latent similarity concepts. We use multiplicative
+ * updates (Lee & Seung) restricted to the observed entries — the
+ * masked/weighted variant appropriate for recommendation, where
+ * unobserved cells are *missing*, not zero — which keeps every factor
+ * non-negative and monotonically decreases observed reconstruction
+ * error.
+ */
+
+#ifndef MUSUITE_ML_NMF_H
+#define MUSUITE_ML_NMF_H
+
+#include <cstdint>
+
+#include "ml/matrix.h"
+
+namespace musuite {
+
+struct NmfOptions
+{
+    size_t rank = 8;          //!< r: latent similarity concepts.
+    size_t maxIterations = 60;
+    double tolerance = 1e-5;  //!< Stop when relative RMSE improvement
+                              //!< falls below this.
+    uint64_t seed = 7;
+};
+
+struct NmfModel
+{
+    Matrix w; //!< m x r user-concept strengths.
+    Matrix h; //!< r x n concept-item strengths.
+    double finalRmse = 0.0;
+    size_t iterationsRun = 0;
+
+    /** Approximated rating W_u · H_:i. */
+    double predict(uint32_t user, uint32_t item) const;
+};
+
+/** Factorize observed entries of V. */
+NmfModel factorize(const SparseRatings &ratings, NmfOptions options = {});
+
+/** RMSE of a model over the observed entries. */
+double observedRmse(const NmfModel &model, const SparseRatings &ratings);
+
+} // namespace musuite
+
+#endif // MUSUITE_ML_NMF_H

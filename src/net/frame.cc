@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Implementation of length-prefixed framing.
+ */
+
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "base/logging.h"
+
+namespace musuite {
+
+FramedConnection::FramedConnection(TcpSocket socket, Poller *poller,
+                                   void *cookie)
+    : sock(std::move(socket)), poller(poller), cookie(cookie)
+{}
+
+FramedConnection::~FramedConnection()
+{
+    shutdown();
+}
+
+void
+FramedConnection::registerWithPoller()
+{
+    if (poller && sock.valid())
+        poller->add(sock.fd(), cookie, false);
+}
+
+bool
+FramedConnection::onReadable(
+    const std::function<void(std::string_view)> &sink)
+{
+    if (isDead())
+        return false;
+
+    char chunk[64 * 1024];
+    while (true) {
+        size_t received = 0;
+        const IoStatus status = sock.receive(chunk, sizeof(chunk), received);
+        if (status == IoStatus::Ok) {
+            inbound.append(chunk, received);
+            // A full kernel buffer may hold more; keep draining until
+            // WouldBlock so level-triggered epoll stays quiet.
+            if (received < sizeof(chunk)) {
+                // Likely drained; parse what we have first.
+            }
+            continue;
+        }
+        if (status == IoStatus::WouldBlock)
+            break;
+        shutdown();
+        return false;
+    }
+
+    // Parse complete frames.
+    size_t cursor = 0;
+    while (inbound.size() - cursor >= 4) {
+        uint32_t length;
+        std::memcpy(&length, inbound.data() + cursor, 4);
+        if (length > maxFrameBytes) {
+            MUSUITE_WARN() << "oversized frame (" << length
+                           << " bytes); dropping connection";
+            shutdown();
+            return false;
+        }
+        if (inbound.size() - cursor - 4 < length)
+            break;
+        sink(std::string_view(inbound.data() + cursor + 4, length));
+        cursor += 4 + size_t(length);
+    }
+    if (cursor > 0)
+        inbound.erase(0, cursor);
+    return !isDead();
+}
+
+void
+FramedConnection::onWritable()
+{
+    std::unique_lock<std::mutex> lock(outMutex);
+    flushLocked(lock);
+}
+
+bool
+FramedConnection::sendFrame(std::string_view payload)
+{
+    if (isDead())
+        return false;
+    MUSUITE_CHECK(payload.size() <= maxFrameBytes) << "frame too large";
+
+    std::unique_lock<std::mutex> lock(outMutex);
+    const uint32_t length = uint32_t(payload.size());
+    char header[4];
+    std::memcpy(header, &length, 4);
+    outbound.append(header, 4);
+    outbound.append(payload.data(), payload.size());
+    flushLocked(lock);
+    return !isDead();
+}
+
+void
+FramedConnection::flushLocked(std::unique_lock<std::mutex> &lock)
+{
+    while (outOffset < outbound.size()) {
+        size_t sent = 0;
+        const IoStatus status = sock.send(outbound.data() + outOffset,
+                                          outbound.size() - outOffset, sent);
+        if (status == IoStatus::Ok) {
+            outOffset += sent;
+            continue;
+        }
+        if (status == IoStatus::WouldBlock) {
+            if (!writeArmed && poller) {
+                writeArmed = true;
+                poller->modify(sock.fd(), cookie, true);
+                poller->wake();
+            }
+            return;
+        }
+        lock.unlock();
+        shutdown();
+        return;
+    }
+
+    // Fully flushed: compact and drop EPOLLOUT interest.
+    outbound.clear();
+    outOffset = 0;
+    if (writeArmed && poller) {
+        writeArmed = false;
+        poller->modify(sock.fd(), cookie, false);
+    }
+}
+
+void
+FramedConnection::shutdown()
+{
+    bool expected = false;
+    if (!dead.compare_exchange_strong(expected, true))
+        return;
+    if (poller && sock.valid())
+        poller->remove(sock.fd());
+    sock.close();
+}
+
+} // namespace musuite

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Length-prefixed message framing over a non-blocking TCP socket.
+ *
+ * Frames are a 4-byte little-endian payload length followed by the
+ * payload. A FramedConnection is read only by its owning poller
+ * thread, but frames may be sent from any thread (µSuite workers and
+ * response threads complete RPCs from the worker pool): sendFrame
+ * appends under a lock, flushes opportunistically, and arms EPOLLOUT +
+ * wakes the poller when the kernel buffer fills.
+ */
+
+#ifndef MUSUITE_NET_FRAME_H
+#define MUSUITE_NET_FRAME_H
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "net/poller.h"
+#include "net/socket.h"
+
+namespace musuite {
+
+class FramedConnection
+{
+  public:
+    /** Frames larger than this indicate a corrupt stream. */
+    static constexpr uint32_t maxFrameBytes = 64u << 20;
+
+    /**
+     * @param socket Connected non-blocking socket (takes ownership).
+     * @param poller Poller whose thread reads this connection; used to
+     *        manage EPOLLOUT interest. May be null for lock-step tests
+     *        (then callers drive flush() manually).
+     * @param cookie The cookie this connection is registered under.
+     */
+    FramedConnection(TcpSocket socket, Poller *poller, void *cookie);
+    ~FramedConnection();
+
+    /** Register with the poller for read interest. */
+    void registerWithPoller();
+
+    /**
+     * Drain readable bytes and deliver every complete frame. Must be
+     * called on the poller thread.
+     *
+     * @param sink Called once per frame with a view valid only during
+     *        the call.
+     * @return false if the peer closed or the stream broke; the
+     *         connection is dead afterwards.
+     */
+    bool onReadable(const std::function<void(std::string_view)> &sink);
+
+    /** Flush pending output after EPOLLOUT. Poller thread only. */
+    void onWritable();
+
+    /**
+     * Queue one frame and flush as much as the kernel accepts.
+     * Callable from any thread.
+     * @return false if the connection is dead.
+     */
+    bool sendFrame(std::string_view payload);
+
+    bool isDead() const { return dead.load(std::memory_order_acquire); }
+    int fd() const { return sock.fd(); }
+
+    /** Mark dead and deregister from the poller. */
+    void shutdown();
+
+  private:
+    /** Flush under lock; updates EPOLLOUT interest. */
+    void flushLocked(std::unique_lock<std::mutex> &lock);
+
+    TcpSocket sock;
+    Poller *poller;
+    void *cookie;
+
+    // Inbound state: poller thread only.
+    std::string inbound;
+    size_t parsed = 0;
+
+    // Outbound state: shared.
+    std::mutex outMutex;
+    std::string outbound;
+    size_t outOffset = 0;
+    bool writeArmed = false;
+
+    std::atomic<bool> dead{false};
+};
+
+} // namespace musuite
+
+#endif // MUSUITE_NET_FRAME_H

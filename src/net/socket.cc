@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Implementation of instrumented TCP sockets.
+ */
+
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "base/logging.h"
+#include "base/time_util.h"
+#include "ostrace/ostrace.h"
+#include "ostrace/syscalls.h"
+
+namespace musuite {
+
+Fd &
+Fd::operator=(Fd &&other) noexcept
+{
+    if (this != &other) {
+        reset();
+        fd = other.fd;
+        other.fd = -1;
+    }
+    return *this;
+}
+
+int
+Fd::release()
+{
+    int out = fd;
+    fd = -1;
+    return out;
+}
+
+void
+Fd::reset()
+{
+    if (fd >= 0) {
+        countSyscall(Sys::Close);
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+TcpSocket::TcpSocket(Fd fd)
+    : handle(std::move(fd))
+{
+    configure();
+}
+
+void
+TcpSocket::configure()
+{
+    if (!handle.valid())
+        return;
+    int flags = fcntl(handle.get(), F_GETFL, 0);
+    fcntl(handle.get(), F_SETFL, flags | O_NONBLOCK);
+    // Latency-critical RPC: never batch small writes.
+    int one = 1;
+    setsockopt(handle.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TcpSocket
+TcpSocket::connectLoopback(uint16_t port)
+{
+    Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    MUSUITE_CHECK(fd.valid()) << "socket(): " << std::strerror(errno);
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        MUSUITE_WARN() << "connect(127.0.0.1:" << port
+                       << "): " << std::strerror(errno);
+        return TcpSocket();
+    }
+    return TcpSocket(std::move(fd));
+}
+
+IoStatus
+TcpSocket::send(const char *data, size_t length, size_t &sent)
+{
+    sent = 0;
+    const int64_t start = nowNanos();
+    const ssize_t n = ::send(handle.get(), data, length, MSG_NOSIGNAL);
+    countSyscall(Sys::Sendmsg);
+    recordOs(OsCategory::NetTx, nowNanos() - start);
+    if (n > 0) {
+        sent = size_t(n);
+        return IoStatus::Ok;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+        return IoStatus::WouldBlock;
+    return IoStatus::Error;
+}
+
+IoStatus
+TcpSocket::receive(char *data, size_t capacity, size_t &received)
+{
+    received = 0;
+    const int64_t start = nowNanos();
+    const ssize_t n = ::recv(handle.get(), data, capacity, 0);
+    countSyscall(Sys::Recvmsg);
+    recordOs(OsCategory::NetRx, nowNanos() - start);
+    if (n > 0) {
+        received = size_t(n);
+        return IoStatus::Ok;
+    }
+    if (n == 0)
+        return IoStatus::Eof;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+        return IoStatus::WouldBlock;
+    return IoStatus::Error;
+}
+
+void
+TcpSocket::close()
+{
+    handle.reset();
+}
+
+TcpListener::TcpListener(uint16_t port)
+{
+    handle = Fd(::socket(AF_INET, SOCK_STREAM, 0));
+    MUSUITE_CHECK(handle.valid()) << "socket(): " << std::strerror(errno);
+
+    int one = 1;
+    setsockopt(handle.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    MUSUITE_CHECK(::bind(handle.get(), reinterpret_cast<sockaddr *>(&addr),
+                         sizeof(addr)) == 0)
+        << "bind(): " << std::strerror(errno);
+    MUSUITE_CHECK(::listen(handle.get(), 512) == 0)
+        << "listen(): " << std::strerror(errno);
+
+    socklen_t len = sizeof(addr);
+    getsockname(handle.get(), reinterpret_cast<sockaddr *>(&addr), &len);
+    boundPort = ntohs(addr.sin_port);
+
+    int flags = fcntl(handle.get(), F_GETFL, 0);
+    fcntl(handle.get(), F_SETFL, flags | O_NONBLOCK);
+}
+
+TcpSocket
+TcpListener::accept()
+{
+    const int fd = ::accept(handle.get(), nullptr, nullptr);
+    if (fd < 0)
+        return TcpSocket();
+    return TcpSocket(Fd(fd));
+}
+
+} // namespace musuite

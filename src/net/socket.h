@@ -1,0 +1,107 @@
+/**
+ * @file
+ * RAII TCP sockets over loopback.
+ *
+ * µSuite's tiers talk over TCP (the original uses gRPC over a 10 Gb/s
+ * network; we run all tiers on one host over loopback, which keeps the
+ * full kernel TCP path — softirqs, socket locks, wakeups — that the
+ * paper characterizes). Sockets are non-blocking; readiness is driven
+ * by the Poller. Send/receive calls are mirrored into the syscall
+ * counters as sendmsg/recvmsg, matching the message-oriented calls
+ * gRPC issues.
+ */
+
+#ifndef MUSUITE_NET_SOCKET_H
+#define MUSUITE_NET_SOCKET_H
+
+#include <cstdint>
+#include <string>
+
+namespace musuite {
+
+/** Owned file descriptor. */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(Fd &&other) noexcept : fd(other.fd) { other.fd = -1; }
+    Fd &operator=(Fd &&other) noexcept;
+
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    int get() const { return fd; }
+    bool valid() const { return fd >= 0; }
+    int release();
+    void reset();
+
+  private:
+    int fd = -1;
+};
+
+/** Result of a non-blocking transfer attempt. */
+enum class IoStatus {
+    Ok,        //!< Some bytes moved.
+    WouldBlock,//!< Kernel buffer empty/full; wait for readiness.
+    Eof,       //!< Peer closed (reads only).
+    Error,     //!< Hard failure; connection is dead.
+};
+
+/**
+ * Non-blocking stream socket with instrumented transfers.
+ */
+class TcpSocket
+{
+  public:
+    TcpSocket() = default;
+    explicit TcpSocket(Fd fd);
+
+    /** Blocking connect to 127.0.0.1:port; non-blocking thereafter. */
+    static TcpSocket connectLoopback(uint16_t port);
+
+    /**
+     * Try to send bytes. Records NetTx time and sendmsg counts.
+     * @param sent Out: bytes actually queued to the kernel.
+     */
+    IoStatus send(const char *data, size_t length, size_t &sent);
+
+    /**
+     * Try to receive bytes. Records NetRx time and recvmsg counts.
+     * @param received Out: bytes actually read.
+     */
+    IoStatus receive(char *data, size_t capacity, size_t &received);
+
+    int fd() const { return handle.get(); }
+    bool valid() const { return handle.valid(); }
+    void close();
+
+  private:
+    void configure();
+
+    Fd handle;
+};
+
+/** Listening socket bound to an ephemeral loopback port. */
+class TcpListener
+{
+  public:
+    /** Bind and listen on 127.0.0.1; port 0 picks an ephemeral port. */
+    explicit TcpListener(uint16_t port = 0);
+
+    /** Accept one pending connection; invalid socket if none ready. */
+    TcpSocket accept();
+
+    uint16_t port() const { return boundPort; }
+    int fd() const { return handle.get(); }
+
+  private:
+    Fd handle;
+    uint16_t boundPort = 0;
+};
+
+} // namespace musuite
+
+#endif // MUSUITE_NET_SOCKET_H

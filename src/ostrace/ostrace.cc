@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Implementation of the per-category OS-overhead recorder.
+ */
+
+#include "ostrace/ostrace.h"
+
+#include <atomic>
+
+namespace musuite {
+
+const char *
+osCategoryName(OsCategory category)
+{
+    switch (category) {
+      case OsCategory::Hardirq:   return "Hardirq";
+      case OsCategory::NetTx:     return "Net_tx";
+      case OsCategory::NetRx:     return "Net_rx";
+      case OsCategory::Block:     return "Block";
+      case OsCategory::Sched:     return "Sched";
+      case OsCategory::Rcu:       return "RCU";
+      case OsCategory::ActiveExe: return "Active-Exe";
+      case OsCategory::Net:       return "Net";
+    }
+    return "?";
+}
+
+std::array<OsCategory, numOsCategories>
+allOsCategories()
+{
+    return {OsCategory::Hardirq, OsCategory::NetTx, OsCategory::NetRx,
+            OsCategory::Block, OsCategory::Sched, OsCategory::Rcu,
+            OsCategory::ActiveExe, OsCategory::Net};
+}
+
+struct OsTraceRecorder::LocalRecorder
+{
+    LocalRecorder()
+    {
+        for (auto &hist : histograms)
+            hist.emplace(4); // Coarser precision keeps locals small.
+    }
+
+    // Optional-wrapped so construction picks the precision.
+    std::array<std::optional<Histogram>, numOsCategories> histograms;
+    std::mutex mutex; // Only contended against collect().
+};
+
+OsTraceRecorder::OsTraceRecorder() = default;
+OsTraceRecorder::~OsTraceRecorder() = default;
+
+OsTraceRecorder::LocalRecorder &
+OsTraceRecorder::localRecorder()
+{
+    thread_local std::shared_ptr<LocalRecorder> local;
+    if (!local) {
+        local = std::make_shared<LocalRecorder>();
+        std::lock_guard<std::mutex> guard(registryMutex);
+        locals.push_back(local);
+    }
+    return *local;
+}
+
+void
+OsTraceRecorder::record(OsCategory category, int64_t latency_ns)
+{
+    if (!enabled.load(std::memory_order_relaxed))
+        return;
+    LocalRecorder &local = localRecorder();
+    std::lock_guard<std::mutex> guard(local.mutex);
+    local.histograms[size_t(category)]->record(latency_ns);
+}
+
+std::array<Histogram, numOsCategories>
+OsTraceRecorder::collect()
+{
+    std::array<Histogram, numOsCategories> merged{
+        Histogram(4), Histogram(4), Histogram(4), Histogram(4),
+        Histogram(4), Histogram(4), Histogram(4), Histogram(4)};
+    std::lock_guard<std::mutex> registry_guard(registryMutex);
+    for (auto &local : locals) {
+        std::lock_guard<std::mutex> guard(local->mutex);
+        for (size_t c = 0; c < numOsCategories; ++c) {
+            merged[c].merge(*local->histograms[c]);
+            local->histograms[c]->reset();
+        }
+    }
+    return merged;
+}
+
+void
+OsTraceRecorder::reset()
+{
+    (void)collect();
+}
+
+void
+OsTraceRecorder::setEnabled(bool on)
+{
+    enabled.store(on, std::memory_order_relaxed);
+}
+
+bool
+OsTraceRecorder::isEnabled() const
+{
+    return enabled.load(std::memory_order_relaxed);
+}
+
+OsTraceRecorder &
+osTrace()
+{
+    static OsTraceRecorder recorder;
+    return recorder;
+}
+
+} // namespace musuite

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Implementation of context-switch sampling.
+ */
+
+#include "ostrace/rusage.h"
+
+#include <sys/resource.h>
+
+namespace musuite {
+
+ContextSwitches
+sampleContextSwitches()
+{
+    rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    ContextSwitches cs;
+    cs.voluntary = uint64_t(usage.ru_nvcsw);
+    cs.involuntary = uint64_t(usage.ru_nivcsw);
+    return cs;
+}
+
+ContextSwitches
+diffContextSwitches(const ContextSwitches &before,
+                    const ContextSwitches &after)
+{
+    ContextSwitches cs;
+    cs.voluntary = after.voluntary - before.voluntary;
+    cs.involuntary = after.involuntary - before.involuntary;
+    return cs;
+}
+
+} // namespace musuite

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Context-switch accounting from getrusage, the perf-stat analogue for
+ * Fig. 19's context-switch counts.
+ */
+
+#ifndef MUSUITE_OSTRACE_RUSAGE_H
+#define MUSUITE_OSTRACE_RUSAGE_H
+
+#include <cstdint>
+
+namespace musuite {
+
+/** Context-switch counts for the whole process. */
+struct ContextSwitches
+{
+    uint64_t voluntary = 0;   //!< Blocked (futex, I/O) switches.
+    uint64_t involuntary = 0; //!< Preemptions.
+
+    uint64_t total() const { return voluntary + involuntary; }
+};
+
+/** Read current process-wide counts. */
+ContextSwitches sampleContextSwitches();
+
+/** after - before, per field. */
+ContextSwitches diffContextSwitches(const ContextSwitches &before,
+                                    const ContextSwitches &after);
+
+} // namespace musuite
+
+#endif // MUSUITE_OSTRACE_RUSAGE_H

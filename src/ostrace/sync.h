@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Instrumented synchronization primitives.
+ *
+ * TracedMutex / TracedCondVar are drop-in parameters for
+ * BlockingQueue and are used at every blocking point of the µSuite
+ * framework (front-end socket locks, task queues, leaf-response
+ * sockets). They mirror what the kernel would see:
+ *
+ *   - a contended lock acquisition or a condvar wait/wake of a sleeping
+ *     thread is one futex syscall (counted via countSyscall(Futex));
+ *   - a contended acquisition also bumps the HITM-proxy contention
+ *     counter: the cache line holding the lock word moves between
+ *     cores in Modified state, which is precisely the coherence event
+ *     Intel's HITM PEBS event samples (paper Fig. 19);
+ *   - each wait records Block (full blocked interval) and ActiveExe
+ *     (notify-to-resume, the runqlat analogue) into the OS trace.
+ */
+
+#ifndef MUSUITE_OSTRACE_SYNC_H
+#define MUSUITE_OSTRACE_SYNC_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace musuite {
+
+/** Process-global contention statistics backing Fig. 19. */
+struct ContentionStats
+{
+    std::atomic<uint64_t> lockContended{0};  //!< HITM-proxy events.
+    std::atomic<uint64_t> futexWaits{0};
+    std::atomic<uint64_t> futexWakes{0};
+    std::atomic<uint64_t> condvarWakeups{0};
+};
+
+ContentionStats &contentionStats();
+void resetContentionStats();
+
+/**
+ * Mutex that counts contended acquisitions. Meets Lockable, so it
+ * composes with std::unique_lock.
+ */
+class TracedMutex
+{
+  public:
+    void lock();
+    bool try_lock();
+    void unlock() { inner.unlock(); }
+
+  private:
+    friend class TracedCondVar;
+    std::mutex inner;
+};
+
+/**
+ * Condition variable that measures Block and ActiveExe latency and
+ * counts futex traffic. Interface subset of std::condition_variable
+ * over TracedMutex.
+ */
+class TracedCondVar
+{
+  public:
+    void
+    wait(std::unique_lock<TracedMutex> &lock)
+    {
+        waitImpl(lock, nullptr);
+    }
+
+    template <typename Predicate>
+    void
+    wait(std::unique_lock<TracedMutex> &lock, Predicate pred)
+    {
+        while (!pred())
+            waitImpl(lock, nullptr);
+    }
+
+    void notify_one();
+    void notify_all();
+
+  private:
+    void waitImpl(std::unique_lock<TracedMutex> &lock, void *unused);
+
+    std::condition_variable_any inner;
+    /** Monotonic ns of the most recent notify, for ActiveExe. */
+    std::atomic<int64_t> lastNotifyNs{0};
+    /** Number of threads currently blocked in waitImpl. */
+    std::atomic<uint32_t> waiters{0};
+};
+
+} // namespace musuite
+
+#endif // MUSUITE_OSTRACE_SYNC_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Implementation of syscall accounting.
+ */
+
+#include "ostrace/syscalls.h"
+
+namespace musuite {
+
+namespace {
+
+std::array<std::atomic<uint64_t>, numSyscalls> g_counts{};
+
+} // namespace
+
+const char *
+syscallName(Sys sys)
+{
+    switch (sys) {
+      case Sys::Mprotect:   return "mprotect";
+      case Sys::Openat:     return "openat";
+      case Sys::Brk:        return "brk";
+      case Sys::Sendmsg:    return "sendmsg";
+      case Sys::EpollPwait: return "epoll_pwait";
+      case Sys::Write:      return "write";
+      case Sys::Read:       return "read";
+      case Sys::Recvmsg:    return "recvmsg";
+      case Sys::Close:      return "close";
+      case Sys::Futex:      return "futex";
+      case Sys::Clone:      return "clone";
+      case Sys::Mmap:       return "mmap";
+      case Sys::Munmap:     return "munmap";
+    }
+    return "?";
+}
+
+std::array<Sys, numSyscalls>
+allSyscalls()
+{
+    return {Sys::Mprotect, Sys::Openat, Sys::Brk, Sys::Sendmsg,
+            Sys::EpollPwait, Sys::Write, Sys::Read, Sys::Recvmsg,
+            Sys::Close, Sys::Futex, Sys::Clone, Sys::Mmap, Sys::Munmap};
+}
+
+void
+countSyscall(Sys sys, uint64_t n)
+{
+    g_counts[size_t(sys)].fetch_add(n, std::memory_order_relaxed);
+}
+
+SyscallSnapshot
+snapshotSyscalls()
+{
+    SyscallSnapshot snap;
+    for (size_t i = 0; i < numSyscalls; ++i)
+        snap[i] = g_counts[i].load(std::memory_order_relaxed);
+    return snap;
+}
+
+SyscallSnapshot
+diffSyscalls(const SyscallSnapshot &before, const SyscallSnapshot &after)
+{
+    SyscallSnapshot delta;
+    for (size_t i = 0; i < numSyscalls; ++i)
+        delta[i] = after[i] - before[i];
+    return delta;
+}
+
+void
+resetSyscalls()
+{
+    for (auto &count : g_counts)
+        count.store(0, std::memory_order_relaxed);
+}
+
+} // namespace musuite

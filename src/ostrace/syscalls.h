@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Syscall-invocation accounting, the userspace stand-in for eBPF
+ * syscount (paper Figs. 11-14).
+ *
+ * Every syscall the transport and threading layers issue goes through
+ * (or is mirrored by) countSyscall(). pthread mutex/condvar operations
+ * that would enter the kernel — contended lock acquisition, waits,
+ * wakeups of sleeping waiters — are counted as futex, which is exactly
+ * what they compile to on Linux. Counters are process-global fixed
+ * atomics so the hot-path cost is one relaxed increment.
+ */
+
+#ifndef MUSUITE_OSTRACE_SYSCALLS_H
+#define MUSUITE_OSTRACE_SYSCALLS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace musuite {
+
+/** The syscalls the paper's Figs. 11-14 break out, in x-axis order. */
+enum class Sys : uint8_t {
+    Mprotect = 0,
+    Openat,
+    Brk,
+    Sendmsg,
+    EpollPwait,
+    Write,
+    Read,
+    Recvmsg,
+    Close,
+    Futex,
+    Clone,
+    Mmap,
+    Munmap,
+};
+
+constexpr size_t numSyscalls = 13;
+
+const char *syscallName(Sys sys);
+std::array<Sys, numSyscalls> allSyscalls();
+
+/** Snapshot of all syscall counts. */
+using SyscallSnapshot = std::array<uint64_t, numSyscalls>;
+
+/** Count one invocation (relaxed atomic increment). */
+void countSyscall(Sys sys, uint64_t n = 1);
+
+/** Copy all current counts. */
+SyscallSnapshot snapshotSyscalls();
+
+/** Per-entry difference after - before. */
+SyscallSnapshot diffSyscalls(const SyscallSnapshot &before,
+                             const SyscallSnapshot &after);
+
+/** Zero every counter (between experiment windows). */
+void resetSyscalls();
+
+} // namespace musuite
+
+#endif // MUSUITE_OSTRACE_SYSCALLS_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Blocking wrapper over the asynchronous channel interface.
+ */
+
+#include "rpc/channel.h"
+
+#include <mutex>
+#include <optional>
+
+#include "ostrace/sync.h"
+
+namespace musuite {
+namespace rpc {
+
+Result<std::string>
+Channel::callSync(uint32_t method, std::string body)
+{
+    // One-shot rendezvous built on the traced primitives so that sync
+    // calls contribute futex counts exactly like the real client-side
+    // blocking path would.
+    struct Rendezvous
+    {
+        TracedMutex mutex;
+        TracedCondVar ready;
+        bool done = false;
+        Status status;
+        std::string payload;
+    };
+    auto cell = std::make_shared<Rendezvous>();
+
+    call(method, std::move(body),
+         [cell](const Status &status, std::string_view payload) {
+             std::unique_lock<TracedMutex> lock(cell->mutex);
+             cell->status = status;
+             cell->payload.assign(payload.data(), payload.size());
+             cell->done = true;
+             lock.unlock();
+             cell->ready.notify_one();
+         });
+
+    std::unique_lock<TracedMutex> lock(cell->mutex);
+    cell->ready.wait(lock, [&] { return cell->done; });
+    if (!cell->status.isOk())
+        return Result<std::string>(cell->status);
+    return Result<std::string>(std::move(cell->payload));
+}
+
+} // namespace rpc
+} // namespace musuite

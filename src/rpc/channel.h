@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Abstract client channel for unary RPCs.
+ *
+ * µSuite mid-tiers act as RPC clients to their leaves; they issue
+ * calls asynchronously and merge responses on completion threads
+ * (paper §IV "asynchronous communication with leaf microservers").
+ * Channel is the seam between service logic and transport: the TCP
+ * client (rpc/client.h) and the in-process channel (rpc/local_channel.h)
+ * both implement it, so services and tests share one code path.
+ */
+
+#ifndef MUSUITE_RPC_CHANNEL_H
+#define MUSUITE_RPC_CHANNEL_H
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+
+namespace musuite {
+namespace rpc {
+
+class Channel
+{
+  public:
+    /**
+     * Completion callback: runs on a completion thread (or inline for
+     * local channels). The payload view is valid only during the call.
+     */
+    using Callback = std::function<void(const Status &, std::string_view)>;
+
+    virtual ~Channel() = default;
+
+    /**
+     * Issue an asynchronous unary call. There is no association
+     * between the calling thread and the RPC; all state is explicit
+     * in the callback closure.
+     */
+    virtual void call(uint32_t method, std::string body,
+                      Callback callback) = 0;
+
+    /** True if the channel can currently reach its target. */
+    virtual bool isHealthy() const { return true; }
+
+    /** Blocking convenience wrapper over call(). */
+    Result<std::string> callSync(uint32_t method, std::string body);
+};
+
+} // namespace rpc
+} // namespace musuite
+
+#endif // MUSUITE_RPC_CHANNEL_H

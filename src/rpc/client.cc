@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Implementation of the murpc asynchronous client.
+ */
+
+#include "rpc/client.h"
+
+#include "base/logging.h"
+#include "base/time_util.h"
+#include "ostrace/syscalls.h"
+
+namespace musuite {
+namespace rpc {
+
+/** One in-flight call. */
+struct PendingCall
+{
+    rpc::Channel::Callback callback;
+    int64_t deadlineNs = 0; //!< 0 = none.
+};
+
+/** One connection and its in-flight call table. */
+struct RpcClient::ClientConn
+{
+    std::mutex mutex;
+    std::shared_ptr<FramedConnection> fc; //!< Null/dead when down.
+    std::unordered_map<uint64_t, PendingCall> pending;
+    CompletionShard *shard = nullptr;
+    RpcClient *owner = nullptr;
+
+    bool
+    healthy()
+    {
+        std::lock_guard<std::mutex> guard(mutex);
+        return fc && !fc->isDead();
+    }
+};
+
+/** Per-completion-thread poller. */
+struct RpcClient::CompletionShard
+{
+    Poller poller;
+    std::vector<ClientConn *> conns; //!< Connections swept here.
+};
+
+RpcClient::RpcClient(uint16_t port, ClientOptions options_in)
+    : options(std::move(options_in)), targetPort(port)
+{
+    MUSUITE_CHECK(options.connections >= 1) << "need >= 1 connection";
+    MUSUITE_CHECK(options.completionThreads >= 1)
+        << "need >= 1 completion thread";
+
+    for (int i = 0; i < options.completionThreads; ++i)
+        shards.push_back(std::make_unique<CompletionShard>());
+
+    for (int i = 0; i < options.connections; ++i) {
+        auto conn = std::make_unique<ClientConn>();
+        conn->owner = this;
+        conn->shard = shards[size_t(i) % shards.size()].get();
+        conn->shard->conns.push_back(conn.get());
+        conns.push_back(std::move(conn));
+    }
+    for (auto &conn : conns)
+        ensureConnected(conn.get());
+
+    for (int i = 0; i < options.completionThreads; ++i) {
+        countSyscall(Sys::Clone);
+        threads.emplace_back(options.name + "-cq" + std::to_string(i),
+                             [this, i] { completionMain(size_t(i)); });
+    }
+}
+
+RpcClient::~RpcClient()
+{
+    stopping.store(true);
+    for (auto &shard : shards)
+        shard->poller.wake();
+    threads.clear(); // Joins.
+    const Status cancelled(StatusCode::Cancelled, "client destroyed");
+    for (auto &conn : conns) {
+        {
+            std::lock_guard<std::mutex> guard(conn->mutex);
+            if (conn->fc)
+                conn->fc->shutdown();
+        }
+        failPending(conn.get(), cancelled);
+    }
+}
+
+bool
+RpcClient::ensureConnected(ClientConn *conn)
+{
+    std::lock_guard<std::mutex> guard(conn->mutex);
+    if (conn->fc && !conn->fc->isDead())
+        return true;
+    TcpSocket sock = TcpSocket::connectLoopback(targetPort);
+    if (!sock.valid())
+        return false;
+    conn->fc = std::make_shared<FramedConnection>(std::move(sock),
+                                                  &conn->shard->poller,
+                                                  conn);
+    conn->fc->registerWithPoller();
+    conn->shard->poller.wake();
+    return true;
+}
+
+bool
+RpcClient::isHealthy() const
+{
+    for (const auto &conn : conns) {
+        if (conn->healthy())
+            return true;
+    }
+    return false;
+}
+
+void
+RpcClient::call(uint32_t method, std::string body, Callback callback)
+{
+    ClientConn *conn =
+        conns[nextConn.fetch_add(1, std::memory_order_relaxed) %
+              conns.size()].get();
+
+    if (!conn->healthy() && !ensureConnected(conn)) {
+        callback(Status(StatusCode::Unavailable, "connect failed"), {});
+        return;
+    }
+
+    const uint64_t request_id =
+        nextRequestId.fetch_add(1, std::memory_order_relaxed);
+    MessageHeader header;
+    header.kind = MessageKind::Request;
+    header.method = method;
+    header.requestId = request_id;
+    std::string frame = encodeFrame(header, body);
+
+    std::shared_ptr<FramedConnection> fc;
+    {
+        std::lock_guard<std::mutex> guard(conn->mutex);
+        if (!conn->fc || conn->fc->isDead()) {
+            fc = nullptr;
+        } else {
+            fc = conn->fc;
+            PendingCall pending_call;
+            pending_call.callback = std::move(callback);
+            if (options.defaultDeadlineNs > 0) {
+                pending_call.deadlineNs =
+                    nowNanos() + options.defaultDeadlineNs;
+            }
+            conn->pending.emplace(request_id, std::move(pending_call));
+        }
+    }
+    if (!fc) {
+        callback(Status(StatusCode::Unavailable, "connection down"), {});
+        return;
+    }
+
+    if (!fc->sendFrame(frame)) {
+        // Connection died under us: reclaim the callback if the
+        // completion thread has not already failed it.
+        Callback reclaimed;
+        {
+            std::lock_guard<std::mutex> guard(conn->mutex);
+            auto it = conn->pending.find(request_id);
+            if (it != conn->pending.end()) {
+                reclaimed = std::move(it->second.callback);
+                conn->pending.erase(it);
+            }
+        }
+        if (reclaimed)
+            reclaimed(Status(StatusCode::Unavailable, "send failed"), {});
+    }
+}
+
+void
+RpcClient::completionMain(size_t index)
+{
+    CompletionShard &shard = *shards[index];
+    // With deadlines armed, a blocked completion thread must still
+    // wake periodically to sweep expired calls.
+    const int timeout_ms =
+        options.blockingPoll
+            ? (options.defaultDeadlineNs > 0 ? 10 : -1)
+            : 0;
+
+    while (!stopping.load(std::memory_order_acquire)) {
+        auto events = shard.poller.wait(timeout_ms);
+        if (options.defaultDeadlineNs > 0)
+            sweepExpired(shard);
+        for (const PollEvent &event : events) {
+            if (event.isWakeup)
+                continue;
+            ClientConn *conn = static_cast<ClientConn *>(event.data);
+            if (event.writable) {
+                std::shared_ptr<FramedConnection> fc;
+                {
+                    std::lock_guard<std::mutex> guard(conn->mutex);
+                    fc = conn->fc;
+                }
+                if (fc)
+                    fc->onWritable();
+            }
+            if (event.readable || event.error)
+                onConnReadable(conn);
+        }
+    }
+}
+
+void
+RpcClient::onConnReadable(ClientConn *conn)
+{
+    std::shared_ptr<FramedConnection> fc;
+    {
+        std::lock_guard<std::mutex> guard(conn->mutex);
+        fc = conn->fc;
+    }
+    if (!fc)
+        return;
+
+    const bool alive = fc->onReadable([conn](std::string_view frame) {
+        MessageHeader header;
+        std::string_view payload;
+        if (!decodeFrame(frame, header, payload) ||
+            header.kind != MessageKind::Response) {
+            MUSUITE_WARN() << "garbled response frame";
+            return;
+        }
+        Callback callback;
+        {
+            std::lock_guard<std::mutex> guard(conn->mutex);
+            auto it = conn->pending.find(header.requestId);
+            if (it == conn->pending.end())
+                return; // Already failed (races with disconnect).
+            callback = std::move(it->second.callback);
+            conn->pending.erase(it);
+        }
+        if (header.status == StatusCode::Ok) {
+            callback(Status::ok(), payload);
+        } else {
+            callback(Status(header.status, "remote error"), payload);
+        }
+    });
+
+    if (!alive) {
+        failPending(conn,
+                    Status(StatusCode::Unavailable, "connection lost"));
+    }
+}
+
+void
+RpcClient::failPending(ClientConn *conn, const Status &status)
+{
+    std::unordered_map<uint64_t, PendingCall> orphaned;
+    {
+        std::lock_guard<std::mutex> guard(conn->mutex);
+        orphaned.swap(conn->pending);
+    }
+    for (auto &[id, pending_call] : orphaned)
+        pending_call.callback(status, {});
+}
+
+void
+RpcClient::sweepExpired(CompletionShard &shard)
+{
+    const int64_t now = nowNanos();
+    std::vector<Callback> expired;
+    for (ClientConn *conn : shard.conns) {
+        std::lock_guard<std::mutex> guard(conn->mutex);
+        for (auto it = conn->pending.begin();
+             it != conn->pending.end();) {
+            if (it->second.deadlineNs != 0 &&
+                now >= it->second.deadlineNs) {
+                expired.push_back(std::move(it->second.callback));
+                it = conn->pending.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+    const Status timed_out(StatusCode::DeadlineExceeded,
+                           "call deadline expired");
+    for (Callback &callback : expired)
+        callback(timed_out, {});
+}
+
+} // namespace rpc
+} // namespace musuite

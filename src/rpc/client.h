@@ -1,0 +1,94 @@
+/**
+ * @file
+ * murpc asynchronous client.
+ *
+ * The client mirrors the µSuite mid-tier's leaf-facing side: calls are
+ * fire-and-forget with completion callbacks that run on dedicated
+ * response pick-up threads parked in epoll_pwait on the leaf-response
+ * sockets. Requests are multiplexed over a small pool of connections
+ * by request id (one shared connection per destination, per the
+ * paper's Router). Dead connections fail their in-flight calls with
+ * UNAVAILABLE and are re-dialed lazily, which is what Router's
+ * replication pools route around.
+ */
+
+#ifndef MUSUITE_RPC_CLIENT_H
+#define MUSUITE_RPC_CLIENT_H
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/threading.h"
+#include "net/frame.h"
+#include "net/poller.h"
+#include "rpc/channel.h"
+#include "rpc/message.h"
+
+namespace musuite {
+namespace rpc {
+
+struct ClientOptions
+{
+    int connections = 1;       //!< TCP connections to the target.
+    int completionThreads = 1; //!< Response pick-up threads.
+    bool blockingPoll = true;  //!< false: busy-poll completions.
+    std::string name = "cli";
+    /**
+     * Per-call deadline; 0 disables. Calls still pending when it
+     * expires complete with DEADLINE_EXCEEDED (a late server response
+     * is then dropped). Expiry is swept by the completion threads, so
+     * enforcement granularity is ~the sweep interval (10 ms).
+     */
+    int64_t defaultDeadlineNs = 0;
+};
+
+class RpcClient : public Channel
+{
+  public:
+    /** Dial 127.0.0.1:port. Failure leaves the client unhealthy. */
+    RpcClient(uint16_t port, ClientOptions options = {});
+    ~RpcClient() override;
+
+    void call(uint32_t method, std::string body,
+              Callback callback) override;
+
+    /** True if at least one connection is up. */
+    bool isHealthy() const override;
+
+    uint64_t
+    callsIssued() const
+    {
+        return nextRequestId.load(std::memory_order_relaxed) - 1;
+    }
+
+  private:
+    struct ClientConn;
+    struct CompletionShard;
+
+    void completionMain(size_t index);
+    void onConnReadable(ClientConn *conn);
+    void failPending(ClientConn *conn, const Status &status);
+    bool ensureConnected(ClientConn *conn);
+    /** Fail calls whose deadline passed (completion threads). */
+    void sweepExpired(CompletionShard &shard);
+
+    ClientOptions options;
+    uint16_t targetPort;
+
+    std::vector<std::unique_ptr<CompletionShard>> shards;
+    std::vector<std::unique_ptr<ClientConn>> conns;
+    std::vector<ScopedThread> threads;
+
+    std::atomic<uint64_t> nextRequestId{1};
+    std::atomic<size_t> nextConn{0};
+    std::atomic<bool> stopping{false};
+};
+
+} // namespace rpc
+} // namespace musuite
+
+#endif // MUSUITE_RPC_CLIENT_H

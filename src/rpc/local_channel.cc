@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Implementation of the in-process channel.
+ */
+
+#include "rpc/local_channel.h"
+
+namespace musuite {
+namespace rpc {
+
+void
+LocalChannel::call(uint32_t method, std::string body, Callback callback)
+{
+    server.invokeLocal(
+        method, std::move(body),
+        [callback = std::move(callback)](StatusCode code,
+                                         std::string_view payload) {
+            if (code == StatusCode::Ok) {
+                callback(Status::ok(), payload);
+            } else {
+                callback(Status(code, "remote error"), payload);
+            }
+        });
+}
+
+} // namespace rpc
+} // namespace musuite

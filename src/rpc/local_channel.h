@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Transport-less channel that invokes a Server's handlers directly on
+ * the calling thread. Used by unit tests and by the simkernel
+ * calibration pass, which needs pure handler compute times with no
+ * network or scheduling in the way.
+ */
+
+#ifndef MUSUITE_RPC_LOCAL_CHANNEL_H
+#define MUSUITE_RPC_LOCAL_CHANNEL_H
+
+#include "rpc/channel.h"
+#include "rpc/server.h"
+
+namespace musuite {
+namespace rpc {
+
+class LocalChannel : public Channel
+{
+  public:
+    /** The server must outlive the channel. */
+    explicit LocalChannel(Server &server) : server(server) {}
+
+    void call(uint32_t method, std::string body,
+              Callback callback) override;
+
+  private:
+    Server &server;
+};
+
+} // namespace rpc
+} // namespace musuite
+
+#endif // MUSUITE_RPC_LOCAL_CHANNEL_H

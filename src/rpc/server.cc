@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Implementation of the murpc server.
+ */
+
+#include "rpc/server.h"
+
+#include <climits>
+#include <unordered_map>
+
+#include "base/logging.h"
+#include "base/time_util.h"
+#include "ostrace/ostrace.h"
+#include "ostrace/syscalls.h"
+
+namespace musuite {
+namespace rpc {
+
+ServerCall::ServerCall(uint32_t method, std::string body,
+                       uint64_t request_id, Responder responder)
+    : methodId(method), requestBody(std::move(body)), id(request_id),
+      arrivalNs(nowNanos()), responder(std::move(responder))
+{}
+
+void
+ServerCall::respond(StatusCode code, std::string_view payload)
+{
+    bool expected = false;
+    if (!completed.compare_exchange_strong(expected, true)) {
+        MUSUITE_WARN() << "duplicate respond() for request " << id;
+        return;
+    }
+    // Net mid-tier latency: full server residence of this request.
+    recordOs(OsCategory::Net, nowNanos() - arrivalNs);
+    responder(code, payload);
+}
+
+/** One accepted connection plus its routing back-pointers. */
+struct Server::Conn
+{
+    std::shared_ptr<FramedConnection> fc;
+    Server *server = nullptr;
+    PollerShard *shard = nullptr;
+};
+
+/** Per-poller-thread state. */
+struct Server::PollerShard
+{
+    Poller poller;
+    std::mutex connMutex;
+    std::unordered_map<Conn *, std::unique_ptr<Conn>> conns;
+    /** Distinct cookie marking listener readiness (shard 0 only). */
+    char listenerTag = 0;
+
+    void
+    adopt(std::unique_ptr<Conn> conn)
+    {
+        Conn *key = conn.get();
+        std::lock_guard<std::mutex> guard(connMutex);
+        conns[key] = std::move(conn);
+    }
+
+    void
+    drop(Conn *conn)
+    {
+        conn->fc->shutdown();
+        std::lock_guard<std::mutex> guard(connMutex);
+        conns.erase(conn);
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> guard(connMutex);
+        for (auto &[key, conn] : conns)
+            conn->fc->shutdown();
+        conns.clear();
+    }
+};
+
+Server::Server(ServerOptions options_in)
+    : options(std::move(options_in)), taskQueue(options.queueCapacity)
+{
+    MUSUITE_CHECK(options.pollerThreads >= 1) << "need >= 1 poller";
+    MUSUITE_CHECK(!options.dispatchToWorkers || options.workerThreads >= 1)
+        << "dispatch mode needs >= 1 worker";
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::registerHandler(uint32_t method, Handler handler)
+{
+    MUSUITE_CHECK(!running.load()) << "register before start()";
+    handlers[method] = std::move(handler);
+}
+
+Handler *
+Server::findHandler(uint32_t method)
+{
+    auto it = handlers.find(method);
+    return it == handlers.end() ? nullptr : &it->second;
+}
+
+void
+Server::start()
+{
+    MUSUITE_CHECK(!running.exchange(true)) << "double start()";
+    stopping.store(false);
+
+    listener = std::make_unique<TcpListener>();
+    listenPort = listener->port();
+
+    shards.clear();
+    for (int i = 0; i < options.pollerThreads; ++i)
+        shards.push_back(std::make_unique<PollerShard>());
+    shards[0]->poller.add(listener->fd(), &shards[0]->listenerTag, false);
+
+    for (int i = 0; i < options.pollerThreads; ++i) {
+        countSyscall(Sys::Clone);
+        threads.emplace_back(options.name + "-net" + std::to_string(i),
+                             [this, i] { pollerMain(size_t(i)); });
+    }
+    if (options.dispatchToWorkers) {
+        for (int i = 0; i < options.workerThreads; ++i) {
+            countSyscall(Sys::Clone);
+            threads.emplace_back(options.name + "-wrk" + std::to_string(i),
+                                 [this, i] { workerMain(size_t(i)); });
+        }
+    }
+}
+
+void
+Server::stop()
+{
+    if (!running.load() || stopping.exchange(true))
+        return;
+    taskQueue.close();
+    for (auto &shard : shards)
+        shard->poller.wake();
+    threads.clear(); // Joins everything.
+    for (auto &shard : shards)
+        shard->clear();
+    shards.clear();
+    listener.reset();
+    running.store(false);
+}
+
+void
+Server::acceptPending()
+{
+    while (true) {
+        TcpSocket sock = listener->accept();
+        if (!sock.valid())
+            return;
+        PollerShard *shard =
+            shards[nextShard.fetch_add(1) % shards.size()].get();
+        auto conn = std::make_unique<Conn>();
+        conn->server = this;
+        conn->shard = shard;
+        conn->fc = std::make_shared<FramedConnection>(std::move(sock),
+                                                      &shard->poller,
+                                                      conn.get());
+        Conn *key = conn.get();
+        shard->adopt(std::move(conn));
+        key->fc->registerWithPoller();
+    }
+}
+
+void
+Server::pollerMain(size_t index)
+{
+    PollerShard &shard = *shards[index];
+    const int static_timeout_ms = options.blockingPoll ? -1 : 0;
+    int empty_streak = 0;
+
+    while (!stopping.load(std::memory_order_acquire)) {
+        int timeout_ms = static_timeout_ms;
+        if (options.adaptiveIdleStreak > 0) {
+            // Adaptive policy (§VII): spin while traffic is flowing,
+            // park once the socket has stayed quiet for a while.
+            timeout_ms =
+                empty_streak >= options.adaptiveIdleStreak ? -1 : 0;
+        }
+        auto events = shard.poller.wait(timeout_ms);
+        if (events.empty()) {
+            if (empty_streak < INT_MAX)
+                ++empty_streak;
+        } else {
+            empty_streak = 0;
+        }
+        for (const PollEvent &event : events) {
+            if (event.isWakeup)
+                continue;
+            if (event.data == &shard.listenerTag) {
+                acceptPending();
+                continue;
+            }
+            Conn *conn = static_cast<Conn *>(event.data);
+            if (event.error) {
+                shard.drop(conn);
+                continue;
+            }
+            if (event.writable)
+                conn->fc->onWritable();
+            if (event.readable) {
+                const bool alive = conn->fc->onReadable(
+                    [this, conn](std::string_view frame) {
+                        handleFrame(conn, frame);
+                    });
+                if (!alive)
+                    shard.drop(conn);
+            }
+        }
+    }
+}
+
+void
+Server::workerMain(size_t)
+{
+    while (auto task = taskQueue.pop())
+        execute(*task);
+}
+
+void
+Server::handleFrame(Conn *conn, std::string_view frame)
+{
+    MessageHeader header;
+    std::string_view payload;
+    if (!decodeFrame(frame, header, payload) ||
+        header.kind != MessageKind::Request) {
+        MUSUITE_WARN() << "garbled request frame (" << frame.size()
+                       << " bytes)";
+        return;
+    }
+
+    std::weak_ptr<FramedConnection> wfc = conn->fc;
+    const uint64_t request_id = header.requestId;
+    const uint32_t method = header.method;
+    auto responder = [wfc, request_id, method](StatusCode code,
+                                               std::string_view body) {
+        auto fc = wfc.lock();
+        if (!fc || fc->isDead())
+            return; // Client went away; response is moot.
+        MessageHeader response_header;
+        response_header.kind = MessageKind::Response;
+        response_header.status = code;
+        response_header.method = method;
+        response_header.requestId = request_id;
+        fc->sendFrame(encodeFrame(response_header, body));
+    };
+
+    auto call = std::make_shared<ServerCall>(
+        method, std::string(payload), request_id, std::move(responder));
+
+    if (options.dispatchToWorkers) {
+        // Network thread hands off to the worker pool; the queue's
+        // traced condvar makes the wakeup visible to ostrace.
+        taskQueue.push(call);
+    } else {
+        execute(call);
+    }
+}
+
+void
+Server::execute(const ServerCallPtr &call)
+{
+    served.fetch_add(1, std::memory_order_relaxed);
+    Handler *handler = findHandler(call->method());
+    if (!handler) {
+        call->respond(StatusCode::Unimplemented, "");
+        return;
+    }
+    (*handler)(call);
+}
+
+void
+Server::invokeLocal(uint32_t method, std::string body,
+                    ServerCall::Responder responder)
+{
+    static std::atomic<uint64_t> local_ids{1};
+    auto call = std::make_shared<ServerCall>(method, std::move(body),
+                                             local_ids.fetch_add(1),
+                                             std::move(responder));
+    execute(call);
+}
+
+} // namespace rpc
+} // namespace musuite

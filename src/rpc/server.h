@@ -1,0 +1,166 @@
+/**
+ * @file
+ * murpc server: the µSuite mid-tier/leaf threading skeleton (Fig. 8).
+ *
+ * A Server owns
+ *   - one TCP listener,
+ *   - N network poller threads that park in epoll_pwait on the
+ *     front-end sockets (blocking design) or spin (polling design,
+ *     §VII ablation),
+ *   - a producer-consumer task queue guarded by traced mutex/condvar
+ *     (the futex hot spot the paper measures), and
+ *   - M worker threads that pull dispatched requests and run handlers
+ *     (dispatch design), unless inline mode runs handlers directly on
+ *     the poller thread (§VII in-line ablation).
+ *
+ * Handlers receive a shared ServerCall and may respond from any
+ * thread, which is how mid-tiers respond from leaf-response completion
+ * threads after fan-out merges.
+ */
+
+#ifndef MUSUITE_RPC_SERVER_H
+#define MUSUITE_RPC_SERVER_H
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/queue.h"
+#include "base/threading.h"
+#include "net/frame.h"
+#include "net/poller.h"
+#include "ostrace/sync.h"
+#include "rpc/message.h"
+
+namespace musuite {
+namespace rpc {
+
+/** Threading-model knobs (paper §IV design + §VII ablations). */
+struct ServerOptions
+{
+    int pollerThreads = 1;     //!< Network (request-reception) threads.
+    int workerThreads = 4;     //!< RPC-handler threads.
+    bool dispatchToWorkers = true; //!< false: inline on poller thread.
+    bool blockingPoll = true;  //!< false: busy-poll epoll with 0 timeout.
+    /**
+     * > 0 enables the adaptive block/poll policy the paper's §VII
+     * proposes: pollers busy-poll while work keeps arriving and fall
+     * back to blocking after this many consecutive empty polls
+     * (overrides blockingPoll).
+     */
+    int adaptiveIdleStreak = 0;
+    size_t queueCapacity = 1 << 16;
+    std::string name = "srv";
+};
+
+/**
+ * One in-flight request. Handlers must call respond() exactly once;
+ * the call object may outlive the handler (asynchronous completion).
+ */
+class ServerCall
+{
+  public:
+    using Responder = std::function<void(StatusCode, std::string_view)>;
+
+    ServerCall(uint32_t method, std::string body, uint64_t request_id,
+               Responder responder);
+
+    uint32_t method() const { return methodId; }
+    const std::string &body() const { return requestBody; }
+    uint64_t requestId() const { return id; }
+    /** Monotonic ns when the request frame was parsed. */
+    int64_t arrivalNanos() const { return arrivalNs; }
+
+    /**
+     * Complete the RPC. Thread-safe; second and later calls are
+     * ignored (with a warning) so races between a handler error path
+     * and an async completion are benign.
+     */
+    void respond(StatusCode code, std::string_view payload);
+
+    void
+    respondOk(std::string_view payload)
+    {
+        respond(StatusCode::Ok, payload);
+    }
+
+  private:
+    uint32_t methodId;
+    std::string requestBody;
+    uint64_t id;
+    int64_t arrivalNs;
+    Responder responder;
+    std::atomic<bool> completed{false};
+};
+
+using ServerCallPtr = std::shared_ptr<ServerCall>;
+using Handler = std::function<void(ServerCallPtr)>;
+
+class Server
+{
+  public:
+    explicit Server(ServerOptions options = {});
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Register the handler for a method id. Pre-start only. */
+    void registerHandler(uint32_t method, Handler handler);
+
+    /** Bind an ephemeral loopback port and spawn all threads. */
+    void start();
+
+    /** Stop threads and close all connections. Idempotent. */
+    void stop();
+
+    /** Listening port (valid after start()). */
+    uint16_t port() const { return listenPort; }
+
+    uint64_t requestsServed() const
+    {
+        return served.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Run a handler directly for in-process (transport-less) calls;
+     * used by LocalChannel. The handler executes on the calling
+     * thread; completion may still be asynchronous.
+     */
+    void invokeLocal(uint32_t method, std::string body,
+                     ServerCall::Responder responder);
+
+  private:
+    struct Conn;
+    struct PollerShard;
+
+    void pollerMain(size_t index);
+    void workerMain(size_t index);
+    void acceptPending();
+    void handleFrame(Conn *conn, std::string_view frame);
+    void execute(const ServerCallPtr &call);
+    Handler *findHandler(uint32_t method);
+
+    ServerOptions options;
+    std::map<uint32_t, Handler> handlers;
+
+    std::unique_ptr<TcpListener> listener;
+    uint16_t listenPort = 0;
+
+    std::vector<std::unique_ptr<PollerShard>> shards;
+    BlockingQueue<ServerCallPtr, TracedMutex, TracedCondVar> taskQueue;
+    std::vector<ScopedThread> threads;
+
+    std::atomic<bool> running{false};
+    std::atomic<bool> stopping{false};
+    std::atomic<uint64_t> served{0};
+    std::atomic<size_t> nextShard{0};
+};
+
+} // namespace rpc
+} // namespace musuite
+
+#endif // MUSUITE_RPC_SERVER_H

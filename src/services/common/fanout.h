@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Asynchronous fan-out/merge helper shared by every µSuite mid-tier.
+ *
+ * The mid-tier request path launches one RPC per leaf shard and
+ * returns; leaf responses arrive on the client's completion threads,
+ * which "count down and merge" (paper §IV): every response thread
+ * stashes its payload and decrements a counter, and only the last one
+ * does real work — running the merge functor and completing the
+ * parent RPC.
+ */
+
+#ifndef MUSUITE_SERVICES_COMMON_FANOUT_H
+#define MUSUITE_SERVICES_COMMON_FANOUT_H
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/logging.h"
+#include "rpc/channel.h"
+
+namespace musuite {
+
+/** Outcome of one leaf RPC within a fan-out. */
+struct LeafResult
+{
+    Status status;
+    std::string payload;
+};
+
+/** One leg of a fan-out: which channel to call and with what body. */
+struct FanoutRequest
+{
+    rpc::Channel *channel = nullptr;
+    std::string body;
+    /** Caller-meaningful tag (e.g. leaf index) carried to the merge. */
+    uint32_t tag = 0;
+};
+
+/**
+ * Issue all requests asynchronously; invoke on_complete exactly once
+ * (on the thread of the last-arriving response) with results in
+ * request order.
+ *
+ * @param method Method id used for every leg.
+ * @param on_complete Receives one LeafResult per request.
+ */
+inline void
+fanoutCall(uint32_t method, std::vector<FanoutRequest> requests,
+           std::function<void(std::vector<LeafResult>)> on_complete)
+{
+    MUSUITE_CHECK(!requests.empty()) << "empty fan-out";
+
+    struct SharedState
+    {
+        std::vector<LeafResult> results;
+        std::atomic<uint32_t> remaining;
+        std::function<void(std::vector<LeafResult>)> done;
+
+        explicit SharedState(size_t n) : results(n), remaining(uint32_t(n))
+        {}
+    };
+    auto state = std::make_shared<SharedState>(requests.size());
+    state->done = std::move(on_complete);
+
+    for (size_t i = 0; i < requests.size(); ++i) {
+        FanoutRequest &request = requests[i];
+        request.channel->call(
+            method, std::move(request.body),
+            [state, i](const Status &status, std::string_view payload) {
+                state->results[i].status = status;
+                state->results[i].payload.assign(payload.data(),
+                                                 payload.size());
+                if (state->remaining.fetch_sub(
+                        1, std::memory_order_acq_rel) == 1) {
+                    state->done(std::move(state->results));
+                }
+            });
+    }
+}
+
+} // namespace musuite
+
+#endif // MUSUITE_SERVICES_COMMON_FANOUT_H

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Implementation of the HDSearch leaf.
+ */
+
+#include "services/hdsearch/leaf.h"
+
+#include "services/hdsearch/proto.h"
+
+namespace musuite {
+namespace hdsearch {
+
+Leaf::Leaf(FeatureStore shard)
+    : store(std::move(shard)), scanner(store)
+{}
+
+void
+Leaf::registerWith(rpc::Server &server)
+{
+    server.registerHandler(kLeafDistance, [this](rpc::ServerCallPtr call) {
+        handle(std::move(call));
+    });
+}
+
+void
+Leaf::handle(rpc::ServerCallPtr call)
+{
+    LeafNNRequest request;
+    if (!decodeMessage(call->body(), request) ||
+        request.features.size() != store.dimension()) {
+        call->respond(StatusCode::InvalidArgument, "bad leaf request");
+        return;
+    }
+    served.fetch_add(1, std::memory_order_relaxed);
+
+    const std::vector<Neighbor> nearest = scanner.topKOf(
+        request.features, request.candidates, request.k);
+
+    LeafNNResponse response;
+    response.pointIds.reserve(nearest.size());
+    response.distances.reserve(nearest.size());
+    for (const Neighbor &neighbor : nearest) {
+        response.pointIds.push_back(uint32_t(neighbor.id));
+        response.distances.push_back(neighbor.distance);
+    }
+    call->respondOk(encodeMessage(response));
+}
+
+} // namespace hdsearch
+} // namespace musuite

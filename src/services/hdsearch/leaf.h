@@ -1,0 +1,43 @@
+/**
+ * @file
+ * HDSearch leaf microservice: exact distance computation over the
+ * candidate point ids the mid-tier sends, returning a distance-sorted
+ * top-k (paper §III-A leaf).
+ */
+
+#ifndef MUSUITE_SERVICES_HDSEARCH_LEAF_H
+#define MUSUITE_SERVICES_HDSEARCH_LEAF_H
+
+#include <memory>
+
+#include "index/lsh.h"
+#include "index/vectors.h"
+#include "rpc/server.h"
+
+namespace musuite {
+namespace hdsearch {
+
+class Leaf
+{
+  public:
+    /** Takes ownership of this shard's feature vectors. */
+    explicit Leaf(FeatureStore shard);
+
+    /** Register the kLeafDistance handler on a server. */
+    void registerWith(rpc::Server &server);
+
+    const FeatureStore &shard() const { return store; }
+    uint64_t queriesServed() const { return served; }
+
+  private:
+    void handle(rpc::ServerCallPtr call);
+
+    FeatureStore store;
+    BruteForceScanner scanner;
+    std::atomic<uint64_t> served{0};
+};
+
+} // namespace hdsearch
+} // namespace musuite
+
+#endif // MUSUITE_SERVICES_HDSEARCH_LEAF_H

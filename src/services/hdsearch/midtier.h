@@ -1,0 +1,66 @@
+/**
+ * @file
+ * HDSearch mid-tier microservice (paper §III-A, Fig. 3).
+ *
+ * Request path: (1) look the query vector up in the in-memory LSH
+ * tables to gather candidate {leaf, point-id} tuples, (2) map point
+ * ids to leaf shards, (3) launch asynchronous RPCs to the leaves.
+ * Response path: merge the distance-sorted leaf lists into the global
+ * top-k and answer the front-end.
+ */
+
+#ifndef MUSUITE_SERVICES_HDSEARCH_MIDTIER_H
+#define MUSUITE_SERVICES_HDSEARCH_MIDTIER_H
+
+#include <memory>
+#include <vector>
+
+#include "index/lsh.h"
+#include "rpc/channel.h"
+#include "rpc/server.h"
+
+namespace musuite {
+namespace hdsearch {
+
+class MidTier
+{
+  public:
+    /**
+     * @param index LSH tables referencing {leaf, point-id} tuples.
+     * @param leaves One channel per leaf shard, indexed by leaf id.
+     */
+    MidTier(std::unique_ptr<LshIndex> index,
+            std::vector<std::shared_ptr<rpc::Channel>> leaves);
+
+    /** Register the kNearestNeighbors handler. */
+    void registerWith(rpc::Server &server);
+
+    const LshIndex &index() const { return *lsh; }
+    uint64_t queriesServed() const { return served; }
+
+  private:
+    void handle(rpc::ServerCallPtr call);
+
+    std::unique_ptr<LshIndex> lsh;
+    std::vector<std::shared_ptr<rpc::Channel>> leaves;
+    std::atomic<uint64_t> served{0};
+};
+
+/**
+ * Offline index construction: shard `store` round-robin across
+ * `num_leaves` leaves, build the mid-tier LSH over every point, and
+ * return the per-leaf shards.
+ */
+struct BuiltIndex
+{
+    std::unique_ptr<LshIndex> midTierIndex;
+    std::vector<FeatureStore> leafShards;
+};
+
+BuiltIndex buildShardedIndex(const FeatureStore &store,
+                             uint32_t num_leaves, LshParams params);
+
+} // namespace hdsearch
+} // namespace musuite
+
+#endif // MUSUITE_SERVICES_HDSEARCH_MIDTIER_H

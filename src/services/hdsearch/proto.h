@@ -1,0 +1,125 @@
+/**
+ * @file
+ * HDSearch wire messages and method ids.
+ *
+ * Client → mid-tier: a query feature vector and k. Mid-tier → leaf: the
+ * query vector plus the LSH candidate point ids local to that leaf.
+ * Leaf → mid-tier: a distance-sorted candidate list. Mid-tier → client:
+ * the global top-k with global point ids (leaf, local id).
+ */
+
+#ifndef MUSUITE_SERVICES_HDSEARCH_PROTO_H
+#define MUSUITE_SERVICES_HDSEARCH_PROTO_H
+
+#include <cstdint>
+#include <vector>
+
+#include "serde/wire.h"
+
+namespace musuite {
+namespace hdsearch {
+
+/** Method ids on the mid-tier and leaf servers. */
+enum Method : uint32_t {
+    kNearestNeighbors = 1, //!< Mid-tier entry point.
+    kLeafDistance = 2,     //!< Leaf candidate refinement.
+};
+
+/** Compose a global point id from leaf shard and local index. */
+inline uint64_t
+globalPointId(uint32_t leaf, uint32_t local)
+{
+    return (uint64_t(leaf) << 32) | local;
+}
+
+struct NNQuery
+{
+    std::vector<float> features;
+    uint32_t k = 1;
+
+    void
+    encode(WireWriter &out) const
+    {
+        out.putFloatVector(features);
+        out.putVarint(k);
+    }
+
+    bool
+    decode(WireReader &in)
+    {
+        features = in.getFloatVector();
+        k = uint32_t(in.getVarint());
+        return in.ok();
+    }
+};
+
+struct NNResponse
+{
+    std::vector<uint64_t> pointIds; //!< Global ids, nearest first.
+    std::vector<float> distances;   //!< Squared L2, aligned with ids.
+
+    void
+    encode(WireWriter &out) const
+    {
+        out.putVarintVector(pointIds);
+        out.putFloatVector(distances);
+    }
+
+    bool
+    decode(WireReader &in)
+    {
+        pointIds = in.getVarintVector();
+        distances = in.getFloatVector();
+        return in.ok() && pointIds.size() == distances.size();
+    }
+};
+
+struct LeafNNRequest
+{
+    std::vector<float> features;
+    std::vector<uint32_t> candidates; //!< Local point ids to score.
+    uint32_t k = 1;
+
+    void
+    encode(WireWriter &out) const
+    {
+        out.putFloatVector(features);
+        out.putU32Vector(candidates);
+        out.putVarint(k);
+    }
+
+    bool
+    decode(WireReader &in)
+    {
+        features = in.getFloatVector();
+        candidates = in.getU32Vector();
+        k = uint32_t(in.getVarint());
+        return in.ok();
+    }
+};
+
+struct LeafNNResponse
+{
+    std::vector<uint32_t> pointIds; //!< Local ids, nearest first.
+    std::vector<float> distances;
+
+    void
+    encode(WireWriter &out) const
+    {
+        out.putU32Vector(pointIds);
+        out.putFloatVector(distances);
+    }
+
+    bool
+    decode(WireReader &in)
+    {
+        pointIds = in.getU32Vector();
+        distances = in.getFloatVector();
+        return in.ok() && pointIds.size() == distances.size();
+    }
+};
+
+} // namespace hdsearch
+} // namespace musuite
+
+#endif // MUSUITE_SERVICES_HDSEARCH_PROTO_H

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Implementation of the Recommend leaf.
+ */
+
+#include "services/recommend/leaf.h"
+
+#include "services/recommend/proto.h"
+
+namespace musuite {
+namespace recommend {
+
+Leaf::Leaf(SparseRatings shard, CfOptions options)
+    : cf(std::move(shard), options)
+{}
+
+void
+Leaf::registerWith(rpc::Server &server)
+{
+    server.registerHandler(kLeafPredict, [this](rpc::ServerCallPtr call) {
+        handle(std::move(call));
+    });
+}
+
+void
+Leaf::handle(rpc::ServerCallPtr call)
+{
+    RatingQuery query;
+    if (!decodeMessage(call->body(), query)) {
+        call->respond(StatusCode::InvalidArgument, "bad rating query");
+        return;
+    }
+    served.fetch_add(1, std::memory_order_relaxed);
+
+    RatingReply reply;
+    reply.rating = cf.predict(query.user, query.item);
+    call->respondOk(encodeMessage(reply));
+}
+
+} // namespace recommend
+} // namespace musuite

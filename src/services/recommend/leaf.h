@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Recommend leaf microservice: offline sparse-matrix composition and
+ * NMF, online user-kNN collaborative-filtering prediction over this
+ * leaf's shard of the utility matrix (paper §III-D leaf).
+ */
+
+#ifndef MUSUITE_SERVICES_RECOMMEND_LEAF_H
+#define MUSUITE_SERVICES_RECOMMEND_LEAF_H
+
+#include <memory>
+
+#include "ml/cf.h"
+#include "rpc/server.h"
+
+namespace musuite {
+namespace recommend {
+
+class Leaf
+{
+  public:
+    /** Trains (NMF) at construction; takes the shard's ratings. */
+    Leaf(SparseRatings shard, CfOptions options = {});
+
+    void registerWith(rpc::Server &server);
+
+    const CollaborativeFilter &filter() const { return cf; }
+    uint64_t queriesServed() const { return served; }
+
+  private:
+    void handle(rpc::ServerCallPtr call);
+
+    CollaborativeFilter cf;
+    std::atomic<uint64_t> served{0};
+};
+
+} // namespace recommend
+} // namespace musuite
+
+#endif // MUSUITE_SERVICES_RECOMMEND_LEAF_H

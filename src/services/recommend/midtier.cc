@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Implementation of the Recommend mid-tier.
+ */
+
+#include "services/recommend/midtier.h"
+
+#include "base/logging.h"
+#include "ml/matrix.h"
+#include "services/common/fanout.h"
+#include "services/recommend/proto.h"
+
+namespace musuite {
+namespace recommend {
+
+MidTier::MidTier(std::vector<std::shared_ptr<rpc::Channel>> leaves_in)
+    : leaves(std::move(leaves_in))
+{
+    MUSUITE_CHECK(!leaves.empty()) << "recommend needs leaves";
+}
+
+void
+MidTier::registerWith(rpc::Server &server)
+{
+    server.registerHandler(kPredict, [this](rpc::ServerCallPtr call) {
+        handle(std::move(call));
+    });
+}
+
+void
+MidTier::handle(rpc::ServerCallPtr call)
+{
+    RatingQuery query;
+    if (!decodeMessage(call->body(), query)) {
+        call->respond(StatusCode::InvalidArgument, "bad rating query");
+        return;
+    }
+    served.fetch_add(1, std::memory_order_relaxed);
+
+    // Request path: forward the pair to every leaf.
+    std::vector<FanoutRequest> requests;
+    requests.reserve(leaves.size());
+    for (auto &leaf : leaves) {
+        FanoutRequest request;
+        request.channel = leaf.get();
+        request.body = call->body();
+        requests.push_back(std::move(request));
+    }
+
+    // Response path: average of the ratings received from leaves.
+    fanoutCall(kLeafPredict, std::move(requests),
+               [call](std::vector<LeafResult> results) {
+                   double sum = 0.0;
+                   uint32_t answered = 0;
+                   for (const LeafResult &result : results) {
+                       if (!result.status.isOk())
+                           continue;
+                       RatingReply reply;
+                       if (decodeMessage(result.payload, reply)) {
+                           sum += reply.rating;
+                           ++answered;
+                       }
+                   }
+                   if (answered == 0) {
+                       call->respond(StatusCode::Unavailable,
+                                     "no leaf predictions");
+                       return;
+                   }
+                   RatingReply averaged;
+                   averaged.rating = sum / double(answered);
+                   call->respondOk(encodeMessage(averaged));
+               });
+}
+
+std::vector<SparseRatings>
+shardRatings(const SparseRatings &all, uint32_t num_leaves)
+{
+    MUSUITE_CHECK(num_leaves >= 1) << "need >= 1 leaf";
+    std::vector<std::vector<Rating>> buckets(num_leaves);
+    const auto &observed = all.observed();
+    for (size_t i = 0; i < observed.size(); ++i)
+        buckets[i % num_leaves].push_back(observed[i]);
+
+    std::vector<SparseRatings> shards;
+    shards.reserve(num_leaves);
+    for (auto &bucket : buckets) {
+        shards.emplace_back(all.userCount(), all.itemCount(),
+                            std::move(bucket));
+    }
+    return shards;
+}
+
+} // namespace recommend
+} // namespace musuite

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Recommend mid-tier microservice (paper §III-D, Fig. 7): forwards
+ * the {user, item} pair to every leaf shard and averages the rating
+ * predictions the leaves return.
+ */
+
+#ifndef MUSUITE_SERVICES_RECOMMEND_MIDTIER_H
+#define MUSUITE_SERVICES_RECOMMEND_MIDTIER_H
+
+#include <memory>
+#include <vector>
+
+#include "ml/matrix.h"
+#include "rpc/channel.h"
+#include "rpc/server.h"
+
+namespace musuite {
+namespace recommend {
+
+class MidTier
+{
+  public:
+    explicit MidTier(std::vector<std::shared_ptr<rpc::Channel>> leaves);
+
+    void registerWith(rpc::Server &server);
+
+    uint64_t queriesServed() const { return served; }
+
+  private:
+    void handle(rpc::ServerCallPtr call);
+
+    std::vector<std::shared_ptr<rpc::Channel>> leaves;
+    std::atomic<uint64_t> served{0};
+};
+
+/**
+ * Shard observed ratings round-robin across leaves: every leaf sees
+ * the full user/item id space but only a slice of the observations,
+ * which is what makes averaging the per-shard predictions meaningful.
+ */
+std::vector<SparseRatings> shardRatings(const SparseRatings &all,
+                                        uint32_t num_leaves);
+
+} // namespace recommend
+} // namespace musuite
+
+#endif // MUSUITE_SERVICES_RECOMMEND_MIDTIER_H

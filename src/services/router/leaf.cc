@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Implementation of the Router leaf.
+ */
+
+#include "services/router/leaf.h"
+
+#include "services/router/proto.h"
+
+namespace musuite {
+namespace router {
+
+Leaf::Leaf(CacheOptions options)
+    : store(options)
+{}
+
+void
+Leaf::registerWith(rpc::Server &server)
+{
+    server.registerHandler(kLeafOp, [this](rpc::ServerCallPtr call) {
+        handle(std::move(call));
+    });
+}
+
+void
+Leaf::handle(rpc::ServerCallPtr call)
+{
+    KvRequest request;
+    if (!decodeMessage(call->body(), request) || request.key.empty()) {
+        call->respond(StatusCode::InvalidArgument, "bad kv request");
+        return;
+    }
+    served.fetch_add(1, std::memory_order_relaxed);
+
+    KvReply reply;
+    if (request.op == Op::Get) {
+        auto value = store.get(request.key);
+        reply.found = value.has_value();
+        if (value)
+            reply.value = std::move(*value);
+    } else {
+        reply.found = store.set(request.key, request.value);
+    }
+    call->respondOk(encodeMessage(reply));
+}
+
+} // namespace router
+} // namespace musuite

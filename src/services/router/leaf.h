@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Router leaf microservice: the RPC wrapper around a mucache
+ * (memcached-equivalent) store. Handles concurrent requests from many
+ * mid-tier threads; rewrites murpc requests into local store calls
+ * exactly as the paper's leaf rewrites gRPC queries into memcached
+ * protocol.
+ */
+
+#ifndef MUSUITE_SERVICES_ROUTER_LEAF_H
+#define MUSUITE_SERVICES_ROUTER_LEAF_H
+
+#include "kv/mucache.h"
+#include "rpc/server.h"
+
+namespace musuite {
+namespace router {
+
+class Leaf
+{
+  public:
+    explicit Leaf(CacheOptions options = {});
+
+    void registerWith(rpc::Server &server);
+
+    MuCache &cache() { return store; }
+    uint64_t opsServed() const { return served; }
+
+  private:
+    void handle(rpc::ServerCallPtr call);
+
+    MuCache store;
+    std::atomic<uint64_t> served{0};
+};
+
+} // namespace router
+} // namespace musuite
+
+#endif // MUSUITE_SERVICES_ROUTER_LEAF_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Router mid-tier microservice (paper §III-B, Fig. 5).
+ *
+ * Stages: (1) parse the client's get/set, (2) route computation —
+ * SpookyHash the key to pick the replication pool of leaves, (3)
+ * internal client code forwards the request: sets fan out to every
+ * replica in the pool (replication both spreads load and provides
+ * fault tolerance); gets go to one randomly chosen replica, failing
+ * over to the next replica if that leaf is unreachable.
+ */
+
+#ifndef MUSUITE_SERVICES_ROUTER_MIDTIER_H
+#define MUSUITE_SERVICES_ROUTER_MIDTIER_H
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "rpc/channel.h"
+#include "rpc/server.h"
+
+namespace musuite {
+namespace router {
+
+struct MidTierOptions
+{
+    uint32_t replicas = 3; //!< Replication-pool size (paper: 3).
+    uint64_t seed = 23;    //!< Replica-choice randomness.
+};
+
+class MidTier
+{
+  public:
+    MidTier(std::vector<std::shared_ptr<rpc::Channel>> leaves,
+            MidTierOptions options = {});
+
+    void registerWith(rpc::Server &server);
+
+    /**
+     * The replication pool for a key: replica i lives on leaf
+     * (spooky(key) + i) mod N.
+     */
+    std::vector<uint32_t> replicaPool(std::string_view key) const;
+
+    uint64_t opsRouted() const { return served; }
+    /** Gets that needed replica failover (fault-tolerance metric). */
+    uint64_t failovers() const { return failoverCount; }
+
+  private:
+    void handle(rpc::ServerCallPtr call);
+    void routeSet(rpc::ServerCallPtr call, const std::string &body,
+                  const std::vector<uint32_t> &pool);
+    /** Try pool[attempt], fail over on Unavailable. */
+    void routeGet(rpc::ServerCallPtr call, std::string body,
+                  std::vector<uint32_t> pool, size_t attempt);
+
+    std::vector<std::shared_ptr<rpc::Channel>> leaves;
+    MidTierOptions options;
+    std::atomic<uint64_t> served{0};
+    std::atomic<uint64_t> failoverCount{0};
+    std::atomic<uint64_t> replicaSalt{0};
+};
+
+} // namespace router
+} // namespace musuite
+
+#endif // MUSUITE_SERVICES_ROUTER_MIDTIER_H

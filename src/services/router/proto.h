@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Router wire messages and method ids (paper §III-B).
+ *
+ * Clients speak plain get/set; Router is a drop-in proxy between them
+ * and the memcached-like leaves, hiding routing and replication.
+ */
+
+#ifndef MUSUITE_SERVICES_ROUTER_PROTO_H
+#define MUSUITE_SERVICES_ROUTER_PROTO_H
+
+#include <cstdint>
+#include <string>
+
+#include "serde/wire.h"
+
+namespace musuite {
+namespace router {
+
+enum Method : uint32_t {
+    kRoute = 1,   //!< Mid-tier entry point (get or set).
+    kLeafOp = 2,  //!< Leaf key-value operation.
+};
+
+enum class Op : uint8_t {
+    Get = 0,
+    Set = 1,
+};
+
+/** Client request to the mid-tier, and mid-tier request to a leaf. */
+struct KvRequest
+{
+    Op op = Op::Get;
+    std::string key;
+    std::string value; //!< Sets only.
+
+    void
+    encode(WireWriter &out) const
+    {
+        out.putVarint(uint64_t(op));
+        out.putBytes(key);
+        out.putBytes(value);
+    }
+
+    bool
+    decode(WireReader &in)
+    {
+        const uint64_t raw_op = in.getVarint();
+        if (raw_op > uint64_t(Op::Set))
+            return false;
+        op = Op(raw_op);
+        key = std::string(in.getBytes());
+        value = std::string(in.getBytes());
+        return in.ok();
+    }
+};
+
+/** Leaf and mid-tier response. */
+struct KvReply
+{
+    bool found = false; //!< Gets: key present. Sets: stored.
+    std::string value;  //!< Gets only.
+
+    void
+    encode(WireWriter &out) const
+    {
+        out.putBool(found);
+        out.putBytes(value);
+    }
+
+    bool
+    decode(WireReader &in)
+    {
+        found = in.getBool();
+        value = std::string(in.getBytes());
+        return in.ok();
+    }
+};
+
+} // namespace router
+} // namespace musuite
+
+#endif // MUSUITE_SERVICES_ROUTER_PROTO_H

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Implementation of the Set Algebra leaf.
+ */
+
+#include "services/setalgebra/leaf.h"
+
+#include "services/setalgebra/proto.h"
+
+namespace musuite {
+namespace setalgebra {
+
+Leaf::Leaf(std::unique_ptr<InvertedIndex> index)
+    : shard(std::move(index))
+{}
+
+void
+Leaf::registerWith(rpc::Server &server)
+{
+    server.registerHandler(kIntersect, [this](rpc::ServerCallPtr call) {
+        handle(std::move(call));
+    });
+}
+
+void
+Leaf::handle(rpc::ServerCallPtr call)
+{
+    SearchQuery query;
+    if (!decodeMessage(call->body(), query) || query.terms.empty()) {
+        call->respond(StatusCode::InvalidArgument, "bad search query");
+        return;
+    }
+    served.fetch_add(1, std::memory_order_relaxed);
+
+    PostingReply reply;
+    reply.docIds = shard->intersectTerms(query.terms);
+    call->respondOk(encodeMessage(reply));
+}
+
+} // namespace setalgebra
+} // namespace musuite

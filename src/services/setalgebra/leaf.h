@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Set Algebra leaf microservice: posting-list intersection over this
+ * shard's inverted index (paper §III-C leaf).
+ */
+
+#ifndef MUSUITE_SERVICES_SETALGEBRA_LEAF_H
+#define MUSUITE_SERVICES_SETALGEBRA_LEAF_H
+
+#include <memory>
+
+#include "index/postings.h"
+#include "rpc/server.h"
+
+namespace musuite {
+namespace setalgebra {
+
+class Leaf
+{
+  public:
+    /** Takes ownership of this shard's inverted index. */
+    explicit Leaf(std::unique_ptr<InvertedIndex> index);
+
+    void registerWith(rpc::Server &server);
+
+    const InvertedIndex &index() const { return *shard; }
+    uint64_t queriesServed() const { return served; }
+
+  private:
+    void handle(rpc::ServerCallPtr call);
+
+    std::unique_ptr<InvertedIndex> shard;
+    std::atomic<uint64_t> served{0};
+};
+
+} // namespace setalgebra
+} // namespace musuite
+
+#endif // MUSUITE_SERVICES_SETALGEBRA_LEAF_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Implementation of the Set Algebra mid-tier.
+ */
+
+#include "services/setalgebra/midtier.h"
+
+#include "base/logging.h"
+#include "index/postings.h"
+#include "services/common/fanout.h"
+#include "services/setalgebra/proto.h"
+
+namespace musuite {
+namespace setalgebra {
+
+MidTier::MidTier(std::vector<std::shared_ptr<rpc::Channel>> leaves_in)
+    : leaves(std::move(leaves_in))
+{
+    MUSUITE_CHECK(!leaves.empty()) << "set algebra needs leaves";
+}
+
+void
+MidTier::registerWith(rpc::Server &server)
+{
+    server.registerHandler(kSearch, [this](rpc::ServerCallPtr call) {
+        handle(std::move(call));
+    });
+}
+
+void
+MidTier::handle(rpc::ServerCallPtr call)
+{
+    SearchQuery query;
+    if (!decodeMessage(call->body(), query) || query.terms.empty()) {
+        call->respond(StatusCode::InvalidArgument, "bad search query");
+        return;
+    }
+    served.fetch_add(1, std::memory_order_relaxed);
+
+    // Request path: forward the terms to every leaf shard.
+    std::vector<FanoutRequest> requests;
+    requests.reserve(leaves.size());
+    for (auto &leaf : leaves) {
+        FanoutRequest request;
+        request.channel = leaf.get();
+        request.body = call->body(); // Same SearchQuery shape.
+        requests.push_back(std::move(request));
+    }
+
+    // Response path: set union over the per-shard intersections.
+    fanoutCall(kIntersect, std::move(requests),
+               [call](std::vector<LeafResult> results) {
+                   std::vector<std::vector<uint32_t>> lists;
+                   lists.reserve(results.size());
+                   for (const LeafResult &result : results) {
+                       if (!result.status.isOk())
+                           continue; // Degraded result set.
+                       PostingReply reply;
+                       if (decodeMessage(result.payload, reply))
+                           lists.push_back(std::move(reply.docIds));
+                   }
+                   PostingReply merged;
+                   merged.docIds = unionAll(lists);
+                   call->respondOk(encodeMessage(merged));
+               });
+}
+
+} // namespace setalgebra
+} // namespace musuite

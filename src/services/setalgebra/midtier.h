@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Set Algebra mid-tier microservice (paper §III-C, Fig. 6): forwards
+ * the search terms to every leaf shard and unions the intersected
+ * posting lists the leaves return.
+ */
+
+#ifndef MUSUITE_SERVICES_SETALGEBRA_MIDTIER_H
+#define MUSUITE_SERVICES_SETALGEBRA_MIDTIER_H
+
+#include <memory>
+#include <vector>
+
+#include "rpc/channel.h"
+#include "rpc/server.h"
+
+namespace musuite {
+namespace setalgebra {
+
+class MidTier
+{
+  public:
+    explicit MidTier(std::vector<std::shared_ptr<rpc::Channel>> leaves);
+
+    void registerWith(rpc::Server &server);
+
+    uint64_t queriesServed() const { return served; }
+
+  private:
+    void handle(rpc::ServerCallPtr call);
+
+    std::vector<std::shared_ptr<rpc::Channel>> leaves;
+    std::atomic<uint64_t> served{0};
+};
+
+} // namespace setalgebra
+} // namespace musuite
+
+#endif // MUSUITE_SERVICES_SETALGEBRA_MIDTIER_H

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Set Algebra wire messages and method ids (paper §III-C).
+ */
+
+#ifndef MUSUITE_SERVICES_SETALGEBRA_PROTO_H
+#define MUSUITE_SERVICES_SETALGEBRA_PROTO_H
+
+#include <cstdint>
+#include <vector>
+
+#include "serde/wire.h"
+
+namespace musuite {
+namespace setalgebra {
+
+enum Method : uint32_t {
+    kSearch = 1,    //!< Mid-tier entry point.
+    kIntersect = 2, //!< Leaf posting-list intersection.
+};
+
+/** Search terms; the same message goes client→mid-tier→leaf. */
+struct SearchQuery
+{
+    std::vector<uint32_t> terms;
+
+    void
+    encode(WireWriter &out) const
+    {
+        out.putU32Vector(terms);
+    }
+
+    bool
+    decode(WireReader &in)
+    {
+        terms = in.getU32Vector();
+        return in.ok();
+    }
+};
+
+/** Sorted doc ids: leaf→mid-tier (intersected) and mid-tier→client
+ *  (unioned across shards). */
+struct PostingReply
+{
+    std::vector<uint32_t> docIds;
+
+    void
+    encode(WireWriter &out) const
+    {
+        out.putU32Vector(docIds);
+    }
+
+    bool
+    decode(WireReader &in)
+    {
+        docIds = in.getU32Vector();
+        return in.ok();
+    }
+};
+
+} // namespace setalgebra
+} // namespace musuite
+
+#endif // MUSUITE_SERVICES_SETALGEBRA_PROTO_H

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * simkernel: a discrete-event simulator of the µSuite mid-tier
+ * pipeline and the OS mechanisms underneath it.
+ *
+ * The paper's characterization ran on 40-core/80-thread Skylake
+ * servers; this reproduction executes in a single-core container, so
+ * real-mode benches cannot reach paper-scale loads (10 K QPS) or show
+ * multi-core scheduling effects. simkernel closes that gap: it models
+ *
+ *   - the Fig. 8 thread architecture (network pollers parked on
+ *     epoll, a dispatched worker pool, leaf-response pick-up threads)
+ *     as pools of threads that block/wake on futex-like primitives;
+ *   - a multi-core host: non-preemptive cores, a FIFO runqueue,
+ *     context-switch cost, and C-state exit penalties for cores that
+ *     have idled long enough (which is what makes *median* latency
+ *     worse at low load — the paper's Fig. 10 observation);
+ *   - kernel costs per category: hard IRQs and NET_RX on packet
+ *     arrival, NET_TX on sends, SCHED softirq per wakeup, periodic
+ *     RCU, runqueue (Active-Exe) wait, and net mid-tier residence;
+ *   - leaf microservers as G/G/k stations with configurable service
+ *     time distributions (calibrate the means from real-mode runs);
+ *   - futex/context-switch/HITM event counting: blocked-wakeup pairs
+ *     cost futexes and context switches; queue and socket lock words
+ *     touched by two actors within a hold window count as HITM
+ *     (modified-cache-line transfer) events.
+ *
+ * Everything is deterministic under a seed.
+ */
+
+#ifndef MUSUITE_SIMKERNEL_SIM_H
+#define MUSUITE_SIMKERNEL_SIM_H
+
+#include <array>
+#include <cstdint>
+
+#include "ostrace/ostrace.h"
+#include "stats/histogram.h"
+
+namespace musuite {
+namespace sim {
+
+/** Host/kernel parameters (mid-tier machine). */
+struct MachineParams
+{
+    uint32_t cores = 40;          //!< Paper Table II.
+    uint32_t pollerThreads = 2;
+    uint32_t workerThreads = 16;
+    uint32_t responseThreads = 8;
+
+    // Kernel cost model, all microseconds.
+    double ctxSwitchUs = 5.0;     //!< Paper cites 5-20 us switches.
+    double futexWakePathUs = 1.5; //!< futex(WAKE) syscall + IPI.
+    double schedSoftirqUs = 1.2;
+    double hardirqUs = 1.0;
+    double netRxSoftirqUs = 2.5;
+    double netTxSoftirqUs = 1.8;
+    double rcuPeriodUs = 4000.0;
+    double rcuCostUs = 1.0;
+    double wireDelayUs = 8.0;     //!< One-way 10 GbE + switch.
+    double lockHoldUs = 0.4;      //!< HITM collision window.
+
+    // Idle-cost model: a core (or thread context) idle longer than
+    // the threshold pays the penalty on wakeup (C-state exit, cold
+    // caches, lazy TLB). This is what penalizes low loads.
+    double idleThresholdUs = 200.0;
+    double idleSaturationUs = 3000.0; //!< Penalty reaches its max here.
+    double idlePenaltyUs = 150.0;     //!< Deep C-state exit + cold
+                                      //!< caches/TLB on a long-idle core.
+};
+
+/** Service-shape parameters (per µSuite benchmark). */
+struct ServiceParams
+{
+    double midTierComputeUs = 15.0; //!< e.g. LSH lookup / hashing.
+    double midTierComputeSigma = 0.3; //!< Lognormal shape.
+    double perLeafSendUs = 1.0;     //!< Serialize + issue per leaf.
+    double leafComputeUs = 80.0;
+    double leafComputeSigma = 0.4;
+    double mergeUs = 8.0;           //!< Response-path merge.
+    uint32_t fanout = 4;            //!< Leaves touched per query.
+    uint32_t leafServers = 4;       //!< Distinct leaf stations.
+    uint32_t leafCoresPerServer = 18; //!< Paper's taskset.
+};
+
+/** Calibrated-shape defaults for the four services. */
+ServiceParams hdsearchParams();
+ServiceParams routerParams();
+ServiceParams setAlgebraParams();
+ServiceParams recommendParams();
+
+/** Syscall-count analogue produced by the simulation. */
+struct SimSyscalls
+{
+    uint64_t futex = 0;
+    uint64_t epollPwait = 0;
+    uint64_t sendmsg = 0;
+    uint64_t recvmsg = 0;
+};
+
+/** Everything a simulated window produces. */
+struct SimResult
+{
+    Histogram latency;            //!< End-to-end per query (ns).
+    std::array<Histogram, numOsCategories> osBreakdown{
+        Histogram(4), Histogram(4), Histogram(4), Histogram(4),
+        Histogram(4), Histogram(4), Histogram(4), Histogram(4)};
+    SimSyscalls syscalls;
+    uint64_t contextSwitches = 0;
+    uint64_t hitmEvents = 0;
+    uint64_t completed = 0;
+    uint64_t issued = 0;
+    double offeredQps = 0.0;
+    double achievedQps = 0.0;
+
+    double
+    syscallsPerQuery(uint64_t count) const
+    {
+        return completed ? double(count) / double(completed) : 0.0;
+    }
+};
+
+/**
+ * Simulate an open-loop Poisson load against the modelled service.
+ *
+ * @param machine Host/kernel model.
+ * @param service Service shape.
+ * @param qps Offered load.
+ * @param duration_us Simulated window length (microseconds).
+ * @param seed Determinism.
+ */
+SimResult simulate(const MachineParams &machine,
+                   const ServiceParams &service, double qps,
+                   double duration_us, uint64_t seed);
+
+} // namespace sim
+} // namespace musuite
+
+#endif // MUSUITE_SIMKERNEL_SIM_H

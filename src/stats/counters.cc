@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Implementation of the counter registry.
+ */
+
+#include "stats/counters.h"
+
+namespace musuite {
+
+Counter &
+CounterSet::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> guard(mutex);
+    auto &slot = counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+CounterSnapshot
+CounterSet::snapshot() const
+{
+    std::lock_guard<std::mutex> guard(mutex);
+    CounterSnapshot snap;
+    for (const auto &[name, counter] : counters)
+        snap[name] = counter->get();
+    return snap;
+}
+
+CounterSnapshot
+CounterSet::diff(const CounterSnapshot &before, const CounterSnapshot &after)
+{
+    CounterSnapshot delta;
+    for (const auto &[name, value] : after) {
+        auto it = before.find(name);
+        const uint64_t prior = it == before.end() ? 0 : it->second;
+        if (value > prior)
+            delta[name] = value - prior;
+    }
+    return delta;
+}
+
+void
+CounterSet::clear()
+{
+    std::lock_guard<std::mutex> guard(mutex);
+    counters.clear();
+}
+
+CounterSet &
+globalCounters()
+{
+    static CounterSet set;
+    return set;
+}
+
+} // namespace musuite

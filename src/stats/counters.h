@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Named monotonic counters with snapshot/diff support.
+ *
+ * The syscall-invocation figures of the paper (Figs. 11-14) are counts
+ * of events per QPS over a measurement window; CounterSet provides the
+ * snapshot-at-window-edges mechanics. Counters are plain atomics so hot
+ * paths pay one relaxed increment.
+ */
+
+#ifndef MUSUITE_STATS_COUNTERS_H
+#define MUSUITE_STATS_COUNTERS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace musuite {
+
+/** A single monotonic event counter. */
+class Counter
+{
+  public:
+    void
+    add(uint64_t n = 1)
+    {
+        value.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t get() const { return value.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value{0};
+};
+
+/** Point-in-time copy of a CounterSet. */
+using CounterSnapshot = std::map<std::string, uint64_t>;
+
+/**
+ * A registry of named counters. Lookup is mutex-guarded (cold);
+ * increments through the returned reference are lock-free. Counter
+ * references remain valid for the life of the set.
+ */
+class CounterSet
+{
+  public:
+    /** Find or create the counter with the given name. */
+    Counter &counter(const std::string &name);
+
+    /** Copy all current values. */
+    CounterSnapshot snapshot() const;
+
+    /** Per-name difference (after - before), omitting zero deltas. */
+    static CounterSnapshot diff(const CounterSnapshot &before,
+                                const CounterSnapshot &after);
+
+    /** Zero is impossible for monotonic counters; reset drops them. */
+    void clear();
+
+  private:
+    mutable std::mutex mutex;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+};
+
+/** Process-global counter set used by the transport/ostrace layers. */
+CounterSet &globalCounters();
+
+} // namespace musuite
+
+#endif // MUSUITE_STATS_COUNTERS_H

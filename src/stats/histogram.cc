@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Implementation of the log-bucketed histogram.
+ */
+
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "base/logging.h"
+#include "base/time_util.h"
+
+namespace musuite {
+
+std::string
+DistributionSummary::toString() const
+{
+    std::ostringstream out;
+    out << "n=" << count
+        << " min=" << formatNanos(min)
+        << " p50=" << formatNanos(p50)
+        << " p90=" << formatNanos(p90)
+        << " p99=" << formatNanos(p99)
+        << " p99.9=" << formatNanos(p999)
+        << " max=" << formatNanos(max)
+        << " mean=" << formatNanos(int64_t(mean));
+    return out.str();
+}
+
+Histogram::Histogram(int sub_bucket_bits)
+    : subBucketBits(sub_bucket_bits)
+{
+    MUSUITE_CHECK(sub_bucket_bits >= 1 && sub_bucket_bits <= 12)
+        << "sub-bucket bits out of range";
+    const size_t sub_count = size_t(1) << subBucketBits;
+    const size_t size = ((64 - subBucketBits) << subBucketBits) + sub_count;
+    buckets.assign(size, 0);
+}
+
+size_t
+Histogram::bucketIndex(int64_t value) const
+{
+    const uint64_t v = uint64_t(value);
+    const uint64_t sub_count = uint64_t(1) << subBucketBits;
+    if (v < sub_count)
+        return size_t(v);
+    const int msb = 63 - std::countl_zero(v);
+    const int shift = msb - subBucketBits;
+    const size_t block = size_t(shift + 1) << subBucketBits;
+    const size_t sub = size_t((v >> shift) - sub_count);
+    return block + sub;
+}
+
+int64_t
+Histogram::bucketMidpoint(size_t index) const
+{
+    const uint64_t sub_count = uint64_t(1) << subBucketBits;
+    if (index < sub_count)
+        return int64_t(index);
+    const int shift = int(index >> subBucketBits) - 1;
+    const uint64_t sub = index & (sub_count - 1);
+    const uint64_t low = (sub_count + sub) << shift;
+    const uint64_t width = uint64_t(1) << shift;
+    return int64_t(low + width / 2);
+}
+
+void
+Histogram::record(int64_t value)
+{
+    recordMany(value, 1);
+}
+
+void
+Histogram::recordMany(int64_t value, uint64_t n)
+{
+    if (n == 0)
+        return;
+    if (value < 0)
+        value = 0;
+    if (total == 0) {
+        lo = hi = value;
+    } else {
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
+    }
+    buckets[bucketIndex(value)] += n;
+    total += n;
+    sum += double(value) * double(n);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    MUSUITE_CHECK(subBucketBits == other.subBucketBits)
+        << "merging histograms with different precision";
+    if (other.total == 0)
+        return;
+    if (total == 0) {
+        lo = other.lo;
+        hi = other.hi;
+    } else {
+        lo = std::min(lo, other.lo);
+        hi = std::max(hi, other.hi);
+    }
+    for (size_t i = 0; i < buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+    total += other.total;
+    sum += other.sum;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0);
+    total = 0;
+    lo = hi = 0;
+    sum = 0.0;
+}
+
+double
+Histogram::mean() const
+{
+    return total ? sum / double(total) : 0.0;
+}
+
+int64_t
+Histogram::valueAtQuantile(double q) const
+{
+    if (total == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const uint64_t target =
+        std::max<uint64_t>(1, uint64_t(std::ceil(q * double(total))));
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        cumulative += buckets[i];
+        if (cumulative >= target)
+            return std::clamp(bucketMidpoint(i), lo, hi);
+    }
+    return hi;
+}
+
+DistributionSummary
+Histogram::summary() const
+{
+    DistributionSummary s;
+    s.count = total;
+    s.min = minValue();
+    s.p25 = valueAtQuantile(0.25);
+    s.p50 = valueAtQuantile(0.50);
+    s.p75 = valueAtQuantile(0.75);
+    s.p90 = valueAtQuantile(0.90);
+    s.p99 = valueAtQuantile(0.99);
+    s.p999 = valueAtQuantile(0.999);
+    s.max = maxValue();
+    s.mean = mean();
+    return s;
+}
+
+std::string
+Histogram::toCsv() const
+{
+    std::ostringstream out;
+    out << "value_ns,count\n";
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        if (buckets[i])
+            out << bucketMidpoint(i) << "," << buckets[i] << "\n";
+    }
+    return out.str();
+}
+
+} // namespace musuite

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Implementation of the benchmark report table.
+ */
+
+#include "stats/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/logging.h"
+#include "base/time_util.h"
+
+namespace musuite {
+
+Table::Table(std::vector<std::string> header)
+    : header(std::move(header))
+{
+    MUSUITE_CHECK(!this->header.empty()) << "table needs at least 1 column";
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    MUSUITE_CHECK(row.size() == header.size())
+        << "row width " << row.size() << " != header width "
+        << header.size();
+    rows.push_back(std::move(row));
+}
+
+Table::RowBuilder &
+Table::RowBuilder::cell(const std::string &text)
+{
+    cells.push_back(text);
+    return *this;
+}
+
+Table::RowBuilder &
+Table::RowBuilder::cell(int64_t value)
+{
+    cells.push_back(std::to_string(value));
+    return *this;
+}
+
+Table::RowBuilder &
+Table::RowBuilder::cell(uint64_t value)
+{
+    cells.push_back(std::to_string(value));
+    return *this;
+}
+
+Table::RowBuilder &
+Table::RowBuilder::cell(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    cells.push_back(buf);
+    return *this;
+}
+
+Table::RowBuilder &
+Table::RowBuilder::nanos(int64_t ns)
+{
+    cells.push_back(formatNanos(ns));
+    return *this;
+}
+
+void
+Table::print(std::ostream &out) const
+{
+    std::vector<size_t> widths(header.size());
+    for (size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size())
+                out << std::string(widths[c] - row[c].size() + 2, ' ');
+        }
+        out << "\n";
+    };
+
+    emit_row(header);
+    size_t rule = 0;
+    for (size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    out << std::string(rule, '-') << "\n";
+    for (const auto &row : rows)
+        emit_row(row);
+}
+
+void
+Table::printCsv(std::ostream &out) const
+{
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size())
+                out << ",";
+        }
+        out << "\n";
+    };
+    emit_row(header);
+    for (const auto &row : rows)
+        emit_row(row);
+}
+
+void
+printBanner(std::ostream &out, const std::string &title)
+{
+    out << "\n=== " << title << " ===\n";
+}
+
+} // namespace musuite

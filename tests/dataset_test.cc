@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the synthetic data-set generators: determinism under a
+ * seed, structural properties (cluster geometry, Zipfian term skew,
+ * planted ratings range, key-popularity skew), and the invariants the
+ * services rely on (held-out queries avoid training cells, values are
+ * recomputable from keys).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "dataset/datasets.h"
+#include "index/vectors.h"
+
+namespace musuite {
+namespace {
+
+TEST(GmmTest, DeterministicUnderSeed)
+{
+    GmmOptions options;
+    options.numVectors = 100;
+    options.dimension = 16;
+    GmmDataset a(options), b(options);
+    EXPECT_EQ(a.vectors().raw(), b.vectors().raw());
+}
+
+TEST(GmmTest, SeedChangesData)
+{
+    GmmOptions options;
+    options.numVectors = 50;
+    options.dimension = 8;
+    GmmDataset a(options);
+    options.seed += 1;
+    GmmDataset b(options);
+    EXPECT_NE(a.vectors().raw(), b.vectors().raw());
+}
+
+TEST(GmmTest, WithinClusterDistancesAreSmall)
+{
+    GmmOptions options;
+    options.numVectors = 400;
+    options.dimension = 24;
+    options.clusters = 8;
+    options.clusterStddev = 0.1;
+    GmmDataset dataset(options);
+
+    // Mean within-cluster distance must be far below the mean
+    // cross-cluster distance (that is what makes NN search sensible).
+    double within = 0, across = 0;
+    int within_count = 0, across_count = 0;
+    for (size_t i = 0; i < 200; ++i) {
+        for (size_t j = i + 1; j < 200; ++j) {
+            const float d = squaredL2(dataset.vectors().view(i),
+                                      dataset.vectors().view(j));
+            if (dataset.clusterOf(i) == dataset.clusterOf(j)) {
+                within += d;
+                within_count++;
+            } else {
+                across += d;
+                across_count++;
+            }
+        }
+    }
+    ASSERT_GT(within_count, 0);
+    ASSERT_GT(across_count, 0);
+    EXPECT_LT(within / within_count, 0.2 * (across / across_count));
+}
+
+TEST(GmmTest, QueriesLiveInTheSameSpace)
+{
+    GmmOptions options;
+    options.numVectors = 200;
+    options.dimension = 16;
+    GmmDataset dataset(options);
+    Rng rng(1);
+    const auto query = dataset.sampleQuery(rng);
+    EXPECT_EQ(query.size(), options.dimension);
+    // A sampled query must be near at least one corpus point.
+    float best = 1e30f;
+    for (size_t i = 0; i < dataset.vectors().size(); ++i)
+        best = std::min(best,
+                        squaredL2(query, dataset.vectors().view(i)));
+    EXPECT_LT(best, 1.0f);
+}
+
+TEST(CorpusTest, DocumentShapes)
+{
+    CorpusOptions options;
+    options.numDocuments = 500;
+    options.meanDocLength = 50;
+    TextCorpus corpus(options);
+    EXPECT_EQ(corpus.size(), 500u);
+    double total = 0;
+    for (const auto &doc : corpus.documents()) {
+        EXPECT_GE(doc.size(), 1u);
+        total += double(doc.size());
+        for (uint32_t term : doc)
+            EXPECT_LT(term, options.vocabulary);
+    }
+    EXPECT_NEAR(total / 500.0, 50.0, 5.0);
+}
+
+TEST(CorpusTest, TermFrequenciesAreSkewed)
+{
+    CorpusOptions options;
+    options.numDocuments = 2000;
+    options.vocabulary = 5000;
+    TextCorpus corpus(options);
+    std::map<uint32_t, int> freq;
+    for (const auto &doc : corpus.documents()) {
+        for (uint32_t term : doc)
+            freq[term]++;
+    }
+    std::vector<int> counts;
+    for (const auto &[term, count] : freq)
+        counts.push_back(count);
+    std::sort(counts.rbegin(), counts.rend());
+    // Zipf: the head dwarfs the median term.
+    EXPECT_GT(counts[0], 20 * counts[counts.size() / 2]);
+}
+
+TEST(CorpusTest, QueriesShortAndDeduplicated)
+{
+    TextCorpus corpus({});
+    Rng rng(2);
+    for (int i = 0; i < 200; ++i) {
+        const auto query = corpus.sampleQuery(rng, 10);
+        EXPECT_GE(query.size(), 1u);
+        EXPECT_LE(query.size(), 10u);
+        EXPECT_TRUE(std::is_sorted(query.begin(), query.end()));
+        EXPECT_TRUE(std::adjacent_find(query.begin(), query.end()) ==
+                    query.end());
+    }
+}
+
+TEST(RatingsTest, ValuesWithinStarRange)
+{
+    auto dataset = makeRatingsDataset({}, 100);
+    for (const Rating &rating : dataset.ratings.observed()) {
+        EXPECT_GE(rating.value, 0.5);
+        EXPECT_LE(rating.value, 5.0);
+    }
+}
+
+TEST(RatingsTest, HeldOutQueriesAvoidTrainingCells)
+{
+    auto dataset = makeRatingsDataset({}, 500);
+    EXPECT_EQ(dataset.heldOutQueries.size(), 500u);
+    for (const auto &[user, item] : dataset.heldOutQueries)
+        EXPECT_EQ(dataset.ratings.find(user, item), nullptr);
+}
+
+TEST(RatingsTest, EveryUserHasAtLeastOneRating)
+{
+    // The paper restricts to users with >= 1 rating (no cold start).
+    RatingsOptions options;
+    options.users = 100;
+    auto dataset = makeRatingsDataset(options, 10);
+    for (uint32_t user = 0; user < options.users; ++user)
+        EXPECT_GE(dataset.ratings.userRatings(user).size(), 1u);
+}
+
+TEST(RatingsTest, NoDuplicateObservations)
+{
+    auto dataset = makeRatingsDataset({}, 10);
+    const auto &observed = dataset.ratings.observed();
+    for (size_t i = 1; i < observed.size(); ++i) {
+        const bool same = observed[i - 1].user == observed[i].user &&
+                          observed[i - 1].item == observed[i].item;
+        EXPECT_FALSE(same);
+    }
+}
+
+TEST(KvWorkloadTest, KeysStableAndValuesRecomputable)
+{
+    KvWorkload workload({});
+    EXPECT_EQ(workload.keyAt(0), workload.keyAt(0));
+    const std::string key = workload.keyAt(42);
+    EXPECT_EQ(workload.valueFor(key), workload.valueFor(key));
+    EXPECT_NE(workload.valueFor(workload.keyAt(1)),
+              workload.valueFor(workload.keyAt(2)));
+}
+
+TEST(KvWorkloadTest, OpMixMatchesConfig)
+{
+    KvWorkloadOptions options;
+    options.getFraction = 0.5;
+    KvWorkload workload(options);
+    Rng rng(3);
+    int gets = 0;
+    constexpr int draws = 20000;
+    for (int i = 0; i < draws; ++i)
+        gets += workload.sampleOp(rng).isGet;
+    EXPECT_NEAR(gets, draws / 2, draws * 0.03);
+}
+
+TEST(KvWorkloadTest, PopularKeysDominate)
+{
+    KvWorkloadOptions options;
+    options.numKeys = 10000;
+    options.zipfExponent = 0.99;
+    KvWorkload workload(options);
+    Rng rng(4);
+    std::map<std::string, int> freq;
+    constexpr int draws = 30000;
+    for (int i = 0; i < draws; ++i)
+        freq[workload.sampleOp(rng).key]++;
+    int max_count = 0;
+    for (const auto &[key, count] : freq)
+        max_count = std::max(max_count, count);
+    // YCSB-style skew: hottest key way above uniform share (3 draws).
+    EXPECT_GT(max_count, 100);
+}
+
+TEST(KvWorkloadTest, SetsCarryValuesGetsDoNot)
+{
+    KvWorkload workload({});
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+        const KvOp op = workload.sampleOp(rng);
+        if (op.isGet) {
+            EXPECT_TRUE(op.value.empty());
+        } else {
+            EXPECT_EQ(op.value, workload.valueFor(op.key));
+        }
+    }
+}
+
+} // namespace
+} // namespace musuite

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Property tests for the SpookyHash-style 128-bit hash: determinism,
+ * seed sensitivity, avalanche behaviour, bucket uniformity (the
+ * "well-distributed" requirement Router relies on), low collision
+ * rates, and shard-mapping balance.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "hash/spooky.h"
+
+namespace musuite {
+namespace {
+
+TEST(SpookyTest, Deterministic)
+{
+    const std::string key = "the quick brown fox";
+    const Hash128 a = SpookyHash::hash128(key);
+    const Hash128 b = SpookyHash::hash128(key);
+    EXPECT_EQ(a, b);
+}
+
+TEST(SpookyTest, SeedChangesOutput)
+{
+    const std::string key = "key";
+    EXPECT_FALSE(SpookyHash::hash128(key, 1, 1) ==
+                 SpookyHash::hash128(key, 2, 2));
+}
+
+TEST(SpookyTest, LengthMatters)
+{
+    // A zero byte appended must change the hash (no trivial padding
+    // collisions).
+    const std::string a("ab", 2);
+    const std::string b("ab\0", 3);
+    EXPECT_FALSE(SpookyHash::hash128(a) == SpookyHash::hash128(b));
+}
+
+TEST(SpookyTest, EmptyKeyHashes)
+{
+    const Hash128 h = SpookyHash::hash128("", 0);
+    EXPECT_TRUE(h.lo != 0 || h.hi != 0);
+}
+
+/** Lengths spanning the short path, boundary, and long path. */
+class SpookyLengthTest : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(SpookyLengthTest, AvalancheAtEveryLength)
+{
+    const size_t length = GetParam();
+    Rng rng(1234 + length);
+    std::string key(length, '\0');
+    for (char &c : key)
+        c = char(rng.next());
+
+    // Flip single input bits and measure output bit flips; a good
+    // hash flips ~64 of 128 output bits.
+    const Hash128 base = SpookyHash::hash128(key);
+    double total_flips = 0;
+    int trials = 0;
+    for (size_t byte = 0; byte < length;
+         byte += std::max<size_t>(1, length / 16)) {
+        for (int bit = 0; bit < 8; bit += 3) {
+            std::string mutated = key;
+            mutated[byte] = char(uint8_t(mutated[byte]) ^ (1u << bit));
+            const Hash128 h = SpookyHash::hash128(mutated);
+            total_flips += std::popcount(h.lo ^ base.lo) +
+                           std::popcount(h.hi ^ base.hi);
+            ++trials;
+        }
+    }
+    const double mean_flips = total_flips / trials;
+    EXPECT_GT(mean_flips, 48.0) << "poor diffusion at length " << length;
+    EXPECT_LT(mean_flips, 80.0) << "biased diffusion at length "
+                                << length;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, SpookyLengthTest,
+                         ::testing::Values(1, 3, 8, 15, 16, 17, 31, 32,
+                                           33, 63, 64, 96, 128, 191,
+                                           192, 193, 288, 1024, 4096));
+
+TEST(SpookyTest, NoCollisionsOnDistinctShortKeys)
+{
+    std::set<std::pair<uint64_t, uint64_t>> seen;
+    for (int i = 0; i < 200000; ++i) {
+        const std::string key = "user" + std::to_string(i);
+        const Hash128 h = SpookyHash::hash128(key);
+        EXPECT_TRUE(seen.insert({h.lo, h.hi}).second)
+            << "collision at " << key;
+    }
+}
+
+TEST(SpookyTest, Hash64BucketUniformity)
+{
+    // Chi-squared uniformity test of hash64 over 256 buckets.
+    constexpr int buckets = 256;
+    constexpr int draws = 200000;
+    std::vector<int> counts(buckets, 0);
+    for (int i = 0; i < draws; ++i) {
+        const std::string key = "object:" + std::to_string(i * 7 + 1);
+        counts[SpookyHash::hash64(key) % buckets]++;
+    }
+    const double expected = draws / double(buckets);
+    double chi2 = 0;
+    for (int count : counts) {
+        const double d = count - expected;
+        chi2 += d * d / expected;
+    }
+    // 255 dof: mean 255, stddev ~22.6. Accept within ~6 sigma.
+    EXPECT_LT(chi2, 255 + 6 * 22.6);
+    EXPECT_GT(chi2, 255 - 6 * 22.6);
+}
+
+TEST(SpookyTest, ShardMappingIsBalanced)
+{
+    // Router's key->leaf mapping must spread keys evenly (paper:
+    // SpookyHash "distributes keys uniformly across destination
+    // memcached servers").
+    constexpr uint32_t shards = 16;
+    constexpr int draws = 160000;
+    std::vector<int> counts(shards, 0);
+    for (int i = 0; i < draws; ++i)
+        counts[shardForKey("user" + std::to_string(i), shards)]++;
+    const double expected = draws / double(shards);
+    for (int count : counts)
+        EXPECT_NEAR(count, expected, expected * 0.05);
+}
+
+TEST(SpookyTest, ShardForHashCoversAllShards)
+{
+    std::set<uint32_t> hit;
+    for (int i = 0; i < 1000; ++i)
+        hit.insert(shardForKey(std::to_string(i), 7));
+    EXPECT_EQ(hit.size(), 7u);
+    for (uint32_t shard : hit)
+        EXPECT_LT(shard, 7u);
+}
+
+TEST(SpookyTest, LongAndShortPathsBothStable)
+{
+    // Same prefix, different lengths across the 192-byte threshold.
+    std::string blob(400, 'z');
+    for (size_t len : {190, 191, 192, 193, 200, 399}) {
+        const Hash128 a = SpookyHash::hash128(blob.data(), len);
+        const Hash128 b = SpookyHash::hash128(blob.data(), len);
+        EXPECT_EQ(a, b) << "len=" << len;
+    }
+}
+
+} // namespace
+} // namespace musuite

@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Unit tests of the four mid-tiers in isolation, using scripted fake
+ * leaf channels: degraded merges when leaves fail or return garbage,
+ * full-outage error propagation, and request-path routing decisions —
+ * without sockets, so every failure mode is exactly controllable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "index/lsh.h"
+#include "rpc/server.h"
+#include "services/hdsearch/midtier.h"
+#include "services/hdsearch/proto.h"
+#include "services/recommend/midtier.h"
+#include "services/recommend/proto.h"
+#include "services/router/midtier.h"
+#include "services/router/proto.h"
+#include "services/setalgebra/midtier.h"
+#include "services/setalgebra/proto.h"
+
+namespace musuite {
+namespace {
+
+/** A scripted leaf: replies with a fixed payload, error, or garbage. */
+class ScriptedChannel : public rpc::Channel
+{
+  public:
+    enum class Mode { Reply, Error, Garbage };
+
+    explicit ScriptedChannel(Mode mode, std::string payload = "")
+        : mode(mode), payload(std::move(payload))
+    {}
+
+    void
+    call(uint32_t, std::string, Callback callback) override
+    {
+        ++calls;
+        switch (mode) {
+          case Mode::Reply:
+            callback(Status::ok(), payload);
+            return;
+          case Mode::Error:
+            callback(Status(StatusCode::Unavailable, "scripted"), {});
+            return;
+          case Mode::Garbage:
+            callback(Status::ok(), "\x80\xFF\x01garbage");
+            return;
+        }
+    }
+
+    int calls = 0;
+
+  private:
+    Mode mode;
+    std::string payload;
+};
+
+/** Capture a mid-tier's response synchronously via invokeLocal-style
+ *  responder plumbing. */
+struct CapturedResponse
+{
+    StatusCode code = StatusCode::Internal;
+    std::string payload;
+    bool responded = false;
+};
+
+// --------------------------------------------------------------------
+// Set Algebra mid-tier.
+// --------------------------------------------------------------------
+
+std::string
+postingPayload(std::vector<uint32_t> docs)
+{
+    setalgebra::PostingReply reply;
+    reply.docIds = std::move(docs);
+    return encodeMessage(reply);
+}
+
+TEST(SetAlgebraMidTierTest, UnionsHealthyLeaves)
+{
+    auto a = std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Reply, postingPayload({1, 5}));
+    auto b = std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Reply, postingPayload({2, 5, 9}));
+    setalgebra::MidTier midtier({a, b});
+
+    setalgebra::SearchQuery query;
+    query.terms = {7};
+    CapturedResponse out;
+    rpc::Server host; // Unstarted: handler invoked directly.
+    midtier.registerWith(host);
+    host.invokeLocal(setalgebra::kSearch, encodeMessage(query),
+                     [&out](StatusCode code, std::string_view payload) {
+                         out.code = code;
+                         out.payload.assign(payload.data(),
+                                            payload.size());
+                         out.responded = true;
+                     });
+
+    ASSERT_TRUE(out.responded);
+    EXPECT_EQ(out.code, StatusCode::Ok);
+    setalgebra::PostingReply merged;
+    ASSERT_TRUE(decodeMessage(out.payload, merged));
+    EXPECT_EQ(merged.docIds, (std::vector<uint32_t>{1, 2, 5, 9}));
+    EXPECT_EQ(a->calls, 1);
+    EXPECT_EQ(b->calls, 1);
+}
+
+TEST(SetAlgebraMidTierTest, DegradedWhenOneLeafFailsOrGarbles)
+{
+    auto good = std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Reply, postingPayload({3, 4}));
+    auto dead = std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Error);
+    auto garbled = std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Garbage);
+    setalgebra::MidTier midtier({good, dead, garbled});
+
+    setalgebra::SearchQuery query;
+    query.terms = {1};
+    CapturedResponse out;
+    rpc::Server host;
+    midtier.registerWith(host);
+    host.invokeLocal(setalgebra::kSearch, encodeMessage(query),
+                     [&out](StatusCode code, std::string_view payload) {
+                         out.code = code;
+                         out.payload.assign(payload.data(),
+                                            payload.size());
+                         out.responded = true;
+                     });
+
+    ASSERT_TRUE(out.responded);
+    // Degraded but successful: the healthy shard's results survive.
+    EXPECT_EQ(out.code, StatusCode::Ok);
+    setalgebra::PostingReply merged;
+    ASSERT_TRUE(decodeMessage(out.payload, merged));
+    EXPECT_EQ(merged.docIds, (std::vector<uint32_t>{3, 4}));
+}
+
+// --------------------------------------------------------------------
+// Recommend mid-tier.
+// --------------------------------------------------------------------
+
+std::string
+ratingPayload(double rating)
+{
+    recommend::RatingReply reply;
+    reply.rating = rating;
+    return encodeMessage(reply);
+}
+
+TEST(RecommendMidTierTest, AveragesOnlyHealthyLeaves)
+{
+    auto a = std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Reply, ratingPayload(4.0));
+    auto b = std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Reply, ratingPayload(2.0));
+    auto dead = std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Error);
+    recommend::MidTier midtier({a, b, dead});
+
+    recommend::RatingQuery query{1, 2};
+    CapturedResponse out;
+    rpc::Server host;
+    midtier.registerWith(host);
+    host.invokeLocal(recommend::kPredict, encodeMessage(query),
+                     [&out](StatusCode code, std::string_view payload) {
+                         out.code = code;
+                         out.payload.assign(payload.data(),
+                                            payload.size());
+                         out.responded = true;
+                     });
+
+    ASSERT_TRUE(out.responded);
+    EXPECT_EQ(out.code, StatusCode::Ok);
+    recommend::RatingReply reply;
+    ASSERT_TRUE(decodeMessage(out.payload, reply));
+    EXPECT_DOUBLE_EQ(reply.rating, 3.0); // Mean of 4 and 2.
+}
+
+TEST(RecommendMidTierTest, TotalOutageIsUnavailable)
+{
+    auto dead1 = std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Error);
+    auto dead2 = std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Error);
+    recommend::MidTier midtier({dead1, dead2});
+
+    recommend::RatingQuery query{0, 0};
+    CapturedResponse out;
+    rpc::Server host;
+    midtier.registerWith(host);
+    host.invokeLocal(recommend::kPredict, encodeMessage(query),
+                     [&out](StatusCode code, std::string_view payload) {
+                         out.code = code;
+                         out.payload.assign(payload.data(),
+                                            payload.size());
+                         out.responded = true;
+                     });
+    ASSERT_TRUE(out.responded);
+    EXPECT_EQ(out.code, StatusCode::Unavailable);
+}
+
+// --------------------------------------------------------------------
+// Router mid-tier.
+// --------------------------------------------------------------------
+
+std::string
+kvFound(const std::string &value)
+{
+    router::KvReply reply;
+    reply.found = true;
+    reply.value = value;
+    return encodeMessage(reply);
+}
+
+TEST(RouterMidTierTest, SetSucceedsIfAnyReplicaStores)
+{
+    std::vector<std::shared_ptr<rpc::Channel>> leaves;
+    std::vector<std::shared_ptr<ScriptedChannel>> scripted;
+    for (int i = 0; i < 4; ++i) {
+        auto leaf = std::make_shared<ScriptedChannel>(
+            i == 0 ? ScriptedChannel::Mode::Reply
+                   : ScriptedChannel::Mode::Error,
+            kvFound(""));
+        scripted.push_back(leaf);
+        leaves.push_back(leaf);
+    }
+    router::MidTierOptions options;
+    options.replicas = 4; // All leaves in every pool.
+    router::MidTier midtier(leaves, options);
+
+    router::KvRequest request;
+    request.op = router::Op::Set;
+    request.key = "k";
+    request.value = "v";
+    CapturedResponse out;
+    rpc::Server host;
+    midtier.registerWith(host);
+    host.invokeLocal(router::kRoute, encodeMessage(request),
+                     [&out](StatusCode code, std::string_view payload) {
+                         out.code = code;
+                         out.payload.assign(payload.data(),
+                                            payload.size());
+                         out.responded = true;
+                     });
+    ASSERT_TRUE(out.responded);
+    EXPECT_EQ(out.code, StatusCode::Ok);
+}
+
+TEST(RouterMidTierTest, SetFailsWhenNoReplicaStores)
+{
+    std::vector<std::shared_ptr<rpc::Channel>> leaves;
+    for (int i = 0; i < 3; ++i) {
+        leaves.push_back(std::make_shared<ScriptedChannel>(
+            ScriptedChannel::Mode::Error));
+    }
+    router::MidTier midtier(leaves);
+
+    router::KvRequest request;
+    request.op = router::Op::Set;
+    request.key = "k";
+    request.value = "v";
+    CapturedResponse out;
+    rpc::Server host;
+    midtier.registerWith(host);
+    host.invokeLocal(router::kRoute, encodeMessage(request),
+                     [&out](StatusCode code, std::string_view payload) {
+                         out.code = code;
+                         out.payload.assign(payload.data(),
+                                            payload.size());
+                         out.responded = true;
+                     });
+    ASSERT_TRUE(out.responded);
+    EXPECT_EQ(out.code, StatusCode::Unavailable);
+}
+
+TEST(RouterMidTierTest, GetExhaustsReplicasThenFails)
+{
+    std::vector<std::shared_ptr<ScriptedChannel>> scripted;
+    std::vector<std::shared_ptr<rpc::Channel>> leaves;
+    for (int i = 0; i < 3; ++i) {
+        auto leaf = std::make_shared<ScriptedChannel>(
+            ScriptedChannel::Mode::Error);
+        scripted.push_back(leaf);
+        leaves.push_back(leaf);
+    }
+    router::MidTier midtier(leaves);
+
+    router::KvRequest request;
+    request.op = router::Op::Get;
+    request.key = "k";
+    CapturedResponse out;
+    rpc::Server host;
+    midtier.registerWith(host);
+    host.invokeLocal(router::kRoute, encodeMessage(request),
+                     [&out](StatusCode code, std::string_view payload) {
+                         out.code = code;
+                         out.payload.assign(payload.data(),
+                                            payload.size());
+                         out.responded = true;
+                     });
+    ASSERT_TRUE(out.responded);
+    EXPECT_EQ(out.code, StatusCode::Unavailable);
+    // Every replica in the pool was attempted exactly once.
+    int attempts = 0;
+    for (const auto &leaf : scripted)
+        attempts += leaf->calls;
+    EXPECT_EQ(attempts, 3);
+    EXPECT_EQ(midtier.failovers(), 2u);
+}
+
+// --------------------------------------------------------------------
+// HDSearch mid-tier.
+// --------------------------------------------------------------------
+
+TEST(HdSearchMidTierTest, DegradedMergeSkipsBrokenLeaves)
+{
+    // An LSH index whose buckets are so wide that both leaves are
+    // always candidates.
+    LshParams params;
+    params.numTables = 2;
+    params.hashesPerTable = 2;
+    params.bucketWidth = 1000.0f;
+    auto index = std::make_unique<LshIndex>(4, params);
+    const std::vector<float> point(4, 0.5f);
+    index->insert(point, {0, 0});
+    index->insert(point, {1, 0});
+
+    hdsearch::LeafNNResponse healthy_response;
+    healthy_response.pointIds = {0};
+    healthy_response.distances = {0.25f};
+    auto healthy = std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Reply,
+        encodeMessage(healthy_response));
+    auto broken = std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Garbage);
+
+    hdsearch::MidTier midtier(std::move(index), {healthy, broken});
+
+    hdsearch::NNQuery query;
+    query.features = point;
+    query.k = 2;
+    CapturedResponse out;
+    rpc::Server host;
+    midtier.registerWith(host);
+    host.invokeLocal(hdsearch::kNearestNeighbors,
+                     encodeMessage(query),
+                     [&out](StatusCode code, std::string_view payload) {
+                         out.code = code;
+                         out.payload.assign(payload.data(),
+                                            payload.size());
+                         out.responded = true;
+                     });
+
+    ASSERT_TRUE(out.responded);
+    EXPECT_EQ(out.code, StatusCode::Ok);
+    hdsearch::NNResponse response;
+    ASSERT_TRUE(decodeMessage(out.payload, response));
+    ASSERT_EQ(response.pointIds.size(), 1u); // Only the healthy leaf.
+    EXPECT_EQ(response.pointIds[0], hdsearch::globalPointId(0, 0));
+}
+
+} // namespace
+} // namespace musuite

@@ -1,0 +1,379 @@
+/**
+ * @file
+ * Tests for the net substrate: fd ownership, listener/connect
+ * round-trips, non-blocking IO status codes, the epoll poller
+ * (readiness, wakeups, write-interest), and length-prefixed framing
+ * (partial arrival, batched frames, oversized-frame rejection,
+ * concurrent senders).
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "base/threading.h"
+#include "base/time_util.h"
+#include "net/frame.h"
+#include "net/poller.h"
+#include "net/socket.h"
+
+namespace musuite {
+namespace {
+
+TEST(FdTest, ClosesOnDestruction)
+{
+    int raw = -1;
+    {
+        Fd fd(::open("/dev/null", O_RDONLY));
+        ASSERT_TRUE(fd.valid());
+        raw = fd.get();
+    }
+    // The descriptor must be closed now: fcntl fails with EBADF.
+    EXPECT_EQ(fcntl(raw, F_GETFD), -1);
+}
+
+TEST(FdTest, MoveTransfersOwnership)
+{
+    Fd a(::open("/dev/null", O_RDONLY));
+    const int raw = a.get();
+    Fd b(std::move(a));
+    EXPECT_FALSE(a.valid());
+    EXPECT_EQ(b.get(), raw);
+}
+
+TEST(FdTest, ReleaseDisowns)
+{
+    int raw;
+    {
+        Fd fd(::open("/dev/null", O_RDONLY));
+        raw = fd.release();
+    }
+    EXPECT_EQ(fcntl(raw, F_GETFD), 0); // Still open.
+    ::close(raw);
+}
+
+/** Listener + connected pair for socket-level tests. */
+struct SocketPair
+{
+    TcpListener listener;
+    TcpSocket client;
+    TcpSocket server;
+
+    SocketPair()
+    {
+        client = TcpSocket::connectLoopback(listener.port());
+        // Accept may need a beat on a loaded box.
+        for (int i = 0; i < 100 && !server.valid(); ++i) {
+            server = listener.accept();
+            if (!server.valid())
+                sleepForNanos(1'000'000);
+        }
+    }
+};
+
+TEST(TcpSocketTest, ConnectSendReceive)
+{
+    SocketPair pair;
+    ASSERT_TRUE(pair.client.valid());
+    ASSERT_TRUE(pair.server.valid());
+
+    size_t sent = 0;
+    ASSERT_EQ(pair.client.send("ping", 4, sent), IoStatus::Ok);
+    ASSERT_EQ(sent, 4u);
+
+    char buf[16];
+    size_t received = 0;
+    IoStatus status = IoStatus::WouldBlock;
+    for (int i = 0; i < 100 && status == IoStatus::WouldBlock; ++i) {
+        status = pair.server.receive(buf, sizeof(buf), received);
+        if (status == IoStatus::WouldBlock)
+            sleepForNanos(1'000'000);
+    }
+    ASSERT_EQ(status, IoStatus::Ok);
+    EXPECT_EQ(std::string(buf, received), "ping");
+}
+
+TEST(TcpSocketTest, ReceiveOnEmptySocketWouldBlock)
+{
+    SocketPair pair;
+    char buf[16];
+    size_t received = 0;
+    EXPECT_EQ(pair.server.receive(buf, sizeof(buf), received),
+              IoStatus::WouldBlock);
+}
+
+TEST(TcpSocketTest, PeerCloseIsEof)
+{
+    SocketPair pair;
+    pair.client.close();
+    char buf[16];
+    size_t received = 0;
+    IoStatus status = IoStatus::WouldBlock;
+    for (int i = 0; i < 100 && status == IoStatus::WouldBlock; ++i) {
+        status = pair.server.receive(buf, sizeof(buf), received);
+        if (status == IoStatus::WouldBlock)
+            sleepForNanos(1'000'000);
+    }
+    EXPECT_EQ(status, IoStatus::Eof);
+}
+
+TEST(TcpSocketTest, ConnectToDeadPortFails)
+{
+    uint16_t dead_port;
+    {
+        TcpListener listener;
+        dead_port = listener.port();
+    }
+    TcpSocket socket = TcpSocket::connectLoopback(dead_port);
+    EXPECT_FALSE(socket.valid());
+}
+
+TEST(PollerTest, ReportsReadReadiness)
+{
+    SocketPair pair;
+    Poller poller;
+    char cookie;
+    poller.add(pair.server.fd(), &cookie, false);
+
+    size_t sent;
+    pair.client.send("x", 1, sent);
+
+    auto events = poller.wait(1000);
+    ASSERT_FALSE(events.empty());
+    bool found = false;
+    for (const PollEvent &event : events) {
+        if (event.data == &cookie && event.readable)
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(PollerTest, WakeInterruptsBlockedWait)
+{
+    Poller poller;
+    std::atomic<bool> woke{false};
+    ScopedThread waiter("waiter", [&] {
+        auto events = poller.wait(-1);
+        for (const PollEvent &event : events)
+            woke.store(woke.load() || event.isWakeup);
+    });
+    sleepForNanos(5'000'000);
+    poller.wake();
+    waiter.join();
+    EXPECT_TRUE(woke.load());
+}
+
+TEST(PollerTest, ZeroTimeoutReturnsImmediately)
+{
+    Poller poller;
+    const int64_t start = nowNanos();
+    auto events = poller.wait(0);
+    EXPECT_TRUE(events.empty());
+    EXPECT_LT(nowNanos() - start, 100'000'000);
+}
+
+TEST(PollerTest, WriteInterestDeliversWritable)
+{
+    SocketPair pair;
+    Poller poller;
+    char cookie;
+    poller.add(pair.client.fd(), &cookie, true);
+    auto events = poller.wait(1000);
+    bool writable = false;
+    for (const PollEvent &event : events) {
+        if (event.data == &cookie && event.writable)
+            writable = true;
+    }
+    EXPECT_TRUE(writable); // Fresh socket: send buffer has room.
+}
+
+// --------------------------------------------------------------------
+// FramedConnection
+// --------------------------------------------------------------------
+
+/** Framed endpoints over a real socket pair plus a poller thread on
+ *  the receiving side. */
+class FrameTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        pair = std::make_unique<SocketPair>();
+        ASSERT_TRUE(pair->client.valid());
+        ASSERT_TRUE(pair->server.valid());
+        sender = std::make_unique<FramedConnection>(
+            std::move(pair->client), nullptr, nullptr);
+        receiver = std::make_unique<FramedConnection>(
+            std::move(pair->server), nullptr, nullptr);
+    }
+
+    /** Pump the receiver until `expected` frames arrive (or timeout). */
+    std::vector<std::string>
+    drain(size_t expected, int64_t timeout_ms = 2000)
+    {
+        std::vector<std::string> frames;
+        const int64_t deadline = nowNanos() + timeout_ms * 1'000'000;
+        while (frames.size() < expected && nowNanos() < deadline) {
+            receiver->onReadable([&](std::string_view frame) {
+                frames.emplace_back(frame);
+            });
+            if (frames.size() < expected)
+                sleepForNanos(500'000);
+        }
+        return frames;
+    }
+
+    std::unique_ptr<SocketPair> pair;
+    std::unique_ptr<FramedConnection> sender;
+    std::unique_ptr<FramedConnection> receiver;
+};
+
+TEST_F(FrameTest, SingleFrameRoundTrip)
+{
+    ASSERT_TRUE(sender->sendFrame("hello frames"));
+    const auto frames = drain(1);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0], "hello frames");
+}
+
+TEST_F(FrameTest, EmptyFrame)
+{
+    ASSERT_TRUE(sender->sendFrame(""));
+    const auto frames = drain(1);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0], "");
+}
+
+TEST_F(FrameTest, ManyFramesPreserveOrderAndBoundaries)
+{
+    constexpr int count = 500;
+    for (int i = 0; i < count; ++i)
+        ASSERT_TRUE(sender->sendFrame("frame-" + std::to_string(i)));
+    const auto frames = drain(count);
+    ASSERT_EQ(frames.size(), size_t(count));
+    for (int i = 0; i < count; ++i)
+        EXPECT_EQ(frames[size_t(i)], "frame-" + std::to_string(i));
+}
+
+TEST_F(FrameTest, LargeFrameExceedingKernelBuffers)
+{
+    // Multi-megabyte frame: must traverse partial sends/receives.
+    std::string big(4 * 1024 * 1024, 'z');
+    for (size_t i = 0; i < big.size(); i += 1000)
+        big[i] = char('A' + (i / 1000) % 26);
+
+    std::atomic<bool> done{false};
+    ScopedThread pump("pump", [&] {
+        // Keep flushing the sender while the receiver drains.
+        while (!done.load()) {
+            sender->onWritable();
+            sleepForNanos(200'000);
+        }
+    });
+    ASSERT_TRUE(sender->sendFrame(big));
+    const auto frames = drain(1, 10000);
+    done.store(true);
+    pump.join();
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0], big);
+}
+
+TEST_F(FrameTest, ConcurrentSendersInterleaveWholeFrames)
+{
+    constexpr int per_thread = 200;
+    constexpr int threads = 4;
+    {
+        std::vector<ScopedThread> senders;
+        for (int t = 0; t < threads; ++t) {
+            senders.emplace_back("sender", [&, t] {
+                for (int i = 0; i < per_thread; ++i) {
+                    sender->sendFrame("t" + std::to_string(t) + "-" +
+                                      std::to_string(i));
+                }
+            });
+        }
+    }
+    const auto frames = drain(threads * per_thread);
+    ASSERT_EQ(frames.size(), size_t(threads * per_thread));
+    // Frame boundaries must be intact: every frame parses as
+    // t<digit>-<index> with indexes per-thread monotonic.
+    std::array<int, threads> next{};
+    for (const std::string &frame : frames) {
+        ASSERT_GE(frame.size(), 4u);
+        ASSERT_EQ(frame[0], 't');
+        const int t = frame[1] - '0';
+        ASSERT_GE(t, 0);
+        ASSERT_LT(t, threads);
+        EXPECT_EQ(frame, "t" + std::to_string(t) + "-" +
+                             std::to_string(next[size_t(t)]));
+        next[size_t(t)]++;
+    }
+}
+
+TEST_F(FrameTest, PeerShutdownKillsConnection)
+{
+    sender->shutdown();
+    EXPECT_TRUE(sender->isDead());
+    EXPECT_FALSE(sender->sendFrame("after death"));
+
+    bool alive = true;
+    const int64_t deadline = nowNanos() + 2'000'000'000;
+    while (alive && nowNanos() < deadline) {
+        alive = receiver->onReadable([](std::string_view) {});
+        if (alive)
+            sleepForNanos(500'000);
+    }
+    EXPECT_FALSE(alive);
+    EXPECT_TRUE(receiver->isDead());
+}
+
+TEST_F(FrameTest, OversizedFrameHeaderDropsConnection)
+{
+    // Forge a header claiming a frame beyond maxFrameBytes.
+    const uint32_t huge = FramedConnection::maxFrameBytes + 1;
+    char header[4];
+    std::memcpy(header, &huge, 4);
+
+    // Send the raw bytes through a fresh socket speaking to the
+    // receiver directly.
+    // (Reuse the sender's socket via its frame API is impossible —
+    // it checks the bound — so write a legitimate small frame first
+    // to prove liveness, then the forged header.)
+    ASSERT_TRUE(sender->sendFrame("ok"));
+    auto frames = drain(1);
+    ASSERT_EQ(frames.size(), 1u);
+
+    // Inject the forged header by writing it as the *payload length*
+    // of a raw send on a second connection.
+    TcpSocket raw = TcpSocket::connectLoopback(pair->listener.port());
+    ASSERT_TRUE(raw.valid());
+    TcpSocket peer;
+    for (int i = 0; i < 100 && !peer.valid(); ++i) {
+        peer = pair->listener.accept();
+        if (!peer.valid())
+            sleepForNanos(1'000'000);
+    }
+    ASSERT_TRUE(peer.valid());
+    FramedConnection victim(std::move(peer), nullptr, nullptr);
+    size_t sent = 0;
+    ASSERT_EQ(raw.send(header, 4, sent), IoStatus::Ok);
+
+    bool alive = true;
+    const int64_t deadline = nowNanos() + 2'000'000'000;
+    while (alive && nowNanos() < deadline) {
+        alive = victim.onReadable([](std::string_view) {
+            FAIL() << "oversized frame must never be delivered";
+        });
+        if (alive)
+            sleepForNanos(500'000);
+    }
+    EXPECT_TRUE(victim.isDead());
+}
+
+} // namespace
+} // namespace musuite

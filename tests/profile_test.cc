@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for time-varying load profiles: interpolation, factory
+ * shapes, non-homogeneous Poisson generation matching the curve,
+ * per-phase accounting, and flash-crowd surge behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "base/time_util.h"
+#include "loadgen/profile.h"
+
+namespace musuite {
+namespace {
+
+TEST(LoadProfileTest, InterpolatesLinearly)
+{
+    LoadProfile profile({{0, 100.0}, {1'000'000'000, 300.0}});
+    EXPECT_DOUBLE_EQ(profile.qpsAt(0), 100.0);
+    EXPECT_DOUBLE_EQ(profile.qpsAt(500'000'000), 200.0);
+    EXPECT_DOUBLE_EQ(profile.qpsAt(1'000'000'000), 300.0);
+    EXPECT_DOUBLE_EQ(profile.peakQps(), 300.0);
+}
+
+TEST(LoadProfileTest, ClampsOutsideRange)
+{
+    LoadProfile profile({{1000, 50.0}, {2000, 150.0}});
+    EXPECT_DOUBLE_EQ(profile.qpsAt(0), 50.0);
+    EXPECT_DOUBLE_EQ(profile.qpsAt(99999), 150.0);
+}
+
+TEST(LoadProfileTest, ConstantFactory)
+{
+    const auto profile = LoadProfile::constant(42.0, 5'000'000);
+    EXPECT_DOUBLE_EQ(profile.qpsAt(0), 42.0);
+    EXPECT_DOUBLE_EQ(profile.qpsAt(2'500'000), 42.0);
+    EXPECT_EQ(profile.durationNs(), 5'000'000);
+}
+
+TEST(LoadProfileTest, FlashCrowdShape)
+{
+    const auto profile = LoadProfile::flashCrowd(
+        100.0, 5.0, 1'000'000'000, 400'000'000, 200'000'000);
+    EXPECT_DOUBLE_EQ(profile.qpsAt(100'000'000), 100.0);
+    EXPECT_DOUBLE_EQ(profile.qpsAt(500'000'000), 500.0);
+    EXPECT_DOUBLE_EQ(profile.qpsAt(900'000'000), 100.0);
+    EXPECT_DOUBLE_EQ(profile.peakQps(), 500.0);
+}
+
+TEST(LoadProfileTest, DiurnalPeaksMidWindow)
+{
+    const auto profile =
+        LoadProfile::diurnal(100.0, 1000.0, 2'000'000'000);
+    EXPECT_DOUBLE_EQ(profile.qpsAt(0), 100.0);
+    EXPECT_DOUBLE_EQ(profile.qpsAt(1'000'000'000), 1000.0);
+    EXPECT_NEAR(profile.qpsAt(500'000'000), 550.0, 1e-6);
+}
+
+TEST(ProfiledLoadGenTest, PhaseRatesTrackTheCurve)
+{
+    // 3 phases at 500 / 2500 / 500 QPS: the measured per-phase
+    // arrival counts must track the curve.
+    const int64_t duration = 900'000'000;
+    const auto profile = LoadProfile::flashCrowd(
+        500.0, 5.0, duration, 300'000'000, 300'000'000);
+
+    ProfiledLoadGen::Options options;
+    options.seed = 5;
+    options.phaseBounds = {0, 300'000'000, 600'000'000};
+    options.phaseNames = {"before", "spike", "after"};
+    ProfiledLoadGen generator(profile, options);
+
+    const auto phases = generator.run(
+        [](uint64_t, std::function<void(bool)> done) { done(true); });
+
+    ASSERT_EQ(phases.size(), 3u);
+    EXPECT_EQ(phases[0].name, "before");
+    // 0.3 s at 500 QPS ~ 150 arrivals; at 2500 ~ 750.
+    EXPECT_NEAR(double(phases[0].load.issued), 150.0, 60.0);
+    EXPECT_NEAR(double(phases[1].load.issued), 750.0, 140.0);
+    EXPECT_NEAR(double(phases[2].load.issued), 150.0, 60.0);
+    for (const PhaseResult &phase : phases) {
+        EXPECT_EQ(phase.load.completed, phase.load.issued);
+        EXPECT_EQ(phase.load.errors, 0u);
+    }
+}
+
+TEST(ProfiledLoadGenTest, SinglePhaseByDefault)
+{
+    ProfiledLoadGen generator(
+        LoadProfile::constant(2000.0, 300'000'000), {});
+    const auto phases = generator.run(
+        [](uint64_t, std::function<void(bool)> done) { done(true); });
+    ASSERT_EQ(phases.size(), 1u);
+    EXPECT_NEAR(double(phases[0].load.issued), 600.0, 150.0);
+}
+
+TEST(ProfiledLoadGenTest, ErrorsCountedPerPhase)
+{
+    ProfiledLoadGen::Options options;
+    options.phaseBounds = {0, 150'000'000};
+    ProfiledLoadGen generator(
+        LoadProfile::constant(1000.0, 300'000'000), options);
+    std::atomic<uint64_t> n{0};
+    const auto phases = generator.run(
+        [&](uint64_t, std::function<void(bool)> done) {
+            done(n.fetch_add(1) % 2 == 0);
+        });
+    ASSERT_EQ(phases.size(), 2u);
+    for (const PhaseResult &phase : phases) {
+        EXPECT_GT(phase.load.errors, 0u);
+        EXPECT_NEAR(phase.load.errorRate(), 0.5, 0.15);
+    }
+}
+
+TEST(ProfiledLoadGenTest, SpikeLatencyVisibleInPhaseHistograms)
+{
+    // A fake service whose latency rises with concurrent load: the
+    // spike phase must show worse recorded latency than baseline.
+    const int64_t duration = 600'000'000;
+    const auto profile = LoadProfile::flashCrowd(
+        300.0, 8.0, duration, 200'000'000, 200'000'000);
+    ProfiledLoadGen::Options options;
+    options.seed = 9;
+    options.phaseBounds = {0, 200'000'000, 400'000'000};
+    options.phaseNames = {"calm", "crowd", "recovery"};
+    ProfiledLoadGen generator(profile, options);
+
+    std::atomic<int64_t> last_call_ns{0};
+    const auto phases = generator.run(
+        [&](uint64_t, std::function<void(bool)> done) {
+            // Service slows under burst: busy-wait proportional to
+            // arrival proximity.
+            const int64_t now = nowNanos();
+            const int64_t gap = now - last_call_ns.exchange(now);
+            if (gap < 1'000'000)
+                sleepForNanos(2'000'000); // Overloaded path.
+            done(true);
+        });
+
+    ASSERT_EQ(phases.size(), 3u);
+    const auto calm_p99 = phases[0].load.latency.valueAtQuantile(0.99);
+    const auto crowd_p99 = phases[1].load.latency.valueAtQuantile(0.99);
+    EXPECT_GT(crowd_p99, calm_p99);
+}
+
+} // namespace
+} // namespace musuite

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Integration and unit tests for the murpc layer: framing, header
+ * codec, echo round-trips over real loopback TCP, asynchronous
+ * completion, dispatch vs inline execution, multi-client concurrency,
+ * error propagation, and connection-failure handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "base/threading.h"
+#include "rpc/client.h"
+#include "rpc/local_channel.h"
+#include "rpc/message.h"
+#include "rpc/server.h"
+
+namespace musuite {
+namespace rpc {
+namespace {
+
+constexpr uint32_t kEcho = 1;
+constexpr uint32_t kReverse = 2;
+constexpr uint32_t kFail = 3;
+constexpr uint32_t kAsyncEcho = 4;
+
+/** Server preconfigured with a few toy methods. */
+class RpcTest : public ::testing::Test
+{
+  protected:
+    void
+    startServer(ServerOptions options = {})
+    {
+        server = std::make_unique<Server>(options);
+        server->registerHandler(kEcho, [](ServerCallPtr call) {
+            call->respondOk(call->body());
+        });
+        server->registerHandler(kReverse, [](ServerCallPtr call) {
+            std::string reversed(call->body().rbegin(),
+                                 call->body().rend());
+            call->respondOk(reversed);
+        });
+        server->registerHandler(kFail, [](ServerCallPtr call) {
+            call->respond(StatusCode::NotFound, "nope");
+        });
+        server->registerHandler(kAsyncEcho, [this](ServerCallPtr call) {
+            // Complete from a different thread, as mid-tiers do.
+            asyncWorkers.emplace_back("async-reply", [call] {
+                call->respondOk(call->body());
+            });
+        });
+        server->start();
+    }
+
+    void
+    TearDown() override
+    {
+        asyncWorkers.clear();
+        server.reset();
+    }
+
+    std::unique_ptr<Server> server;
+    std::vector<ScopedThread> asyncWorkers;
+};
+
+TEST(MessageHeaderTest, RoundTrip)
+{
+    MessageHeader header;
+    header.kind = MessageKind::Response;
+    header.status = StatusCode::DeadlineExceeded;
+    header.method = 0xDEADBEEF;
+    header.requestId = 0x0123456789ABCDEFull;
+    const std::string frame = encodeFrame(header, "payload");
+
+    MessageHeader parsed;
+    std::string_view payload;
+    ASSERT_TRUE(decodeFrame(frame, parsed, payload));
+    EXPECT_EQ(parsed.kind, MessageKind::Response);
+    EXPECT_EQ(parsed.status, StatusCode::DeadlineExceeded);
+    EXPECT_EQ(parsed.method, 0xDEADBEEFu);
+    EXPECT_EQ(parsed.requestId, 0x0123456789ABCDEFull);
+    EXPECT_EQ(payload, "payload");
+}
+
+TEST(MessageHeaderTest, RejectsTruncatedFrames)
+{
+    MessageHeader parsed;
+    std::string_view payload;
+    EXPECT_FALSE(decodeFrame("short", parsed, payload));
+    EXPECT_FALSE(decodeFrame("", parsed, payload));
+}
+
+TEST(MessageHeaderTest, RejectsGarbageKind)
+{
+    std::string frame(MessageHeader::wireSize, '\xFF');
+    MessageHeader parsed;
+    std::string_view payload;
+    EXPECT_FALSE(decodeFrame(frame, parsed, payload));
+}
+
+TEST_F(RpcTest, SyncEchoOverTcp)
+{
+    startServer();
+    RpcClient client(server->port());
+    auto result = client.callSync(kEcho, "hello microservices");
+    ASSERT_TRUE(result.isOk()) << result.status().toString();
+    EXPECT_EQ(result.value(), "hello microservices");
+}
+
+TEST_F(RpcTest, ReverseHandler)
+{
+    startServer();
+    RpcClient client(server->port());
+    auto result = client.callSync(kReverse, "abcdef");
+    ASSERT_TRUE(result.isOk());
+    EXPECT_EQ(result.value(), "fedcba");
+}
+
+TEST_F(RpcTest, EmptyPayload)
+{
+    startServer();
+    RpcClient client(server->port());
+    auto result = client.callSync(kEcho, "");
+    ASSERT_TRUE(result.isOk());
+    EXPECT_EQ(result.value(), "");
+}
+
+TEST_F(RpcTest, LargePayloadRoundTrip)
+{
+    startServer();
+    RpcClient client(server->port());
+    std::string big(3 * 1024 * 1024, 'x');
+    for (size_t i = 0; i < big.size(); i += 4096)
+        big[i] = char('a' + (i / 4096) % 26);
+    auto result = client.callSync(kEcho, big);
+    ASSERT_TRUE(result.isOk());
+    EXPECT_EQ(result.value(), big);
+}
+
+TEST_F(RpcTest, ErrorStatusPropagates)
+{
+    startServer();
+    RpcClient client(server->port());
+    auto result = client.callSync(kFail, "q");
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::NotFound);
+}
+
+TEST_F(RpcTest, UnknownMethodIsUnimplemented)
+{
+    startServer();
+    RpcClient client(server->port());
+    auto result = client.callSync(999, "q");
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::Unimplemented);
+}
+
+TEST_F(RpcTest, AsynchronousCompletionFromOtherThread)
+{
+    startServer();
+    RpcClient client(server->port());
+    auto result = client.callSync(kAsyncEcho, "deferred");
+    ASSERT_TRUE(result.isOk());
+    EXPECT_EQ(result.value(), "deferred");
+}
+
+TEST_F(RpcTest, ManyConcurrentCallsMultiplexed)
+{
+    startServer();
+    RpcClient client(server->port());
+
+    constexpr int calls = 200;
+    std::atomic<int> completed{0};
+    std::atomic<int> mismatched{0};
+    CountdownLatch latch(calls);
+    for (int i = 0; i < calls; ++i) {
+        std::string body = "msg-" + std::to_string(i);
+        client.call(kEcho, body,
+                    [&, expect = body](const Status &status,
+                                       std::string_view payload) {
+                        if (status.isOk() && payload == expect)
+                            completed.fetch_add(1);
+                        else
+                            mismatched.fetch_add(1);
+                        latch.countDown();
+                    });
+    }
+    latch.wait();
+    EXPECT_EQ(completed.load(), calls);
+    EXPECT_EQ(mismatched.load(), 0);
+}
+
+TEST_F(RpcTest, InlineExecutionMode)
+{
+    ServerOptions options;
+    options.dispatchToWorkers = false;
+    options.workerThreads = 0;
+    startServer(options);
+    RpcClient client(server->port());
+    auto result = client.callSync(kEcho, "inline");
+    ASSERT_TRUE(result.isOk());
+    EXPECT_EQ(result.value(), "inline");
+}
+
+TEST_F(RpcTest, MultiplePollerAndWorkerThreads)
+{
+    ServerOptions options;
+    options.pollerThreads = 2;
+    options.workerThreads = 4;
+    startServer(options);
+
+    ClientOptions client_options;
+    client_options.connections = 4;
+    client_options.completionThreads = 2;
+    RpcClient client(server->port(), client_options);
+
+    constexpr int calls = 300;
+    std::atomic<int> completed{0};
+    CountdownLatch latch(calls);
+    for (int i = 0; i < calls; ++i) {
+        client.call(kReverse, "abc",
+                    [&](const Status &status, std::string_view payload) {
+                        if (status.isOk() && payload == "cba")
+                            completed.fetch_add(1);
+                        latch.countDown();
+                    });
+    }
+    latch.wait();
+    EXPECT_EQ(completed.load(), calls);
+}
+
+TEST_F(RpcTest, MultipleClientsShareServer)
+{
+    startServer();
+    std::vector<std::unique_ptr<RpcClient>> clients;
+    for (int i = 0; i < 4; ++i)
+        clients.push_back(std::make_unique<RpcClient>(server->port()));
+    for (int round = 0; round < 5; ++round) {
+        for (auto &client : clients) {
+            auto result = client->callSync(kEcho, "ping");
+            ASSERT_TRUE(result.isOk());
+            EXPECT_EQ(result.value(), "ping");
+        }
+    }
+    EXPECT_GE(server->requestsServed(), 20u);
+}
+
+TEST_F(RpcTest, ConnectToClosedPortIsUnavailable)
+{
+    // Grab a port by binding a listener, then close it.
+    uint16_t dead_port;
+    {
+        TcpListener listener;
+        dead_port = listener.port();
+    }
+    RpcClient client(dead_port);
+    EXPECT_FALSE(client.isHealthy());
+    auto result = client.callSync(kEcho, "void");
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::Unavailable);
+}
+
+TEST_F(RpcTest, ServerRestartAllowsReconnect)
+{
+    startServer();
+    const uint16_t old_port = server->port();
+    {
+        RpcClient client(old_port);
+        ASSERT_TRUE(client.callSync(kEcho, "x").isOk());
+    }
+    server.reset();
+    startServer();
+    RpcClient client(server->port());
+    auto result = client.callSync(kEcho, "after-restart");
+    ASSERT_TRUE(result.isOk());
+    EXPECT_EQ(result.value(), "after-restart");
+}
+
+TEST_F(RpcTest, LocalChannelBypassesTransport)
+{
+    startServer();
+    LocalChannel channel(*server);
+    auto result = channel.callSync(kReverse, "0123");
+    ASSERT_TRUE(result.isOk());
+    EXPECT_EQ(result.value(), "3210");
+}
+
+TEST_F(RpcTest, LocalChannelErrorPropagates)
+{
+    startServer();
+    LocalChannel channel(*server);
+    auto result = channel.callSync(kFail, "");
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::NotFound);
+}
+
+/** Parameterized sweep over server threading configurations. */
+struct ThreadingParam
+{
+    int pollers;
+    int workers;
+    bool dispatch;
+};
+
+class RpcThreadingTest : public ::testing::TestWithParam<ThreadingParam>
+{};
+
+TEST_P(RpcThreadingTest, EchoUnderEveryThreadingModel)
+{
+    const ThreadingParam param = GetParam();
+    ServerOptions options;
+    options.pollerThreads = param.pollers;
+    options.workerThreads = param.workers;
+    options.dispatchToWorkers = param.dispatch;
+
+    Server server(options);
+    server.registerHandler(kEcho, [](ServerCallPtr call) {
+        call->respondOk(call->body());
+    });
+    server.start();
+
+    RpcClient client(server.port());
+    constexpr int calls = 64;
+    std::atomic<int> completed{0};
+    CountdownLatch latch(calls);
+    for (int i = 0; i < calls; ++i) {
+        client.call(kEcho, std::to_string(i),
+                    [&, expect = std::to_string(i)](
+                        const Status &status, std::string_view payload) {
+                        if (status.isOk() && payload == expect)
+                            completed.fetch_add(1);
+                        latch.countDown();
+                    });
+    }
+    latch.wait();
+    EXPECT_EQ(completed.load(), calls);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadingModels, RpcThreadingTest,
+    ::testing::Values(ThreadingParam{1, 1, true},
+                      ThreadingParam{1, 4, true},
+                      ThreadingParam{2, 2, true},
+                      ThreadingParam{4, 8, true},
+                      ThreadingParam{1, 0, false},
+                      ThreadingParam{2, 0, false}),
+    [](const ::testing::TestParamInfo<ThreadingParam> &info) {
+        const auto &p = info.param;
+        return "p" + std::to_string(p.pollers) + "_w" +
+               std::to_string(p.workers) +
+               (p.dispatch ? "_dispatch" : "_inline");
+    });
+
+} // namespace
+} // namespace rpc
+} // namespace musuite

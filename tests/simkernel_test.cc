@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Tests for the discrete-event simulator: conservation (every issued
+ * query completes), determinism, throughput tracking, queueing
+ * behaviour (latency grows toward saturation), the paper's low-load
+ * median effect, category population, and counter monotonicity with
+ * load.
+ */
+
+#include <gtest/gtest.h>
+
+#include "simkernel/sim.h"
+
+namespace musuite {
+namespace sim {
+namespace {
+
+MachineParams
+testMachine()
+{
+    return MachineParams{};
+}
+
+TEST(SimTest, AllQueriesComplete)
+{
+    const SimResult result = simulate(testMachine(), hdsearchParams(),
+                                      1000.0, 500'000.0, 1);
+    EXPECT_GT(result.issued, 300u);
+    EXPECT_EQ(result.completed, result.issued);
+}
+
+TEST(SimTest, DeterministicUnderSeed)
+{
+    const SimResult a = simulate(testMachine(), routerParams(), 2000.0,
+                                 200'000.0, 7);
+    const SimResult b = simulate(testMachine(), routerParams(), 2000.0,
+                                 200'000.0, 7);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.latency.valueAtQuantile(0.5),
+              b.latency.valueAtQuantile(0.5));
+    EXPECT_EQ(a.hitmEvents, b.hitmEvents);
+    EXPECT_EQ(a.contextSwitches, b.contextSwitches);
+}
+
+TEST(SimTest, AchievedTracksOfferedBelowSaturation)
+{
+    const SimResult result = simulate(testMachine(), recommendParams(),
+                                      5000.0, 1'000'000.0, 3);
+    EXPECT_NEAR(result.achievedQps, 5000.0, 5000.0 * 0.1);
+}
+
+TEST(SimTest, LatencyIncludesLeafAndWireTime)
+{
+    const SimResult result = simulate(testMachine(), hdsearchParams(),
+                                      100.0, 500'000.0, 5);
+    // Floor: 2 wire hops each way + leaf compute ~90us.
+    EXPECT_GT(result.latency.valueAtQuantile(0.5), 100'000);
+    // And it is not absurd at 100 QPS.
+    EXPECT_LT(result.latency.valueAtQuantile(0.5), 2'000'000);
+}
+
+TEST(SimTest, TailGrowsWithLoad)
+{
+    MachineParams machine = testMachine();
+    const ServiceParams service = setAlgebraParams();
+    const SimResult low =
+        simulate(machine, service, 1000.0, 2'000'000.0, 11);
+    const SimResult high =
+        simulate(machine, service, 15000.0, 2'000'000.0, 11);
+    EXPECT_GT(high.latency.valueAtQuantile(0.99),
+              low.latency.valueAtQuantile(0.99));
+}
+
+TEST(SimTest, MedianHigherAtVeryLowLoad)
+{
+    // Paper Fig. 10: median at 100 QPS is up to 1.45x the median at
+    // 1K QPS because sleeps are deeper at low load.
+    MachineParams machine = testMachine();
+    const ServiceParams service = hdsearchParams();
+    const SimResult qps100 =
+        simulate(machine, service, 100.0, 4'000'000.0, 13);
+    const SimResult qps1k =
+        simulate(machine, service, 1000.0, 4'000'000.0, 13);
+    const double ratio =
+        double(qps100.latency.valueAtQuantile(0.5)) /
+        double(qps1k.latency.valueAtQuantile(0.5));
+    EXPECT_GT(ratio, 1.05) << "no low-load penalty";
+    EXPECT_LT(ratio, 2.0) << "implausibly large low-load penalty";
+}
+
+TEST(SimTest, AllKernelCategoriesPopulated)
+{
+    const SimResult result = simulate(testMachine(), hdsearchParams(),
+                                      2000.0, 1'000'000.0, 17);
+    for (OsCategory category : allOsCategories()) {
+        EXPECT_GT(result.osBreakdown[size_t(category)].count(), 0u)
+            << osCategoryName(category);
+    }
+}
+
+TEST(SimTest, ActiveExeDominatesKernelCostsInTail)
+{
+    // The headline finding: wakeup (runqueue) latency is the largest
+    // OS contributor to tails, far above hardirq/softirq costs.
+    const SimResult result = simulate(testMachine(), setAlgebraParams(),
+                                      2000.0, 2'000'000.0, 19);
+    const int64_t active_exe_p99 =
+        result.osBreakdown[size_t(OsCategory::ActiveExe)]
+            .valueAtQuantile(0.99);
+    const int64_t hardirq_p99 =
+        result.osBreakdown[size_t(OsCategory::Hardirq)]
+            .valueAtQuantile(0.99);
+    EXPECT_GT(active_exe_p99, hardirq_p99);
+}
+
+TEST(SimTest, FutexPerQueryHigherAtLowLoad)
+{
+    // Figs. 11-14: futex invocations *per QPS* are higher at low
+    // load (every hop needs a wakeup; at high load queues stay warm).
+    const ServiceParams service = routerParams();
+    const SimResult low =
+        simulate(testMachine(), service, 100.0, 4'000'000.0, 23);
+    const SimResult high =
+        simulate(testMachine(), service, 10000.0, 4'000'000.0, 23);
+    EXPECT_GT(low.syscallsPerQuery(low.syscalls.futex),
+              high.syscallsPerQuery(high.syscalls.futex));
+}
+
+TEST(SimTest, CountersGrowWithLoad)
+{
+    // Fig. 19: absolute CS and HITM counts rise with load.
+    const ServiceParams service = recommendParams();
+    const SimResult low =
+        simulate(testMachine(), service, 500.0, 2'000'000.0, 29);
+    const SimResult high =
+        simulate(testMachine(), service, 8000.0, 2'000'000.0, 29);
+    EXPECT_GT(high.contextSwitches, low.contextSwitches);
+    EXPECT_GT(high.hitmEvents, low.hitmEvents);
+}
+
+TEST(SimTest, HitmExceedsContextSwitches)
+{
+    // Fig. 19: HITM counts exceed CS counts (threads contend on the
+    // socket/queue locks beyond just sleeping and waking).
+    const SimResult result = simulate(testMachine(), hdsearchParams(),
+                                      8000.0, 2'000'000.0, 31);
+    EXPECT_GT(result.hitmEvents, result.contextSwitches);
+}
+
+TEST(SimTest, SaturationInPaperBallpark)
+{
+    // With paper-like shapes and hardware, services saturate in the
+    // 10-20K QPS band (Fig. 9).
+    const SimResult result = simulate(testMachine(), hdsearchParams(),
+                                      60000.0, 1'000'000.0, 37);
+    EXPECT_LT(result.achievedQps, 60000.0 * 0.9)
+        << "service should saturate well below 60K QPS";
+    EXPECT_GT(result.achievedQps, 4000.0);
+}
+
+TEST(SimTest, RouterSustainsHigherFanoutCheaply)
+{
+    // Router's tiny per-op costs keep it viable at 10K QPS.
+    const SimResult result = simulate(testMachine(), routerParams(),
+                                      10000.0, 1'000'000.0, 41);
+    EXPECT_NEAR(result.achievedQps, 10000.0, 2000.0);
+}
+
+TEST(SimTest, WorstCaseTailStaysSingleDigitMilliseconds)
+{
+    // Paper: worst-case end-to-end tails stay bounded (<= 22 ms);
+    // constituent microservices see a few single-digit ms.
+    for (const ServiceParams &service :
+         {hdsearchParams(), routerParams(), setAlgebraParams(),
+          recommendParams()}) {
+        const SimResult result =
+            simulate(testMachine(), service, 1000.0, 2'000'000.0, 43);
+        EXPECT_LT(result.latency.valueAtQuantile(0.999), 22'000'000);
+    }
+}
+
+} // namespace
+} // namespace sim
+} // namespace musuite
