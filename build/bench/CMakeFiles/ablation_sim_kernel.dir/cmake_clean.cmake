@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sim_kernel.dir/ablation_sim_kernel.cc.o"
+  "CMakeFiles/ablation_sim_kernel.dir/ablation_sim_kernel.cc.o.d"
+  "ablation_sim_kernel"
+  "ablation_sim_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sim_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

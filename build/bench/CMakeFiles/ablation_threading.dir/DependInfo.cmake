@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_threading.cc" "bench/CMakeFiles/ablation_threading.dir/ablation_threading.cc.o" "gcc" "bench/CMakeFiles/ablation_threading.dir/ablation_threading.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/musuite_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkernel/CMakeFiles/musuite_simkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/musuite_services.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/musuite_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/musuite_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/musuite_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/musuite_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/musuite_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/loadgen/CMakeFiles/musuite_loadgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/musuite_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/musuite_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/musuite_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ostrace/CMakeFiles/musuite_ostrace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/musuite_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/musuite_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

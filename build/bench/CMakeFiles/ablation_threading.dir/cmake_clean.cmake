@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_threading.dir/ablation_threading.cc.o"
+  "CMakeFiles/ablation_threading.dir/ablation_threading.cc.o.d"
+  "ablation_threading"
+  "ablation_threading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_saturation.dir/fig09_saturation.cc.o"
+  "CMakeFiles/fig09_saturation.dir/fig09_saturation.cc.o.d"
+  "fig09_saturation"
+  "fig09_saturation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_saturation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

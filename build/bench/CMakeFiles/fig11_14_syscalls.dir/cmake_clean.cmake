@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_14_syscalls.dir/fig11_14_syscalls.cc.o"
+  "CMakeFiles/fig11_14_syscalls.dir/fig11_14_syscalls.cc.o.d"
+  "fig11_14_syscalls"
+  "fig11_14_syscalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_14_syscalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig15_18_os_breakdown.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_cs_hitm.dir/fig19_cs_hitm.cc.o"
+  "CMakeFiles/fig19_cs_hitm.dir/fig19_cs_hitm.cc.o.d"
+  "fig19_cs_hitm"
+  "fig19_cs_hitm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_cs_hitm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

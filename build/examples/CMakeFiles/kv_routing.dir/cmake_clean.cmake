@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_routing.dir/kv_routing.cpp.o"
+  "CMakeFiles/kv_routing.dir/kv_routing.cpp.o.d"
+  "kv_routing"
+  "kv_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

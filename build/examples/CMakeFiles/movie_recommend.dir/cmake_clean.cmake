@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_recommend.dir/movie_recommend.cpp.o"
+  "CMakeFiles/movie_recommend.dir/movie_recommend.cpp.o.d"
+  "movie_recommend"
+  "movie_recommend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_recommend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("stats")
+subdirs("hash")
+subdirs("serde")
+subdirs("ostrace")
+subdirs("net")
+subdirs("rpc")
+subdirs("loadgen")
+subdirs("kv")
+subdirs("index")
+subdirs("ml")
+subdirs("dataset")
+subdirs("simkernel")
+subdirs("services")
+subdirs("harness")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musuite_base.dir/logging.cc.o"
+  "CMakeFiles/musuite_base.dir/logging.cc.o.d"
+  "CMakeFiles/musuite_base.dir/rng.cc.o"
+  "CMakeFiles/musuite_base.dir/rng.cc.o.d"
+  "CMakeFiles/musuite_base.dir/threading.cc.o"
+  "CMakeFiles/musuite_base.dir/threading.cc.o.d"
+  "CMakeFiles/musuite_base.dir/time_util.cc.o"
+  "CMakeFiles/musuite_base.dir/time_util.cc.o.d"
+  "libmusuite_base.a"
+  "libmusuite_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musuite_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

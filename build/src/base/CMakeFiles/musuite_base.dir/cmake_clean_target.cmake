@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmusuite_base.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/datasets.cc" "src/dataset/CMakeFiles/musuite_dataset.dir/datasets.cc.o" "gcc" "src/dataset/CMakeFiles/musuite_dataset.dir/datasets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/musuite_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/musuite_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/musuite_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

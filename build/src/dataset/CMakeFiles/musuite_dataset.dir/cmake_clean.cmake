@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musuite_dataset.dir/datasets.cc.o"
+  "CMakeFiles/musuite_dataset.dir/datasets.cc.o.d"
+  "libmusuite_dataset.a"
+  "libmusuite_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musuite_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

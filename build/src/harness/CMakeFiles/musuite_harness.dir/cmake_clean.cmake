@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musuite_harness.dir/deployment.cc.o"
+  "CMakeFiles/musuite_harness.dir/deployment.cc.o.d"
+  "CMakeFiles/musuite_harness.dir/experiment.cc.o"
+  "CMakeFiles/musuite_harness.dir/experiment.cc.o.d"
+  "libmusuite_harness.a"
+  "libmusuite_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musuite_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

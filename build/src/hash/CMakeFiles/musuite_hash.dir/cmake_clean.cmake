@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musuite_hash.dir/spooky.cc.o"
+  "CMakeFiles/musuite_hash.dir/spooky.cc.o.d"
+  "libmusuite_hash.a"
+  "libmusuite_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musuite_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/lsh.cc" "src/index/CMakeFiles/musuite_index.dir/lsh.cc.o" "gcc" "src/index/CMakeFiles/musuite_index.dir/lsh.cc.o.d"
+  "/root/repo/src/index/postings.cc" "src/index/CMakeFiles/musuite_index.dir/postings.cc.o" "gcc" "src/index/CMakeFiles/musuite_index.dir/postings.cc.o.d"
+  "/root/repo/src/index/vectors.cc" "src/index/CMakeFiles/musuite_index.dir/vectors.cc.o" "gcc" "src/index/CMakeFiles/musuite_index.dir/vectors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/musuite_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musuite_index.dir/lsh.cc.o"
+  "CMakeFiles/musuite_index.dir/lsh.cc.o.d"
+  "CMakeFiles/musuite_index.dir/postings.cc.o"
+  "CMakeFiles/musuite_index.dir/postings.cc.o.d"
+  "CMakeFiles/musuite_index.dir/vectors.cc.o"
+  "CMakeFiles/musuite_index.dir/vectors.cc.o.d"
+  "libmusuite_index.a"
+  "libmusuite_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musuite_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

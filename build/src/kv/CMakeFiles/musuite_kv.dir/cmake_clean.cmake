@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musuite_kv.dir/mucache.cc.o"
+  "CMakeFiles/musuite_kv.dir/mucache.cc.o.d"
+  "libmusuite_kv.a"
+  "libmusuite_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musuite_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musuite_loadgen.dir/loadgen.cc.o"
+  "CMakeFiles/musuite_loadgen.dir/loadgen.cc.o.d"
+  "CMakeFiles/musuite_loadgen.dir/profile.cc.o"
+  "CMakeFiles/musuite_loadgen.dir/profile.cc.o.d"
+  "libmusuite_loadgen.a"
+  "libmusuite_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musuite_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

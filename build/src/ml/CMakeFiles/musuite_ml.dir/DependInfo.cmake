@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cf.cc" "src/ml/CMakeFiles/musuite_ml.dir/cf.cc.o" "gcc" "src/ml/CMakeFiles/musuite_ml.dir/cf.cc.o.d"
+  "/root/repo/src/ml/matrix.cc" "src/ml/CMakeFiles/musuite_ml.dir/matrix.cc.o" "gcc" "src/ml/CMakeFiles/musuite_ml.dir/matrix.cc.o.d"
+  "/root/repo/src/ml/nmf.cc" "src/ml/CMakeFiles/musuite_ml.dir/nmf.cc.o" "gcc" "src/ml/CMakeFiles/musuite_ml.dir/nmf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/musuite_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

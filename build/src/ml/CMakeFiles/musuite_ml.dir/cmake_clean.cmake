@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musuite_ml.dir/cf.cc.o"
+  "CMakeFiles/musuite_ml.dir/cf.cc.o.d"
+  "CMakeFiles/musuite_ml.dir/matrix.cc.o"
+  "CMakeFiles/musuite_ml.dir/matrix.cc.o.d"
+  "CMakeFiles/musuite_ml.dir/nmf.cc.o"
+  "CMakeFiles/musuite_ml.dir/nmf.cc.o.d"
+  "libmusuite_ml.a"
+  "libmusuite_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musuite_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

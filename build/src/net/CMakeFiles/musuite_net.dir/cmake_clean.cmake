@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musuite_net.dir/frame.cc.o"
+  "CMakeFiles/musuite_net.dir/frame.cc.o.d"
+  "CMakeFiles/musuite_net.dir/poller.cc.o"
+  "CMakeFiles/musuite_net.dir/poller.cc.o.d"
+  "CMakeFiles/musuite_net.dir/socket.cc.o"
+  "CMakeFiles/musuite_net.dir/socket.cc.o.d"
+  "libmusuite_net.a"
+  "libmusuite_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musuite_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

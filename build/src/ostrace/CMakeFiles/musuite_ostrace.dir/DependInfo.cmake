@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ostrace/ostrace.cc" "src/ostrace/CMakeFiles/musuite_ostrace.dir/ostrace.cc.o" "gcc" "src/ostrace/CMakeFiles/musuite_ostrace.dir/ostrace.cc.o.d"
+  "/root/repo/src/ostrace/rusage.cc" "src/ostrace/CMakeFiles/musuite_ostrace.dir/rusage.cc.o" "gcc" "src/ostrace/CMakeFiles/musuite_ostrace.dir/rusage.cc.o.d"
+  "/root/repo/src/ostrace/sync.cc" "src/ostrace/CMakeFiles/musuite_ostrace.dir/sync.cc.o" "gcc" "src/ostrace/CMakeFiles/musuite_ostrace.dir/sync.cc.o.d"
+  "/root/repo/src/ostrace/syscalls.cc" "src/ostrace/CMakeFiles/musuite_ostrace.dir/syscalls.cc.o" "gcc" "src/ostrace/CMakeFiles/musuite_ostrace.dir/syscalls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/musuite_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/musuite_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

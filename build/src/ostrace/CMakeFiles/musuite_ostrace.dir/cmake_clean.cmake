@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musuite_ostrace.dir/ostrace.cc.o"
+  "CMakeFiles/musuite_ostrace.dir/ostrace.cc.o.d"
+  "CMakeFiles/musuite_ostrace.dir/rusage.cc.o"
+  "CMakeFiles/musuite_ostrace.dir/rusage.cc.o.d"
+  "CMakeFiles/musuite_ostrace.dir/sync.cc.o"
+  "CMakeFiles/musuite_ostrace.dir/sync.cc.o.d"
+  "CMakeFiles/musuite_ostrace.dir/syscalls.cc.o"
+  "CMakeFiles/musuite_ostrace.dir/syscalls.cc.o.d"
+  "libmusuite_ostrace.a"
+  "libmusuite_ostrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musuite_ostrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

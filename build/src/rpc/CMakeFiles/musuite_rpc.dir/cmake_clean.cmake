@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musuite_rpc.dir/channel.cc.o"
+  "CMakeFiles/musuite_rpc.dir/channel.cc.o.d"
+  "CMakeFiles/musuite_rpc.dir/client.cc.o"
+  "CMakeFiles/musuite_rpc.dir/client.cc.o.d"
+  "CMakeFiles/musuite_rpc.dir/local_channel.cc.o"
+  "CMakeFiles/musuite_rpc.dir/local_channel.cc.o.d"
+  "CMakeFiles/musuite_rpc.dir/message.cc.o"
+  "CMakeFiles/musuite_rpc.dir/message.cc.o.d"
+  "CMakeFiles/musuite_rpc.dir/server.cc.o"
+  "CMakeFiles/musuite_rpc.dir/server.cc.o.d"
+  "libmusuite_rpc.a"
+  "libmusuite_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musuite_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

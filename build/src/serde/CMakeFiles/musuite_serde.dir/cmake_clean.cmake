@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musuite_serde.dir/wire.cc.o"
+  "CMakeFiles/musuite_serde.dir/wire.cc.o.d"
+  "libmusuite_serde.a"
+  "libmusuite_serde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musuite_serde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmusuite_serde.a"
+)

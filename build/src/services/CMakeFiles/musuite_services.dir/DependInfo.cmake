@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/hdsearch/leaf.cc" "src/services/CMakeFiles/musuite_services.dir/hdsearch/leaf.cc.o" "gcc" "src/services/CMakeFiles/musuite_services.dir/hdsearch/leaf.cc.o.d"
+  "/root/repo/src/services/hdsearch/midtier.cc" "src/services/CMakeFiles/musuite_services.dir/hdsearch/midtier.cc.o" "gcc" "src/services/CMakeFiles/musuite_services.dir/hdsearch/midtier.cc.o.d"
+  "/root/repo/src/services/recommend/leaf.cc" "src/services/CMakeFiles/musuite_services.dir/recommend/leaf.cc.o" "gcc" "src/services/CMakeFiles/musuite_services.dir/recommend/leaf.cc.o.d"
+  "/root/repo/src/services/recommend/midtier.cc" "src/services/CMakeFiles/musuite_services.dir/recommend/midtier.cc.o" "gcc" "src/services/CMakeFiles/musuite_services.dir/recommend/midtier.cc.o.d"
+  "/root/repo/src/services/router/leaf.cc" "src/services/CMakeFiles/musuite_services.dir/router/leaf.cc.o" "gcc" "src/services/CMakeFiles/musuite_services.dir/router/leaf.cc.o.d"
+  "/root/repo/src/services/router/midtier.cc" "src/services/CMakeFiles/musuite_services.dir/router/midtier.cc.o" "gcc" "src/services/CMakeFiles/musuite_services.dir/router/midtier.cc.o.d"
+  "/root/repo/src/services/setalgebra/leaf.cc" "src/services/CMakeFiles/musuite_services.dir/setalgebra/leaf.cc.o" "gcc" "src/services/CMakeFiles/musuite_services.dir/setalgebra/leaf.cc.o.d"
+  "/root/repo/src/services/setalgebra/midtier.cc" "src/services/CMakeFiles/musuite_services.dir/setalgebra/midtier.cc.o" "gcc" "src/services/CMakeFiles/musuite_services.dir/setalgebra/midtier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rpc/CMakeFiles/musuite_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/serde/CMakeFiles/musuite_serde.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/musuite_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/musuite_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/musuite_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/hash/CMakeFiles/musuite_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/musuite_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/musuite_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ostrace/CMakeFiles/musuite_ostrace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/musuite_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/musuite_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

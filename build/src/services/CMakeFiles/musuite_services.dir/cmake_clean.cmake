@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musuite_services.dir/hdsearch/leaf.cc.o"
+  "CMakeFiles/musuite_services.dir/hdsearch/leaf.cc.o.d"
+  "CMakeFiles/musuite_services.dir/hdsearch/midtier.cc.o"
+  "CMakeFiles/musuite_services.dir/hdsearch/midtier.cc.o.d"
+  "CMakeFiles/musuite_services.dir/recommend/leaf.cc.o"
+  "CMakeFiles/musuite_services.dir/recommend/leaf.cc.o.d"
+  "CMakeFiles/musuite_services.dir/recommend/midtier.cc.o"
+  "CMakeFiles/musuite_services.dir/recommend/midtier.cc.o.d"
+  "CMakeFiles/musuite_services.dir/router/leaf.cc.o"
+  "CMakeFiles/musuite_services.dir/router/leaf.cc.o.d"
+  "CMakeFiles/musuite_services.dir/router/midtier.cc.o"
+  "CMakeFiles/musuite_services.dir/router/midtier.cc.o.d"
+  "CMakeFiles/musuite_services.dir/setalgebra/leaf.cc.o"
+  "CMakeFiles/musuite_services.dir/setalgebra/leaf.cc.o.d"
+  "CMakeFiles/musuite_services.dir/setalgebra/midtier.cc.o"
+  "CMakeFiles/musuite_services.dir/setalgebra/midtier.cc.o.d"
+  "libmusuite_services.a"
+  "libmusuite_services.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musuite_services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for musuite_services.
+# This may be replaced when dependencies are built.

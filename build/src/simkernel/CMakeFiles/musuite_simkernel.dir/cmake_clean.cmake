@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musuite_simkernel.dir/sim.cc.o"
+  "CMakeFiles/musuite_simkernel.dir/sim.cc.o.d"
+  "libmusuite_simkernel.a"
+  "libmusuite_simkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musuite_simkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musuite_stats.dir/counters.cc.o"
+  "CMakeFiles/musuite_stats.dir/counters.cc.o.d"
+  "CMakeFiles/musuite_stats.dir/histogram.cc.o"
+  "CMakeFiles/musuite_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/musuite_stats.dir/table.cc.o"
+  "CMakeFiles/musuite_stats.dir/table.cc.o.d"
+  "libmusuite_stats.a"
+  "libmusuite_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musuite_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/midtier_unit_test.dir/midtier_unit_test.cc.o"
+  "CMakeFiles/midtier_unit_test.dir/midtier_unit_test.cc.o.d"
+  "midtier_unit_test"
+  "midtier_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/midtier_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

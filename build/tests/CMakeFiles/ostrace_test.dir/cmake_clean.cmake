@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ostrace_test.dir/ostrace_test.cc.o"
+  "CMakeFiles/ostrace_test.dir/ostrace_test.cc.o.d"
+  "ostrace_test"
+  "ostrace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ostrace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
