@@ -34,7 +34,7 @@ class Flags
                 continue;
             const size_t eq = arg.find('=');
             if (eq == std::string::npos) {
-                values[arg.substr(2)] = "1";
+                values[arg.substr(2)] = std::string("1");
             } else {
                 values[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
             }

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Fault-storm experiment: drives HDSearch (or any service) under
+ * injected leaf faults and leaf death, reporting QPS, error rate, and
+ * degraded-response rate per phase.
+ *
+ * Phases:
+ *   healthy    - no faults, baseline behaviour.
+ *   storm      - a seeded FaultInjector on every mid-to-leaf channel
+ *                drops/delays/errors requests at the configured rates.
+ *   leaf-death - one leaf killed outright; the quorum policy must keep
+ *                completing parents as degraded partial results.
+ *
+ * Flags: --service=hdsearch|router|setalgebra|recommend
+ *        --qps=N --phase-ms=N --quorum=F --leg-deadline-ms=N
+ *        --retries=N --hedge-ms=N
+ *        --drop=P --delay=P --delay-ms=N --error=P --seed=N
+ */
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "loadgen/loadgen.h"
+#include "rpc/client.h"
+#include "rpc/fault.h"
+#include "stats/counters.h"
+#include "stats/table.h"
+
+using namespace musuite;
+
+namespace {
+
+/** One open-loop window against the deployment's front end. */
+LoadResult
+runPhase(ServiceDeployment &deployment, rpc::RpcClient &client,
+         double qps, int64_t duration_ns, uint64_t seed)
+{
+    OpenLoopLoadGen::Options options;
+    options.qps = qps;
+    options.durationNs = duration_ns;
+    options.seed = seed;
+    OpenLoopLoadGen generator(options);
+
+    Rng rng(seed ^ 0xBADCAFEull);
+    const uint32_t method = deployment.frontEndMethod();
+    return generator.run([&](uint64_t,
+                             std::function<void(RequestOutcome)> done) {
+        client.call(method, deployment.sampleRequestBody(rng),
+                    [&deployment, done = std::move(done)](
+                        const Status &status, std::string_view payload) {
+                        const bool ok =
+                            status.isOk() &&
+                            deployment.validateResponse(payload);
+                        done(RequestOutcome(
+                            ok, ok && deployment.responseDegraded(
+                                          payload)));
+                    });
+    });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bench::Flags flags(argc, argv);
+    printEnvironmentBanner(std::cout);
+    printBanner(std::cout,
+                "Fault storm: graceful degradation under leaf faults");
+
+    ServiceKind kind = ServiceKind::HdSearch;
+    const std::string service = flags.str("service", "hdsearch");
+    if (service == "router")
+        kind = ServiceKind::Router;
+    else if (service == "setalgebra")
+        kind = ServiceKind::SetAlgebra;
+    else if (service == "recommend")
+        kind = ServiceKind::Recommend;
+
+    DeploymentOptions options = bench::realModeOptions(flags);
+    options.midTierFanout.quorumFraction = flags.num("quorum", 0.75);
+    options.midTierFanout.leg.deadlineNs =
+        int64_t(flags.num("leg-deadline-ms", 150)) * 1'000'000;
+    options.midTierFanout.leg.maxAttempts =
+        int(flags.num("retries", 1)) + 1;
+    options.midTierFanout.leg.hedgeDelayNs =
+        int64_t(flags.num("hedge-ms", 0)) * 1'000'000;
+
+    auto deployment = ServiceDeployment::create(kind, options);
+    rpc::RpcClient client(deployment->midTierPort());
+
+    const double qps = flags.num("qps", 300);
+    const int64_t phase_ns =
+        int64_t(flags.num("phase-ms", 1500)) * 1'000'000;
+
+    rpc::FaultSpec spec;
+    spec.dropRequestProb = flags.num("drop", 0.05);
+    spec.delayRequestProb = flags.num("delay", 0.05);
+    spec.delayNs = int64_t(flags.num("delay-ms", 40)) * 1'000'000;
+    spec.errorProb = flags.num("error", 0.05);
+    spec.seed = uint64_t(flags.num("seed", 1));
+
+    struct Phase
+    {
+        std::string name;
+        LoadResult load;
+        CounterSnapshot counters;
+    };
+    std::vector<Phase> phases;
+
+    auto run_phase = [&](const std::string &name, uint64_t seed) {
+        const CounterSnapshot before = globalCounters().snapshot();
+        Phase phase;
+        phase.name = name;
+        phase.load =
+            runPhase(*deployment, client, qps, phase_ns, seed);
+        phase.counters =
+            CounterSet::diff(before, globalCounters().snapshot());
+        phases.push_back(std::move(phase));
+    };
+
+    // Phase 1: healthy baseline.
+    run_phase("healthy", 11);
+
+    // Phase 2: storm — inject faults on every mid-to-leaf channel.
+    for (size_t i = 0; i < deployment->leafCount(); ++i) {
+        rpc::FaultSpec leaf_spec = spec;
+        leaf_spec.seed = spec.seed + i; // Decorrelate the channels.
+        deployment->leafChannel(i)->setFaultInjector(
+            std::make_shared<rpc::FaultInjector>(leaf_spec));
+    }
+    run_phase("storm", 12);
+
+    // Phase 3: clear the injectors and kill one leaf outright.
+    for (size_t i = 0; i < deployment->leafCount(); ++i)
+        deployment->leafChannel(i)->setFaultInjector(nullptr);
+    deployment->killLeaf(0);
+    run_phase("leaf-death", 13);
+
+    std::cout << "\n" << serviceName(kind) << " @ " << qps
+              << " QPS offered, quorum="
+              << options.midTierFanout.quorumFraction
+              << ", leg deadline="
+              << options.midTierFanout.leg.deadlineNs / 1'000'000
+              << " ms, attempts="
+              << options.midTierFanout.leg.maxAttempts << "\n";
+    Table table({"phase", "achieved_qps", "completed", "error_rate",
+                 "degraded_rate", "p50", "p99"});
+    for (const Phase &phase : phases) {
+        table.row()
+            .cell(phase.name)
+            .cell(phase.load.achievedQps, 0)
+            .cell(phase.load.completed)
+            .cell(phase.load.errorRate(), 4)
+            .cell(phase.load.degradedRate(), 4)
+            .nanos(phase.load.latency.valueAtQuantile(0.5))
+            .nanos(phase.load.latency.valueAtQuantile(0.99));
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPer-phase fabric counters (delta):\n";
+    for (const Phase &phase : phases) {
+        std::cout << "  [" << phase.name << "]\n";
+        for (const auto &entry : phase.counters) {
+            if (entry.first.rfind("rpc.", 0) == 0 ||
+                entry.first.rfind("fanout.", 0) == 0) {
+                std::cout << "    " << entry.first << " = "
+                          << entry.second << "\n";
+            }
+        }
+    }
+
+    std::cout << "\nReading: under the storm, retries and hedges absorb "
+                 "transient faults (error rate stays near the "
+                 "uncorrelated multi-leg loss floor); after a leaf dies "
+                 "the quorum policy converts what used to be hung or "
+                 "failed parents into fast degraded responses.\n";
+    return 0;
+}

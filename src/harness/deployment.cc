@@ -116,7 +116,8 @@ class HdSearchDeployment : public ServiceDeployment
             leafServers, leafChannels);
 
         logic = std::make_unique<hdsearch::MidTier>(
-            std::move(built.midTierIndex), leafChannels);
+            std::move(built.midTierIndex), leafChannels,
+            options.midTierFanout);
         midTier = TierWiring::buildMidTier(options);
         logic->registerWith(*midTier);
         midTier->start();
@@ -144,6 +145,13 @@ class HdSearchDeployment : public ServiceDeployment
     {
         hdsearch::NNResponse response;
         return decodeMessage(payload, response);
+    }
+
+    bool
+    responseDegraded(std::string_view payload) const override
+    {
+        hdsearch::NNResponse response;
+        return decodeMessage(payload, response) && response.degraded;
     }
 
   private:
@@ -186,8 +194,14 @@ class RouterDeployment : public ServiceDeployment
             },
             leafServers, leafChannels);
 
-        logic = std::make_unique<router::MidTier>(
-            leafChannels, options.routerMidTier);
+        router::MidTierOptions router_options = options.routerMidTier;
+        if (router_options.fanout.leg.plain() &&
+            router_options.fanout.quorumFraction >= 1.0) {
+            // Not customised — inherit the deployment-wide policy.
+            router_options.fanout = options.midTierFanout;
+        }
+        logic = std::make_unique<router::MidTier>(leafChannels,
+                                                 router_options);
         midTier = TierWiring::buildMidTier(options);
         logic->registerWith(*midTier);
         midTier->start();
@@ -215,6 +229,13 @@ class RouterDeployment : public ServiceDeployment
     {
         router::KvReply reply;
         return decodeMessage(payload, reply);
+    }
+
+    bool
+    responseDegraded(std::string_view payload) const override
+    {
+        router::KvReply reply;
+        return decodeMessage(payload, reply) && reply.degraded;
     }
 
     router::MidTier &routerLogic() { return *logic; }
@@ -289,7 +310,8 @@ class SetAlgebraDeployment : public ServiceDeployment
             },
             leafServers, leafChannels);
 
-        logic = std::make_unique<setalgebra::MidTier>(leafChannels);
+        logic = std::make_unique<setalgebra::MidTier>(
+            leafChannels, options.midTierFanout);
         midTier = TierWiring::buildMidTier(options);
         logic->registerWith(*midTier);
         midTier->start();
@@ -316,6 +338,13 @@ class SetAlgebraDeployment : public ServiceDeployment
     {
         setalgebra::PostingReply reply;
         return decodeMessage(payload, reply);
+    }
+
+    bool
+    responseDegraded(std::string_view payload) const override
+    {
+        setalgebra::PostingReply reply;
+        return decodeMessage(payload, reply) && reply.degraded;
     }
 
     const TextCorpus &textCorpus() const { return corpus; }
@@ -364,7 +393,8 @@ class RecommendDeployment : public ServiceDeployment
             },
             leafServers, leafChannels);
 
-        logic = std::make_unique<recommend::MidTier>(leafChannels);
+        logic = std::make_unique<recommend::MidTier>(
+            leafChannels, options.midTierFanout);
         midTier = TierWiring::buildMidTier(options);
         logic->registerWith(*midTier);
         midTier->start();
@@ -392,6 +422,13 @@ class RecommendDeployment : public ServiceDeployment
     {
         recommend::RatingReply reply;
         return decodeMessage(payload, reply);
+    }
+
+    bool
+    responseDegraded(std::string_view payload) const override
+    {
+        recommend::RatingReply reply;
+        return decodeMessage(payload, reply) && reply.degraded;
     }
 
   private:

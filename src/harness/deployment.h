@@ -19,6 +19,7 @@
 #include "index/lsh.h"
 #include "rpc/client.h"
 #include "rpc/server.h"
+#include "services/common/fanout.h"
 #include "services/router/midtier.h"
 
 namespace musuite {
@@ -75,8 +76,17 @@ struct DeploymentOptions
     KvWorkloadOptions kv{/*numKeys=*/20000, /*valueBytes=*/128,
                          /*zipfExponent=*/0.99, /*getFraction=*/0.5,
                          /*seed=*/19};
-    router::MidTierOptions routerMidTier{/*replicas=*/3, /*seed=*/23};
+    router::MidTierOptions routerMidTier{/*replicas=*/3, /*seed=*/23,
+                                         /*fanout=*/{}};
     size_t prepopulateKeys = 5000;
+
+    /**
+     * Mid-tier fan-out resilience policy (per-leg deadline / retries /
+     * hedging plus the quorum fraction). Defaults keep the historical
+     * behaviour: wait for every leg, no per-leg deadline. Router also
+     * picks this up unless routerMidTier.fanout was set explicitly.
+     */
+    FanoutPolicy midTierFanout;
 
     uint64_t seed = 1;
 };
@@ -111,9 +121,24 @@ class ServiceDeployment
      */
     virtual bool validateResponse(std::string_view payload) const = 0;
 
+    /**
+     * True if a (valid) response payload carries the service's
+     * degraded/partial-result flag.
+     */
+    virtual bool responseDegraded(std::string_view payload) const = 0;
+
     rpc::Server &midTierServer() { return *midTier; }
     size_t leafCount() const { return leafServers.size(); }
     rpc::Server &leafServer(size_t i) { return *leafServers[i]; }
+
+    /**
+     * Mid-tier's channel to leaf `i` — exposed so experiments can
+     * install a rpc::FaultInjector or inspect client stats.
+     */
+    const std::shared_ptr<rpc::Channel> &leafChannel(size_t i)
+    {
+        return leafChannels.at(i);
+    }
 
     /** Kill one leaf server (fault-injection experiments). */
     void killLeaf(size_t i);

@@ -33,13 +33,18 @@ runOpenLoopWindow(ServiceDeployment &deployment,
 
     const uint32_t method = deployment.frontEndMethod();
     LoadResult load = generator.run(
-        [&](uint64_t, std::function<void(bool)> done) {
+        [&](uint64_t, std::function<void(RequestOutcome)> done) {
             client.call(method, deployment.sampleRequestBody(request_rng),
                         [&deployment, done = std::move(done)](
                             const Status &status,
                             std::string_view payload) {
-                            done(status.isOk() &&
-                                 deployment.validateResponse(payload));
+                            const bool ok =
+                                status.isOk() &&
+                                deployment.validateResponse(payload);
+                            done(RequestOutcome(
+                                ok,
+                                ok && deployment.responseDegraded(
+                                          payload)));
                         });
         });
 

@@ -24,6 +24,7 @@ struct OpenLoopState
     Histogram latency;
     uint64_t completed = 0;
     uint64_t errors = 0;
+    uint64_t degraded = 0;
     std::atomic<uint64_t> outstanding{0};
 };
 
@@ -54,13 +55,15 @@ OpenLoopLoadGen::run(const AsyncIssue &issue)
         // generator itself fell behind (service pushed back), the
         // wait counts against the service, not the generator.
         const int64_t scheduled_ns = scheduled;
-        issue(seq, [state, scheduled_ns](bool ok) {
+        issue(seq, [state, scheduled_ns](RequestOutcome outcome) {
             const int64_t now = nowNanos();
             {
                 std::lock_guard<std::mutex> guard(state->mutex);
-                if (ok) {
+                if (outcome.ok) {
                     state->latency.record(now - scheduled_ns);
                     state->completed++;
+                    if (outcome.degraded)
+                        state->degraded++;
                 } else {
                     state->errors++;
                 }
@@ -82,6 +85,7 @@ OpenLoopLoadGen::run(const AsyncIssue &issue)
         result.latency = state->latency;
         result.completed = state->completed;
         result.errors = state->errors;
+        result.degraded = state->degraded;
     }
     result.issued = issued;
     result.offeredQps = options.qps;

@@ -30,6 +30,24 @@
 
 namespace musuite {
 
+/**
+ * Per-request result reported back to a load generator. Implicitly
+ * constructible from bool so existing `done(true)` call sites keep
+ * working; set `degraded` when the service answered with a partial
+ * (quorum-merged) response.
+ */
+struct RequestOutcome
+{
+    RequestOutcome(bool ok_in = true) : ok(ok_in) {}
+    RequestOutcome(bool ok_in, bool degraded_in)
+        : ok(ok_in), degraded(degraded_in)
+    {
+    }
+
+    bool ok = true;
+    bool degraded = false;
+};
+
 /** Outcome of one load-generation run. */
 struct LoadResult
 {
@@ -37,6 +55,7 @@ struct LoadResult
     uint64_t issued = 0;
     uint64_t completed = 0;
     uint64_t errors = 0;
+    uint64_t degraded = 0;    //!< Completed, but partial results.
     double offeredQps = 0.0;  //!< Open loop only.
     double achievedQps = 0.0; //!< completed / elapsed.
     int64_t elapsedNs = 0;
@@ -47,6 +66,13 @@ struct LoadResult
     {
         return issued ? double(errors) / double(issued) : 0.0;
     }
+
+    /** Fraction of completions that carried partial results. */
+    double
+    degradedRate() const
+    {
+        return completed ? double(degraded) / double(completed) : 0.0;
+    }
 };
 
 class OpenLoopLoadGen
@@ -54,10 +80,11 @@ class OpenLoopLoadGen
   public:
     /**
      * Issue one asynchronous request. Must not block; call done()
-     * exactly once (from any thread) with the request's outcome.
+     * exactly once (from any thread) with the request's outcome
+     * (a bare bool still converts — degraded defaults to false).
      */
-    using AsyncIssue =
-        std::function<void(uint64_t seq, std::function<void(bool ok)> done)>;
+    using AsyncIssue = std::function<void(
+        uint64_t seq, std::function<void(RequestOutcome)> done)>;
 
     struct Options
     {

@@ -139,13 +139,15 @@ ProfiledLoadGen::run(const OpenLoopLoadGen::AsyncIssue &issue)
         ++issued;
         phase.load.issued++;
         shared->outstanding.fetch_add(1, std::memory_order_relaxed);
-        issue(issued, [shared, &phase, scheduled](bool ok) {
+        issue(issued, [shared, &phase, scheduled](RequestOutcome outcome) {
             const int64_t now = nowNanos();
             {
                 std::lock_guard<std::mutex> guard(shared->mutex);
-                if (ok) {
+                if (outcome.ok) {
                     phase.load.latency.record(now - scheduled);
                     phase.load.completed++;
+                    if (outcome.degraded)
+                        phase.load.degraded++;
                 } else {
                     phase.load.errors++;
                 }

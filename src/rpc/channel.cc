@@ -1,20 +1,418 @@
 /**
  * @file
- * Blocking wrapper over the asynchronous channel interface.
+ * The channel resilience layer: blocking wrappers, fault injection at
+ * the request/response boundaries, and the per-call deadline / retry /
+ * hedging state machine shared by every transport.
  */
 
 #include "rpc/channel.h"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <mutex>
-#include <optional>
+#include <thread>
+#include <vector>
 
+#include "base/time_util.h"
 #include "ostrace/sync.h"
+#include "rpc/fault.h"
+#include "rpc/timers.h"
+#include "stats/counters.h"
 
 namespace musuite {
 namespace rpc {
 
+namespace {
+
+/** splitmix64 over a global counter: cheap decorrelated jitter. */
+uint64_t
+nextJitterBits()
+{
+    static std::atomic<uint64_t> counter{0x9E3779B97F4A7C15ull};
+    uint64_t z = counter.fetch_add(0x9E3779B97F4A7C15ull,
+                                   std::memory_order_relaxed);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+bool
+isRetryable(const Status &status)
+{
+    switch (status.code()) {
+      case StatusCode::Unavailable:
+      case StatusCode::DeadlineExceeded:
+      case StatusCode::ResourceExhausted:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * Whole-call state. Attempts (first, retries, hedges) share it; the
+ * mutex serializes completion decisions, and the user callback always
+ * runs outside it. Kept alive by the attempt closures and timers, so
+ * a late transport response after completion is harmless.
+ */
+struct CallState : std::enable_shared_from_this<CallState>
+{
+    Channel *channel = nullptr;
+    uint32_t method = 0;
+    std::string body;
+    CallOptions options;
+    Channel::Callback callback;
+    int64_t startNs = 0;
+    int64_t totalDeadlineAt = 0; //!< 0 = none.
+
+    std::mutex mutex;
+    bool done = false;
+    bool retryPending = false;
+    int attemptsIssued = 0;
+    int outstanding = 0;
+    Status lastError;
+    TimerService::TimerId hedgeTimer = 0;
+
+    /**
+     * Threads currently inside transportCall() for this call. The
+     * final user callback hands channel ownership back to the caller
+     * (who may destroy the channel), so it must not fire while any
+     * *other* thread is still on the transport's stack — e.g. a retry
+     * issued from the timer thread whose response completes on a
+     * client completion thread before the issuing write returns.
+     */
+    std::vector<std::thread::id> issuers;
+    std::condition_variable issuersQuiet;
+};
+
+void issueAttempt(const std::shared_ptr<CallState> &state);
+
+/** Backoff for the k-th retry (k >= 1): capped doubling +/- jitter. */
+int64_t
+backoffDelayNs(const CallOptions &options, int retry_index)
+{
+    int64_t delay = options.backoffBaseNs;
+    for (int i = 1; i < retry_index && delay < options.backoffMaxNs;
+         ++i) {
+        delay *= 2;
+    }
+    delay = std::min(delay, options.backoffMaxNs);
+    if (options.backoffJitter > 0) {
+        const double unit =
+            double(nextJitterBits() >> 11) / double(1ull << 53);
+        delay = int64_t(double(delay) *
+                        (1.0 + options.backoffJitter * (2 * unit - 1)));
+    }
+    return delay < 0 ? 0 : delay;
+}
+
+void
+completeCall(const std::shared_ptr<CallState> &state,
+             const Status &status, std::string_view payload)
+{
+    TimerService::TimerId hedge = 0;
+    {
+        std::unique_lock<std::mutex> lock(state->mutex);
+        // Quiesce: wait (microseconds) until no other thread is inside
+        // transportCall. Our own frames are fine — they unwind on this
+        // thread before the caller can regain control.
+        const std::thread::id self = std::this_thread::get_id();
+        state->issuersQuiet.wait(lock, [&] {
+            for (const std::thread::id &id : state->issuers) {
+                if (id != self)
+                    return false;
+            }
+            return true;
+        });
+        hedge = state->hedgeTimer;
+        state->hedgeTimer = 0;
+    }
+    if (hedge)
+        TimerService::global().cancel(hedge);
+    state->callback(status, payload);
+}
+
+void
+onAttemptDone(const std::shared_ptr<CallState> &state, int attempt,
+              const Status &status, std::string_view payload)
+{
+    if (status.isOk()) {
+        {
+            std::lock_guard<std::mutex> guard(state->mutex);
+            if (state->done) {
+                // A hedge raced us and won first.
+                globalCounters().counter("rpc.hedge.wasted").add();
+                return;
+            }
+            state->done = true;
+            state->outstanding--;
+        }
+        if (attempt > 1)
+            globalCounters().counter("rpc.call.secondary_won").add();
+        completeCall(state, status, payload);
+        return;
+    }
+
+    bool fire_callback = false;
+    bool schedule_retry = false;
+    int64_t retry_delay = 0;
+    {
+        std::lock_guard<std::mutex> guard(state->mutex);
+        if (state->done)
+            return;
+        state->outstanding--;
+        state->lastError = status;
+
+        if (isRetryable(status) && !state->retryPending &&
+            state->attemptsIssued < state->options.maxAttempts) {
+            retry_delay = backoffDelayNs(state->options,
+                                         state->attemptsIssued);
+            const bool within_budget =
+                state->totalDeadlineAt == 0 ||
+                nowNanos() + retry_delay < state->totalDeadlineAt;
+            if (within_budget) {
+                state->retryPending = true;
+                schedule_retry = true;
+            }
+        }
+        if (!schedule_retry && state->outstanding == 0 &&
+            !state->retryPending) {
+            // No attempt left in flight and no retry coming: the
+            // call has failed for good.
+            state->done = true;
+            fire_callback = true;
+        }
+    }
+
+    if (schedule_retry) {
+        globalCounters().counter("rpc.retry.scheduled").add();
+        TimerService::global().schedule(retry_delay, [state] {
+            {
+                std::lock_guard<std::mutex> guard(state->mutex);
+                state->retryPending = false;
+                if (state->done)
+                    return;
+            }
+            issueAttempt(state);
+        });
+    } else if (fire_callback) {
+        completeCall(state, state->lastError, {});
+    }
+}
+
+void
+issueAttempt(const std::shared_ptr<CallState> &state)
+{
+    int attempt;
+    {
+        std::lock_guard<std::mutex> guard(state->mutex);
+        if (state->done)
+            return;
+        attempt = ++state->attemptsIssued;
+        state->outstanding++;
+    }
+
+    // Effective per-attempt deadline: the attempt budget clamped by
+    // whatever remains of the whole-call budget.
+    int64_t deadline_ns = state->options.deadlineNs;
+    if (state->totalDeadlineAt != 0) {
+        const int64_t remaining = state->totalDeadlineAt - nowNanos();
+        if (remaining <= 0) {
+            onAttemptDone(state, attempt,
+                          Status(StatusCode::DeadlineExceeded,
+                                 "call deadline expired"),
+                          {});
+            return;
+        }
+        deadline_ns = deadline_ns == 0
+                          ? remaining
+                          : std::min(deadline_ns, remaining);
+    }
+
+    // The transport response and the deadline timer race to settle
+    // the attempt; whoever loses becomes a no-op (and is counted).
+    auto settled = std::make_shared<std::atomic<bool>>(false);
+    auto timer_id = std::make_shared<std::atomic<uint64_t>>(0);
+
+    Channel::Callback on_response =
+        [state, attempt, settled, timer_id](const Status &status,
+                                            std::string_view payload) {
+            if (settled->exchange(true)) {
+                globalCounters()
+                    .counter("rpc.call.late_response")
+                    .add();
+                return;
+            }
+            const uint64_t id = timer_id->load();
+            if (id)
+                TimerService::global().cancel(id);
+            onAttemptDone(state, attempt, status, payload);
+        };
+
+    if (deadline_ns > 0) {
+        const uint64_t id = TimerService::global().schedule(
+            deadline_ns, [state, attempt, settled] {
+                if (settled->exchange(true))
+                    return;
+                globalCounters()
+                    .counter("rpc.call.deadline_expired")
+                    .add();
+                onAttemptDone(state, attempt,
+                              Status(StatusCode::DeadlineExceeded,
+                                     "attempt deadline expired"),
+                              {});
+            });
+        timer_id->store(id);
+        // The response may have settled before the timer was armed;
+        // make sure an orphaned timer cannot linger until it fires.
+        if (settled->load())
+            TimerService::global().cancel(id);
+    }
+
+    {
+        std::lock_guard<std::mutex> guard(state->mutex);
+        state->issuers.push_back(std::this_thread::get_id());
+    }
+    state->channel->call(state->method, state->body,
+                         std::move(on_response));
+    {
+        std::lock_guard<std::mutex> guard(state->mutex);
+        auto it = std::find(state->issuers.begin(),
+                            state->issuers.end(),
+                            std::this_thread::get_id());
+        if (it != state->issuers.end())
+            state->issuers.erase(it);
+    }
+    state->issuersQuiet.notify_all();
+}
+
+} // namespace
+
+void
+Channel::call(uint32_t method, std::string body, Callback callback)
+{
+    if (!injector) {
+        transportCall(method, std::move(body), std::move(callback));
+        return;
+    }
+    injectedCall(method, std::move(body), std::move(callback));
+}
+
+void
+Channel::call(uint32_t method, std::string body,
+              const CallOptions &options, Callback callback)
+{
+    if (options.plain()) {
+        call(method, std::move(body), std::move(callback));
+        return;
+    }
+
+    auto state = std::make_shared<CallState>();
+    state->channel = this;
+    state->method = method;
+    state->body = std::move(body);
+    state->options = options;
+    state->callback = std::move(callback);
+    state->startNs = nowNanos();
+    if (options.totalDeadlineNs > 0)
+        state->totalDeadlineAt = state->startNs + options.totalDeadlineNs;
+
+    issueAttempt(state);
+
+    if (options.hedgeDelayNs > 0 && options.maxAttempts >= 2) {
+        const uint64_t id = TimerService::global().schedule(
+            options.hedgeDelayNs, [state] {
+                {
+                    std::lock_guard<std::mutex> guard(state->mutex);
+                    state->hedgeTimer = 0;
+                    if (state->done ||
+                        state->attemptsIssued >=
+                            state->options.maxAttempts) {
+                        return;
+                    }
+                }
+                globalCounters().counter("rpc.hedge.fired").add();
+                issueAttempt(state);
+            });
+        bool fired_late = false;
+        {
+            std::lock_guard<std::mutex> guard(state->mutex);
+            if (state->done) {
+                fired_late = true; // Completed before we armed it.
+            } else {
+                state->hedgeTimer = id;
+            }
+        }
+        if (fired_late)
+            TimerService::global().cancel(id);
+    }
+}
+
+void
+Channel::injectedCall(uint32_t method, std::string body,
+                      Callback callback)
+{
+    // Hold our own reference: the injector may be swapped mid-call.
+    std::shared_ptr<FaultInjector> fi = injector;
+    const FaultDecision request_decision = fi->onRequest();
+    switch (request_decision.kind) {
+      case FaultDecision::Kind::Error:
+        callback(request_decision.status, {});
+        return;
+      case FaultDecision::Kind::Drop:
+        globalCounters().counter("rpc.fault.dropped_request").add();
+        return; // Never completes; a per-call deadline recovers.
+      default:
+        break;
+    }
+
+    Callback inspected =
+        [fi, callback = std::move(callback)](const Status &status,
+                                             std::string_view payload) {
+            const FaultDecision decision = fi->onResponse();
+            switch (decision.kind) {
+              case FaultDecision::Kind::Drop:
+                globalCounters()
+                    .counter("rpc.fault.dropped_response")
+                    .add();
+                return;
+              case FaultDecision::Kind::Delay: {
+                std::string copy(payload);
+                TimerService::global().schedule(
+                    decision.delayNs,
+                    [callback, status, copy = std::move(copy)] {
+                        callback(status, copy);
+                    });
+                return;
+              }
+              default:
+                callback(status, payload);
+            }
+        };
+
+    if (request_decision.kind == FaultDecision::Kind::Delay) {
+        TimerService::global().schedule(
+            request_decision.delayNs,
+            [this, method, body = std::move(body),
+             inspected = std::move(inspected)]() mutable {
+                transportCall(method, std::move(body),
+                              std::move(inspected));
+            });
+        return;
+    }
+    transportCall(method, std::move(body), std::move(inspected));
+}
+
 Result<std::string>
 Channel::callSync(uint32_t method, std::string body)
+{
+    return callSync(method, std::move(body), CallOptions{});
+}
+
+Result<std::string>
+Channel::callSync(uint32_t method, std::string body,
+                  const CallOptions &options)
 {
     // One-shot rendezvous built on the traced primitives so that sync
     // calls contribute futex counts exactly like the real client-side
@@ -29,7 +427,7 @@ Channel::callSync(uint32_t method, std::string body)
     };
     auto cell = std::make_shared<Rendezvous>();
 
-    call(method, std::move(body),
+    call(method, std::move(body), options,
          [cell](const Status &status, std::string_view payload) {
              std::unique_lock<TracedMutex> lock(cell->mutex);
              cell->status = status;

@@ -1,19 +1,34 @@
 /**
  * @file
- * Abstract client channel for unary RPCs.
+ * Abstract client channel for unary RPCs, plus the per-call resilience
+ * layer every transport shares.
  *
  * µSuite mid-tiers act as RPC clients to their leaves; they issue
  * calls asynchronously and merge responses on completion threads
  * (paper §IV "asynchronous communication with leaf microservers").
  * Channel is the seam between service logic and transport: the TCP
  * client (rpc/client.h) and the in-process channel (rpc/local_channel.h)
- * both implement it, so services and tests share one code path.
+ * both implement transportCall(), so services and tests share one code
+ * path — including the resilience features layered on top here:
+ *
+ *  - per-call deadlines (attempt-level and whole-call),
+ *  - retry budgets with exponential backoff + jitter,
+ *  - hedged second requests for tail-tolerant reads,
+ *  - deterministic fault injection (rpc/fault.h).
+ *
+ * THREADING CONTRACT: a callback may run on a completion thread, on
+ * the shared timer thread, or *synchronously on the caller's own
+ * thread inside call()* — e.g. when the transport fails inline
+ * (connect refused) or a fault injector errors the request. Callers
+ * must not hold locks across call() that the callback also takes, and
+ * must not assume completion-thread context.
  */
 
 #ifndef MUSUITE_RPC_CHANNEL_H
 #define MUSUITE_RPC_CHANNEL_H
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -22,30 +37,118 @@
 namespace musuite {
 namespace rpc {
 
+class FaultInjector;
+
+/**
+ * Per-call resilience options (replaces reliance on the client-wide
+ * ClientOptions::defaultDeadlineNs for new code). The defaults are
+ * "one attempt, wait forever": exactly the historical behaviour.
+ */
+struct CallOptions
+{
+    /**
+     * Per-attempt deadline; 0 = none. An attempt still pending when it
+     * expires completes with DEADLINE_EXCEEDED (and may be retried). A
+     * transport response arriving later is dropped and counted under
+     * the rpc.call.late_response counter.
+     */
+    int64_t deadlineNs = 0;
+
+    /** Whole-call deadline across attempts and backoff; 0 = none. */
+    int64_t totalDeadlineNs = 0;
+
+    /**
+     * Total attempts including the first (1 = no retry). Retries fire
+     * only for UNAVAILABLE / DEADLINE_EXCEEDED / RESOURCE_EXHAUSTED.
+     */
+    int maxAttempts = 1;
+
+    /** First retry delay; doubles per retry up to backoffMaxNs. */
+    int64_t backoffBaseNs = 1'000'000;
+    int64_t backoffMaxNs = 200'000'000;
+    /** Uniform +/- fraction applied to each backoff delay. */
+    double backoffJitter = 0.2;
+
+    /**
+     * > 0 arms a hedged second attempt if the first has not completed
+     * after this long. The hedge consumes one attempt from
+     * maxAttempts; the first completion (either attempt) wins and the
+     * loser's response is dropped.
+     */
+    int64_t hedgeDelayNs = 0;
+
+    /** True if any feature beyond a bare transport call is enabled. */
+    bool
+    plain() const
+    {
+        return deadlineNs == 0 && totalDeadlineNs == 0 &&
+               maxAttempts <= 1 && hedgeDelayNs == 0;
+    }
+};
+
 class Channel
 {
   public:
     /**
-     * Completion callback: runs on a completion thread (or inline for
-     * local channels). The payload view is valid only during the call.
+     * Completion callback. See the threading contract above: it may
+     * run inline in call(), on a completion thread, or on the timer
+     * thread. The payload view is valid only during the call.
      */
     using Callback = std::function<void(const Status &, std::string_view)>;
 
     virtual ~Channel() = default;
 
     /**
-     * Issue an asynchronous unary call. There is no association
-     * between the calling thread and the RPC; all state is explicit
-     * in the callback closure.
+     * Issue an asynchronous unary call with default options (single
+     * attempt, no deadline). There is no association between the
+     * calling thread and the RPC; all state is explicit in the
+     * callback closure.
      */
-    virtual void call(uint32_t method, std::string body,
-                      Callback callback) = 0;
+    void call(uint32_t method, std::string body, Callback callback);
+
+    /**
+     * Issue an asynchronous unary call with per-call deadline, retry,
+     * and hedging behaviour. The channel must outlive the call,
+     * including any pending retries and hedges.
+     */
+    void call(uint32_t method, std::string body,
+              const CallOptions &options, Callback callback);
 
     /** True if the channel can currently reach its target. */
     virtual bool isHealthy() const { return true; }
 
-    /** Blocking convenience wrapper over call(). */
+    /** Blocking convenience wrappers over call(). */
     Result<std::string> callSync(uint32_t method, std::string body);
+    Result<std::string> callSync(uint32_t method, std::string body,
+                                 const CallOptions &options);
+
+    /**
+     * Attach (or clear) a fault injector consulted on every request
+     * and response through this channel. Not synchronized against
+     * in-flight calls: install before traffic or between runs.
+     */
+    void
+    setFaultInjector(std::shared_ptr<FaultInjector> injector_in)
+    {
+        injector = std::move(injector_in);
+    }
+
+    FaultInjector *faultInjector() const { return injector.get(); }
+
+  protected:
+    /**
+     * Transport implementation of one attempt. Must invoke the
+     * callback exactly once, from any thread (inline included).
+     */
+    virtual void transportCall(uint32_t method, std::string body,
+                               Callback callback) = 0;
+
+  private:
+    /** One attempt with fault injection at both boundaries. */
+    void injectedCall(uint32_t method, std::string body,
+                      Callback callback);
+
+    std::shared_ptr<FaultInjector> injector;
 };
 
 } // namespace rpc

@@ -5,9 +5,13 @@
 
 #include "rpc/client.h"
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "base/logging.h"
 #include "base/time_util.h"
 #include "ostrace/syscalls.h"
+#include "stats/counters.h"
 
 namespace musuite {
 namespace rpc {
@@ -25,6 +29,16 @@ struct RpcClient::ClientConn
     std::mutex mutex;
     std::shared_ptr<FramedConnection> fc; //!< Null/dead when down.
     std::unordered_map<uint64_t, PendingCall> pending;
+    /**
+     * Request ids failed by sweepExpired whose response may still
+     * arrive; lets a late response be told apart from a garbled or
+     * raced one. Cleared when the connection drops (the response can
+     * no longer arrive), so it stays small.
+     */
+    std::unordered_set<uint64_t> expiredIds;
+    /** Reconnect backoff: no dial before this monotonic instant. */
+    int64_t nextDialAllowedNs = 0;
+    int64_t dialBackoffNs = 0; //!< 0 until the first failed dial.
     CompletionShard *shard = nullptr;
     RpcClient *owner = nullptr;
 
@@ -93,15 +107,49 @@ RpcClient::ensureConnected(ClientConn *conn)
     std::lock_guard<std::mutex> guard(conn->mutex);
     if (conn->fc && !conn->fc->isDead())
         return true;
-    TcpSocket sock = TcpSocket::connectLoopback(targetPort);
-    if (!sock.valid())
+    // Reconnect backoff: while the hold-off runs, fail fast without a
+    // dial so a dead server does not eat a connect storm.
+    const int64_t now = nowNanos();
+    if (now < conn->nextDialAllowedNs) {
+        globalCounters().counter("rpc.client.dial_suppressed").add();
         return false;
+    }
+    dialAttempts.fetch_add(1, std::memory_order_relaxed);
+    globalCounters().counter("rpc.client.dial_attempts").add();
+    TcpSocket sock = TcpSocket::connectLoopback(targetPort);
+    if (!sock.valid()) {
+        conn->dialBackoffNs =
+            conn->dialBackoffNs == 0
+                ? options.reconnectBackoffNs
+                : std::min(conn->dialBackoffNs * 2,
+                           options.reconnectBackoffMaxNs);
+        conn->nextDialAllowedNs = now + conn->dialBackoffNs;
+        return false;
+    }
+    conn->dialBackoffNs = 0;
+    conn->nextDialAllowedNs = 0;
     conn->fc = std::make_shared<FramedConnection>(std::move(sock),
                                                   &conn->shard->poller,
                                                   conn);
     conn->fc->registerWithPoller();
     conn->shard->poller.wake();
     return true;
+}
+
+void
+RpcClient::killConnections()
+{
+    const Status killed(StatusCode::Unavailable,
+                        "connection killed (fault injection)");
+    for (auto &conn : conns) {
+        {
+            std::lock_guard<std::mutex> guard(conn->mutex);
+            if (conn->fc)
+                conn->fc->shutdown();
+            conn->fc = nullptr;
+        }
+        failPending(conn.get(), killed);
+    }
 }
 
 bool
@@ -115,7 +163,8 @@ RpcClient::isHealthy() const
 }
 
 void
-RpcClient::call(uint32_t method, std::string body, Callback callback)
+RpcClient::transportCall(uint32_t method, std::string body,
+                         Callback callback)
 {
     ClientConn *conn =
         conns[nextConn.fetch_add(1, std::memory_order_relaxed) %
@@ -229,8 +278,19 @@ RpcClient::onConnReadable(ClientConn *conn)
         {
             std::lock_guard<std::mutex> guard(conn->mutex);
             auto it = conn->pending.find(header.requestId);
-            if (it == conn->pending.end())
-                return; // Already failed (races with disconnect).
+            if (it == conn->pending.end()) {
+                // Already failed. If the deadline sweep beat this
+                // response, account for it: late responses are the
+                // signal that a deadline is tuned too tight.
+                if (conn->expiredIds.erase(header.requestId) > 0) {
+                    conn->owner->lateResponseCount.fetch_add(
+                        1, std::memory_order_relaxed);
+                    globalCounters()
+                        .counter("rpc.client.late_response")
+                        .add();
+                }
+                return; // Otherwise: races with disconnect.
+            }
             callback = std::move(it->second.callback);
             conn->pending.erase(it);
         }
@@ -254,6 +314,9 @@ RpcClient::failPending(ClientConn *conn, const Status &status)
     {
         std::lock_guard<std::mutex> guard(conn->mutex);
         orphaned.swap(conn->pending);
+        // Responses for swept calls can no longer arrive on this
+        // connection; drop the late-response watch list.
+        conn->expiredIds.clear();
     }
     for (auto &[id, pending_call] : orphaned)
         pending_call.callback(status, {});
@@ -271,6 +334,7 @@ RpcClient::sweepExpired(CompletionShard &shard)
             if (it->second.deadlineNs != 0 &&
                 now >= it->second.deadlineNs) {
                 expired.push_back(std::move(it->second.callback));
+                conn->expiredIds.insert(it->first);
                 it = conn->pending.erase(it);
             } else {
                 ++it;

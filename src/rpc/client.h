@@ -38,12 +38,26 @@ struct ClientOptions
     bool blockingPoll = true;  //!< false: busy-poll completions.
     std::string name = "cli";
     /**
-     * Per-call deadline; 0 disables. Calls still pending when it
-     * expires complete with DEADLINE_EXCEEDED (a late server response
-     * is then dropped). Expiry is swept by the completion threads, so
-     * enforcement granularity is ~the sweep interval (10 ms).
+     * Client-wide per-call deadline; 0 disables. Superseded by the
+     * per-call rpc::CallOptions layer (rpc/channel.h) for new code,
+     * but kept as a transport-level backstop: calls still pending when
+     * it expires complete with DEADLINE_EXCEEDED (a late server
+     * response is then dropped and counted). Expiry is swept by the
+     * completion threads, so enforcement granularity is ~the sweep
+     * interval (10 ms).
      */
     int64_t defaultDeadlineNs = 0;
+    /**
+     * Reconnect backoff after a failed dial: the first failure holds
+     * further dial attempts on that connection for
+     * reconnectBackoffNs, doubling per consecutive failure up to
+     * reconnectBackoffMaxNs (reset on success). Prevents a connect
+     * storm against a dead or restarting server: calls during the
+     * hold-off fail fast with UNAVAILABLE without touching the
+     * network.
+     */
+    int64_t reconnectBackoffNs = 1'000'000;        //!< 1 ms.
+    int64_t reconnectBackoffMaxNs = 1'000'000'000; //!< 1 s.
 };
 
 class RpcClient : public Channel
@@ -53,9 +67,6 @@ class RpcClient : public Channel
     RpcClient(uint16_t port, ClientOptions options = {});
     ~RpcClient() override;
 
-    void call(uint32_t method, std::string body,
-              Callback callback) override;
-
     /** True if at least one connection is up. */
     bool isHealthy() const override;
 
@@ -64,6 +75,33 @@ class RpcClient : public Channel
     {
         return nextRequestId.load(std::memory_order_relaxed) - 1;
     }
+
+    /** TCP dial attempts made so far (reconnect-storm regression). */
+    uint64_t
+    connectAttempts() const
+    {
+        return dialAttempts.load(std::memory_order_relaxed);
+    }
+
+    /** Responses that arrived after their call had already been
+     *  failed (deadline expiry); also counted process-wide under the
+     *  rpc.client.late_response counter. */
+    uint64_t
+    lateResponses() const
+    {
+        return lateResponseCount.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Fault injection: shut every live connection down as if the peer
+     * had died, failing all in-flight calls with UNAVAILABLE.
+     * Subsequent calls re-dial lazily (subject to reconnect backoff).
+     */
+    void killConnections();
+
+  protected:
+    void transportCall(uint32_t method, std::string body,
+                       Callback callback) override;
 
   private:
     struct ClientConn;
@@ -86,6 +124,8 @@ class RpcClient : public Channel
     std::atomic<uint64_t> nextRequestId{1};
     std::atomic<size_t> nextConn{0};
     std::atomic<bool> stopping{false};
+    std::atomic<uint64_t> dialAttempts{0};
+    std::atomic<uint64_t> lateResponseCount{0};
 };
 
 } // namespace rpc

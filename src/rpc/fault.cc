@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Implementation of the fault injector.
+ */
+
+#include "rpc/fault.h"
+
+#include "stats/counters.h"
+
+namespace musuite {
+namespace rpc {
+
+FaultDecision
+FaultInjector::onRequest()
+{
+    const uint64_t ordinal =
+        requestCount.fetch_add(1, std::memory_order_relaxed) + 1;
+    FaultDecision decision = decideRequest(ordinal);
+    if (decision.kind != FaultDecision::Kind::None) {
+        faultCount.fetch_add(1, std::memory_order_relaxed);
+        globalCounters().counter("rpc.fault.injected").add();
+    }
+    return decision;
+}
+
+FaultDecision
+FaultInjector::decideRequest(uint64_t ordinal)
+{
+    FaultDecision decision;
+    if (spec.errorFirstN && ordinal <= spec.errorFirstN) {
+        decision.kind = FaultDecision::Kind::Error;
+        decision.status = Status(spec.errorCode, "injected fault");
+        return decision;
+    }
+    if (spec.delayFirstN && ordinal <= spec.delayFirstN) {
+        decision.kind = FaultDecision::Kind::Delay;
+        decision.delayNs = spec.delayNs;
+        return decision;
+    }
+    if (spec.dropEveryNth && ordinal % spec.dropEveryNth == 0) {
+        decision.kind = FaultDecision::Kind::Drop;
+        return decision;
+    }
+
+    std::lock_guard<std::mutex> guard(mutex);
+    if (spec.errorProb > 0 && rng.nextBool(spec.errorProb)) {
+        decision.kind = FaultDecision::Kind::Error;
+        decision.status = Status(spec.errorCode, "injected fault");
+    } else if (spec.dropRequestProb > 0 &&
+               rng.nextBool(spec.dropRequestProb)) {
+        decision.kind = FaultDecision::Kind::Drop;
+    } else if (spec.delayRequestProb > 0 &&
+               rng.nextBool(spec.delayRequestProb)) {
+        decision.kind = FaultDecision::Kind::Delay;
+        decision.delayNs = spec.delayNs;
+    }
+    return decision;
+}
+
+FaultDecision
+FaultInjector::onResponse()
+{
+    FaultDecision decision;
+    {
+        std::lock_guard<std::mutex> guard(mutex);
+        if (spec.dropResponseProb > 0 &&
+            rng.nextBool(spec.dropResponseProb)) {
+            decision.kind = FaultDecision::Kind::Drop;
+        } else if (spec.delayResponseProb > 0 &&
+                   rng.nextBool(spec.delayResponseProb)) {
+            decision.kind = FaultDecision::Kind::Delay;
+            decision.delayNs = spec.delayNs;
+        }
+    }
+    if (decision.kind != FaultDecision::Kind::None) {
+        faultCount.fetch_add(1, std::memory_order_relaxed);
+        globalCounters().counter("rpc.fault.injected").add();
+    }
+    return decision;
+}
+
+} // namespace rpc
+} // namespace musuite

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Deterministic fault injection for the RPC fabric.
+ *
+ * µSuite's mid-tiers live or die on how they handle a slow or dead
+ * leaf, so failure scenarios must be reproducible on demand. A
+ * FaultInjector attaches to any rpc::Channel and perturbs its calls at
+ * the request and response boundaries: drop (blackhole), error
+ * (complete with an injected status), or delay. Decisions come either
+ * from deterministic counter rules (fail the first N calls, drop every
+ * Nth) for exact test scripts, or from a seeded RNG for statistical
+ * fault storms — both replay identically run to run.
+ *
+ * Connection-level kills are transport-specific and live on
+ * RpcClient::killConnections().
+ */
+
+#ifndef MUSUITE_RPC_FAULT_H
+#define MUSUITE_RPC_FAULT_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "base/rng.h"
+#include "base/status.h"
+
+namespace musuite {
+namespace rpc {
+
+/** What to do to one request or response. */
+struct FaultDecision
+{
+    enum class Kind {
+        None,  //!< Pass through untouched.
+        Drop,  //!< Blackhole: the message never arrives.
+        Error, //!< Complete immediately with `status`.
+        Delay, //!< Deliver after `delayNs`.
+    };
+
+    Kind kind = Kind::None;
+    int64_t delayNs = 0;
+    Status status;
+};
+
+/**
+ * Fault plan. Counter rules (exact, 1-based over the injector's
+ * lifetime) are evaluated before probabilistic rules, so a test can
+ * script "fail calls 1-2, then behave" while a storm uses the seeded
+ * probabilities.
+ */
+struct FaultSpec
+{
+    // --- deterministic counter rules (0 = disabled) ------------------
+    uint64_t errorFirstN = 0;   //!< Fail the first N requests.
+    uint64_t delayFirstN = 0;   //!< Delay the first N requests.
+    uint64_t dropEveryNth = 0;  //!< Blackhole every Nth request.
+
+    // --- seeded probabilistic rules ----------------------------------
+    double errorProb = 0.0;        //!< Fail a request outright.
+    double dropRequestProb = 0.0;  //!< Blackhole a request.
+    double dropResponseProb = 0.0; //!< Blackhole a response.
+    double delayRequestProb = 0.0; //!< Delay a request...
+    double delayResponseProb = 0.0; //!< ...or a response...
+    int64_t delayNs = 0;            //!< ...by this much.
+
+    StatusCode errorCode = StatusCode::Unavailable;
+    uint64_t seed = 1;
+};
+
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultSpec spec_in)
+        : spec(spec_in), rng(spec_in.seed)
+    {}
+
+    /** Consulted once per outgoing attempt. */
+    FaultDecision onRequest();
+
+    /** Consulted once per arriving response. */
+    FaultDecision onResponse();
+
+    uint64_t requestsSeen() const { return requestCount.load(); }
+    uint64_t faultsInjected() const { return faultCount.load(); }
+
+  private:
+    FaultDecision decideRequest(uint64_t ordinal);
+
+    FaultSpec spec;
+    std::mutex mutex; //!< Guards rng.
+    Rng rng;
+    std::atomic<uint64_t> requestCount{0};
+    std::atomic<uint64_t> faultCount{0};
+};
+
+} // namespace rpc
+} // namespace musuite
+
+#endif // MUSUITE_RPC_FAULT_H

@@ -9,7 +9,8 @@ namespace musuite {
 namespace rpc {
 
 void
-LocalChannel::call(uint32_t method, std::string body, Callback callback)
+LocalChannel::transportCall(uint32_t method, std::string body,
+                            Callback callback)
 {
     server.invokeLocal(
         method, std::move(body),

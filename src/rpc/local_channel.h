@@ -21,8 +21,9 @@ class LocalChannel : public Channel
     /** The server must outlive the channel. */
     explicit LocalChannel(Server &server) : server(server) {}
 
-    void call(uint32_t method, std::string body,
-              Callback callback) override;
+  protected:
+    void transportCall(uint32_t method, std::string body,
+                       Callback callback) override;
 
   private:
     Server &server;

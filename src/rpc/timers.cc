@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Implementation of the shared timer thread.
+ */
+
+#include "rpc/timers.h"
+
+#include "base/threading.h"
+#include "base/time_util.h"
+
+namespace musuite {
+namespace rpc {
+
+TimerService &
+TimerService::global()
+{
+    static TimerService instance;
+    return instance;
+}
+
+TimerService::TimerService() = default;
+
+TimerService::~TimerService()
+{
+    {
+        std::lock_guard<std::mutex> guard(mutex);
+        stopping = true;
+    }
+    wakeup.notify_all();
+    if (thread.joinable())
+        thread.join();
+}
+
+TimerService::TimerId
+TimerService::schedule(int64_t delay_ns, std::function<void()> fn)
+{
+    const int64_t deadline =
+        nowNanos() + (delay_ns > 0 ? delay_ns : 0);
+    TimerId id;
+    {
+        std::lock_guard<std::mutex> guard(mutex);
+        id = nextId++;
+        armed.emplace(id, std::move(fn));
+        heap.emplace(deadline, id);
+        if (!started) {
+            started = true;
+            thread = std::thread([this] { timerMain(); });
+        }
+    }
+    wakeup.notify_one();
+    return id;
+}
+
+bool
+TimerService::cancel(TimerId id)
+{
+    // Lazy cancellation: the heap entry stays and is skipped when it
+    // surfaces, so cancel never has to search the heap.
+    std::lock_guard<std::mutex> guard(mutex);
+    return armed.erase(id) > 0;
+}
+
+size_t
+TimerService::pendingCount() const
+{
+    std::lock_guard<std::mutex> guard(mutex);
+    return armed.size();
+}
+
+void
+TimerService::timerMain()
+{
+    setCurrentThreadName("rpc-timers");
+    std::unique_lock<std::mutex> lock(mutex);
+    while (!stopping) {
+        // Drop cancelled heads so the wait below targets a live timer.
+        while (!heap.empty() && armed.find(heap.top().second) ==
+                                    armed.end()) {
+            heap.pop();
+        }
+        if (heap.empty()) {
+            wakeup.wait(lock,
+                        [&] { return stopping || !heap.empty(); });
+            continue;
+        }
+        const int64_t deadline = heap.top().first;
+        const int64_t now = nowNanos();
+        if (now < deadline) {
+            wakeup.wait_for(lock,
+                            std::chrono::nanoseconds(deadline - now));
+            continue;
+        }
+        const TimerId id = heap.top().second;
+        heap.pop();
+        auto it = armed.find(id);
+        if (it == armed.end())
+            continue; // Cancelled while due.
+        std::function<void()> fn = std::move(it->second);
+        armed.erase(it);
+        lock.unlock();
+        fn(); // May re-arm timers; runs without the lock.
+        lock.lock();
+    }
+}
+
+} // namespace rpc
+} // namespace musuite

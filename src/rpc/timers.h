@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared one-shot timer service for the RPC resilience layer.
+ *
+ * Per-call deadlines, retry backoff, hedged requests, and injected
+ * fault delays all need "run this closure in N nanoseconds" without
+ * each call owning a thread. TimerService is one lazily started thread
+ * parked on a condvar over a deadline-ordered heap; arming and
+ * cancelling are O(log n) under a single mutex, which is ample for the
+ * per-RPC rates the mid-tiers see.
+ */
+
+#ifndef MUSUITE_RPC_TIMERS_H
+#define MUSUITE_RPC_TIMERS_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace musuite {
+namespace rpc {
+
+class TimerService
+{
+  public:
+    using TimerId = uint64_t;
+
+    /**
+     * Process-wide instance shared by every channel. The backing
+     * thread starts on first use and stops at static destruction;
+     * callbacks must not assume they run before program exit.
+     */
+    static TimerService &global();
+
+    TimerService();
+    ~TimerService();
+
+    TimerService(const TimerService &) = delete;
+    TimerService &operator=(const TimerService &) = delete;
+
+    /**
+     * Run `fn` on the timer thread once `delay_ns` has elapsed
+     * (immediately, but still on the timer thread, for delays <= 0).
+     * Callbacks should be short or hand off elsewhere: they share one
+     * thread with every other armed timer.
+     */
+    TimerId schedule(int64_t delay_ns, std::function<void()> fn);
+
+    /**
+     * Cancel an armed timer. Returns true iff the callback had not
+     * fired (and now never will). Safe to call with stale ids.
+     */
+    bool cancel(TimerId id);
+
+    /** Timers currently armed (tests / leak checks). */
+    size_t pendingCount() const;
+
+  private:
+    void timerMain();
+
+    mutable std::mutex mutex;
+    std::condition_variable wakeup;
+    /** Armed timers by id; the heap holds (deadline, id) references. */
+    std::map<TimerId, std::function<void()>> armed;
+    std::priority_queue<std::pair<int64_t, TimerId>,
+                        std::vector<std::pair<int64_t, TimerId>>,
+                        std::greater<>>
+        heap;
+    TimerId nextId = 1;
+    bool started = false;
+    bool stopping = false;
+    std::thread thread;
+};
+
+} // namespace rpc
+} // namespace musuite
+
+#endif // MUSUITE_RPC_TIMERS_H

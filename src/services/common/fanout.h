@@ -5,23 +5,49 @@
  * The mid-tier request path launches one RPC per leaf shard and
  * returns; leaf responses arrive on the client's completion threads,
  * which "count down and merge" (paper §IV): every response thread
- * stashes its payload and decrements a counter, and only the last one
+ * stashes its payload and counts down, and only the completing one
  * does real work — running the merge functor and completing the
  * parent RPC.
+ *
+ * Resilience (the fan-out is where a single slow or dead leaf defines
+ * the parent's tail):
+ *
+ *  - Per-leg call options (FanoutOptions::leg) give every leg a
+ *    deadline, retry budget, and optional hedge, so a dead leaf turns
+ *    into a fast per-leg error instead of a parent hang.
+ *  - A quorum threshold completes the parent early with partial
+ *    results once (a) that many legs have answered OK and (b) at
+ *    least one leg has terminally failed — an observed failure is the
+ *    signal that waiting for the rest is likely wasted. Stragglers
+ *    are abandoned: their slots are reported as DEADLINE_EXCEEDED and
+ *    the outcome is flagged degraded. While every leg is healthy the
+ *    parent waits for all of them, so healthy traffic is never marked
+ *    degraded. Late straggler responses are counted (fanout.late_leg)
+ *    and dropped.
+ *
+ * THREADING CONTRACT: on_complete is invoked exactly once, on the
+ * thread of whichever leg completes the fan-out — a completion
+ * thread, the rpc timer thread, or *synchronously on the caller's own
+ * thread* when every leg fails inline (e.g. connect failure on every
+ * channel). Merge code must not hold locks across fanoutCall() that
+ * on_complete also takes, and must not assume completion-thread
+ * context.
  */
 
 #ifndef MUSUITE_SERVICES_COMMON_FANOUT_H
 #define MUSUITE_SERVICES_COMMON_FANOUT_H
 
-#include <atomic>
+#include <algorithm>
+#include <cmath>
 #include <functional>
 #include <memory>
-#include <optional>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "base/logging.h"
 #include "rpc/channel.h"
+#include "stats/counters.h"
 
 namespace musuite {
 
@@ -41,46 +67,178 @@ struct FanoutRequest
     uint32_t tag = 0;
 };
 
+/** Resilience knobs for one fan-out. Defaults reproduce the classic
+ *  behaviour: plain calls, wait for every leg. */
+struct FanoutOptions
+{
+    rpc::CallOptions leg; //!< Applied to every leg.
+    /**
+     * 0 = wait for all legs. Otherwise, once any leg has failed,
+     * complete the parent as soon as this many legs have answered OK,
+     * abandoning the rest.
+     */
+    uint32_t quorum = 0;
+};
+
+/** What the merge receives. */
+struct FanoutOutcome
+{
+    /**
+     * One entry per request, in request order. Abandoned stragglers
+     * carry DEADLINE_EXCEEDED.
+     */
+    std::vector<LeafResult> results;
+    uint32_t okLegs = 0;
+    /** True iff the parent completed without every leg OK — merged
+     *  from partial results. */
+    bool degraded = false;
+};
+
+/**
+ * Mid-tier-level fan-out policy, resolved against the actual leg
+ * count per request (services don't know their fan-out width until
+ * the request path has run).
+ */
+struct FanoutPolicy
+{
+    rpc::CallOptions leg;
+    /**
+     * Fraction of legs whose OK answers complete the parent early
+     * once any leg has failed (>= 1.0 means wait for all). At least
+     * one leg is always required.
+     */
+    double quorumFraction = 1.0;
+
+    FanoutOptions
+    resolve(size_t legs) const
+    {
+        FanoutOptions options;
+        options.leg = leg;
+        if (quorumFraction < 1.0 && legs > 0) {
+            options.quorum = std::max<uint32_t>(
+                1, uint32_t(std::ceil(quorumFraction * double(legs))));
+        }
+        return options;
+    }
+};
+
 /**
  * Issue all requests asynchronously; invoke on_complete exactly once
- * (on the thread of the last-arriving response) with results in
+ * (see the threading contract above) with one result per request in
  * request order.
  *
  * @param method Method id used for every leg.
- * @param on_complete Receives one LeafResult per request.
  */
 inline void
 fanoutCall(uint32_t method, std::vector<FanoutRequest> requests,
-           std::function<void(std::vector<LeafResult>)> on_complete)
+           FanoutOptions options,
+           std::function<void(FanoutOutcome)> on_complete)
 {
     MUSUITE_CHECK(!requests.empty()) << "empty fan-out";
 
     struct SharedState
     {
+        std::mutex mutex;
         std::vector<LeafResult> results;
-        std::atomic<uint32_t> remaining;
-        std::function<void(std::vector<LeafResult>)> done;
+        std::vector<bool> arrived;
+        uint32_t completedLegs = 0;
+        uint32_t okLegs = 0;
+        bool done = false;
+        uint32_t legs;
+        uint32_t quorum;
+        std::function<void(FanoutOutcome)> merge;
 
-        explicit SharedState(size_t n) : results(n), remaining(uint32_t(n))
+        SharedState(size_t n, uint32_t quorum)
+            : results(n), arrived(n, false), legs(uint32_t(n)),
+              quorum(quorum)
         {}
     };
-    auto state = std::make_shared<SharedState>(requests.size());
-    state->done = std::move(on_complete);
+    const uint32_t quorum =
+        options.quorum == 0
+            ? 0
+            : std::min<uint32_t>(options.quorum,
+                                 uint32_t(requests.size()));
+    auto state = std::make_shared<SharedState>(requests.size(), quorum);
+    state->merge = std::move(on_complete);
+    globalCounters().counter("fanout.calls").add();
 
     for (size_t i = 0; i < requests.size(); ++i) {
         FanoutRequest &request = requests[i];
         request.channel->call(
-            method, std::move(request.body),
+            method, std::move(request.body), options.leg,
             [state, i](const Status &status, std::string_view payload) {
-                state->results[i].status = status;
-                state->results[i].payload.assign(payload.data(),
-                                                 payload.size());
-                if (state->remaining.fetch_sub(
-                        1, std::memory_order_acq_rel) == 1) {
-                    state->done(std::move(state->results));
+                FanoutOutcome outcome;
+                bool fire = false;
+                {
+                    std::lock_guard<std::mutex> guard(state->mutex);
+                    if (state->done) {
+                        // Straggler beyond the quorum: the parent has
+                        // already answered. Never touch results here —
+                        // they have been moved out.
+                        globalCounters()
+                            .counter("fanout.late_leg")
+                            .add();
+                        return;
+                    }
+                    state->results[i].status = status;
+                    state->results[i].payload.assign(payload.data(),
+                                                     payload.size());
+                    state->arrived[i] = true;
+                    state->completedLegs++;
+                    if (status.isOk())
+                        state->okLegs++;
+
+                    // Early completion needs both quorum OKs and an
+                    // observed terminal failure (completed > ok);
+                    // all-healthy fan-outs wait for every leg.
+                    fire = state->completedLegs == state->legs ||
+                           (state->quorum != 0 &&
+                            state->okLegs >= state->quorum &&
+                            state->completedLegs > state->okLegs);
+                    if (fire) {
+                        state->done = true;
+                        outcome.results = std::move(state->results);
+                        outcome.okLegs = state->okLegs;
+                        for (size_t leg = 0; leg < outcome.results.size();
+                             ++leg) {
+                            if (state->arrived[leg])
+                                continue;
+                            outcome.results[leg].status = Status(
+                                StatusCode::DeadlineExceeded,
+                                "straggler abandoned at quorum");
+                            globalCounters()
+                                .counter("fanout.abandoned_leg")
+                                .add();
+                        }
+                        outcome.degraded =
+                            outcome.okLegs < outcome.results.size();
+                    }
+                }
+                if (fire) {
+                    if (outcome.degraded) {
+                        globalCounters()
+                            .counter("fanout.degraded")
+                            .add();
+                    }
+                    state->merge(std::move(outcome));
                 }
             });
     }
+}
+
+/**
+ * Classic all-legs fan-out: wait for every leg, plain calls. Kept for
+ * callers that need no resilience policy.
+ */
+inline void
+fanoutCall(uint32_t method, std::vector<FanoutRequest> requests,
+           std::function<void(std::vector<LeafResult>)> on_complete)
+{
+    fanoutCall(method, std::move(requests), FanoutOptions{},
+               [on_complete = std::move(on_complete)](
+                   FanoutOutcome outcome) {
+                   on_complete(std::move(outcome.results));
+               });
 }
 
 } // namespace musuite

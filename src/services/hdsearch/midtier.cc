@@ -13,8 +13,10 @@ namespace musuite {
 namespace hdsearch {
 
 MidTier::MidTier(std::unique_ptr<LshIndex> index,
-                 std::vector<std::shared_ptr<rpc::Channel>> leaves_in)
-    : lsh(std::move(index)), leaves(std::move(leaves_in))
+                 std::vector<std::shared_ptr<rpc::Channel>> leaves_in,
+                 FanoutPolicy policy)
+    : lsh(std::move(index)), leaves(std::move(leaves_in)),
+      fanoutPolicy(policy)
 {
     MUSUITE_CHECK(!leaves.empty()) << "mid-tier needs leaves";
 }
@@ -71,23 +73,26 @@ MidTier::handle(rpc::ServerCallPtr call)
     }
 
     // Response path: merge distance-sorted leaf lists into the global
-    // top-k. Runs on the completion thread of the last leaf response.
+    // top-k. Runs on the thread of the completing leaf response (see
+    // the fanoutCall threading contract: possibly this very thread).
     const uint32_t k = query.k;
     std::vector<uint32_t> tags;
     tags.reserve(requests.size());
     for (const FanoutRequest &request : requests)
         tags.push_back(request.tag);
 
-    fanoutCall(kLeafDistance, std::move(requests),
-               [call, k, tags = std::move(tags)](
-                   std::vector<LeafResult> results) {
+    const FanoutOptions fanout_options =
+        fanoutPolicy.resolve(requests.size());
+    fanoutCall(kLeafDistance, std::move(requests), fanout_options,
+               [this, call, k,
+                tags = std::move(tags)](FanoutOutcome outcome) {
                    std::vector<std::vector<Neighbor>> lists;
-                   lists.reserve(results.size());
-                   for (size_t i = 0; i < results.size(); ++i) {
-                       if (!results[i].status.isOk())
+                   lists.reserve(outcome.results.size());
+                   for (size_t i = 0; i < outcome.results.size(); ++i) {
+                       if (!outcome.results[i].status.isOk())
                            continue; // Degraded: merge what arrived.
                        LeafNNResponse leaf_response;
-                       if (!decodeMessage(results[i].payload,
+                       if (!decodeMessage(outcome.results[i].payload,
                                           leaf_response)) {
                            continue;
                        }
@@ -111,6 +116,10 @@ MidTier::handle(rpc::ServerCallPtr call)
                        response.pointIds.push_back(neighbor.id);
                        response.distances.push_back(neighbor.distance);
                    }
+                   response.degraded = outcome.degraded;
+                   if (outcome.degraded)
+                       degraded.fetch_add(1,
+                                          std::memory_order_relaxed);
                    call->respondOk(encodeMessage(response));
                });
 }

@@ -18,6 +18,7 @@
 #include "index/lsh.h"
 #include "rpc/channel.h"
 #include "rpc/server.h"
+#include "services/common/fanout.h"
 
 namespace musuite {
 namespace hdsearch {
@@ -28,22 +29,29 @@ class MidTier
     /**
      * @param index LSH tables referencing {leaf, point-id} tuples.
      * @param leaves One channel per leaf shard, indexed by leaf id.
+     * @param policy Per-leg deadline/retry/hedge and quorum policy;
+     *               the default waits for every leg with plain calls.
      */
     MidTier(std::unique_ptr<LshIndex> index,
-            std::vector<std::shared_ptr<rpc::Channel>> leaves);
+            std::vector<std::shared_ptr<rpc::Channel>> leaves,
+            FanoutPolicy policy = {});
 
     /** Register the kNearestNeighbors handler. */
     void registerWith(rpc::Server &server);
 
     const LshIndex &index() const { return *lsh; }
     uint64_t queriesServed() const { return served; }
+    /** Responses merged from partial leaf results. */
+    uint64_t degradedResponses() const { return degraded; }
 
   private:
     void handle(rpc::ServerCallPtr call);
 
     std::unique_ptr<LshIndex> lsh;
     std::vector<std::shared_ptr<rpc::Channel>> leaves;
+    FanoutPolicy fanoutPolicy;
     std::atomic<uint64_t> served{0};
+    std::atomic<uint64_t> degraded{0};
 };
 
 /**

@@ -57,12 +57,15 @@ struct NNResponse
 {
     std::vector<uint64_t> pointIds; //!< Global ids, nearest first.
     std::vector<float> distances;   //!< Squared L2, aligned with ids.
+    /** True if some leaf shards did not contribute (partial merge). */
+    bool degraded = false;
 
     void
     encode(WireWriter &out) const
     {
         out.putVarintVector(pointIds);
         out.putFloatVector(distances);
+        out.putBool(degraded);
     }
 
     bool
@@ -70,6 +73,8 @@ struct NNResponse
     {
         pointIds = in.getVarintVector();
         distances = in.getFloatVector();
+        // Trailing optional field: absent in pre-resilience payloads.
+        degraded = in.remaining() > 0 ? in.getBool() : false;
         return in.ok() && pointIds.size() == distances.size();
     }
 };

@@ -13,8 +13,9 @@
 namespace musuite {
 namespace recommend {
 
-MidTier::MidTier(std::vector<std::shared_ptr<rpc::Channel>> leaves_in)
-    : leaves(std::move(leaves_in))
+MidTier::MidTier(std::vector<std::shared_ptr<rpc::Channel>> leaves_in,
+                 FanoutPolicy policy)
+    : leaves(std::move(leaves_in)), fanoutPolicy(policy)
 {
     MUSUITE_CHECK(!leaves.empty()) << "recommend needs leaves";
 }
@@ -47,12 +48,15 @@ MidTier::handle(rpc::ServerCallPtr call)
         requests.push_back(std::move(request));
     }
 
-    // Response path: average of the ratings received from leaves.
-    fanoutCall(kLeafPredict, std::move(requests),
-               [call](std::vector<LeafResult> results) {
+    // Response path: average of the ratings received from leaves. May
+    // run inline on this thread (fanoutCall threading contract).
+    const FanoutOptions fanout_options =
+        fanoutPolicy.resolve(requests.size());
+    fanoutCall(kLeafPredict, std::move(requests), fanout_options,
+               [this, call](FanoutOutcome outcome) {
                    double sum = 0.0;
                    uint32_t answered = 0;
-                   for (const LeafResult &result : results) {
+                   for (const LeafResult &result : outcome.results) {
                        if (!result.status.isOk())
                            continue;
                        RatingReply reply;
@@ -68,6 +72,10 @@ MidTier::handle(rpc::ServerCallPtr call)
                    }
                    RatingReply averaged;
                    averaged.rating = sum / double(answered);
+                   averaged.degraded = outcome.degraded;
+                   if (outcome.degraded)
+                       degraded.fetch_add(1,
+                                          std::memory_order_relaxed);
                    call->respondOk(encodeMessage(averaged));
                });
 }

@@ -44,17 +44,22 @@ struct RatingQuery
 struct RatingReply
 {
     double rating = 0.0;
+    /** True if some leaf shards did not contribute to the average. */
+    bool degraded = false;
 
     void
     encode(WireWriter &out) const
     {
         out.putDouble(rating);
+        out.putBool(degraded);
     }
 
     bool
     decode(WireReader &in)
     {
         rating = in.getDouble();
+        // Trailing optional field: absent in pre-resilience payloads.
+        degraded = in.remaining() > 0 ? in.getBool() : false;
         return in.ok();
     }
 };

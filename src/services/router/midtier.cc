@@ -87,12 +87,14 @@ MidTier::routeSet(rpc::ServerCallPtr call, const std::string &body,
         requests.push_back(std::move(request));
     }
 
-    fanoutCall(kLeafOp, std::move(requests),
-               [call](std::vector<LeafResult> results) {
+    const FanoutOptions fanout_options =
+        options.fanout.resolve(requests.size());
+    fanoutCall(kLeafOp, std::move(requests), fanout_options,
+               [this, call](FanoutOutcome outcome) {
                    // The set succeeds if any replica stored it; a
                    // fully failed pool is an Unavailable error.
                    uint32_t stored = 0;
-                   for (const LeafResult &result : results) {
+                   for (const LeafResult &result : outcome.results) {
                        KvReply reply;
                        if (result.status.isOk() &&
                            decodeMessage(result.payload, reply) &&
@@ -107,6 +109,11 @@ MidTier::routeSet(rpc::ServerCallPtr call, const std::string &body,
                    }
                    KvReply reply;
                    reply.found = true;
+                   reply.degraded =
+                       stored < uint32_t(outcome.results.size());
+                   if (reply.degraded)
+                       degraded.fetch_add(1,
+                                          std::memory_order_relaxed);
                    call->respondOk(encodeMessage(reply));
                });
 }
@@ -125,8 +132,11 @@ MidTier::routeGet(rpc::ServerCallPtr call, std::string body,
 
     rpc::Channel *channel = leaves[pool[attempt]].get();
     std::string body_copy = body;
+    // Each failover attempt gets the per-leg resilience options so a
+    // dead replica is abandoned after the leg deadline instead of
+    // hanging the whole get.
     channel->call(
-        kLeafOp, std::move(body_copy),
+        kLeafOp, std::move(body_copy), options.fanout.leg,
         [this, call, body = std::move(body), pool = std::move(pool),
          attempt](const Status &status, std::string_view payload) mutable {
             if (status.isOk()) {

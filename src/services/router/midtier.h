@@ -19,6 +19,7 @@
 
 #include "rpc/channel.h"
 #include "rpc/server.h"
+#include "services/common/fanout.h"
 
 namespace musuite {
 namespace router {
@@ -27,6 +28,13 @@ struct MidTierOptions
 {
     uint32_t replicas = 3; //!< Replication-pool size (paper: 3).
     uint64_t seed = 23;    //!< Replica-choice randomness.
+    /**
+     * Resilience policy. Sets fan out with fanout.leg options and
+     * complete early once quorumFraction of the pool stored the value
+     * (flagged degraded if any replica missed it); gets apply
+     * fanout.leg to each sequential failover attempt.
+     */
+    FanoutPolicy fanout;
 };
 
 class MidTier
@@ -46,6 +54,8 @@ class MidTier
     uint64_t opsRouted() const { return served; }
     /** Gets that needed replica failover (fault-tolerance metric). */
     uint64_t failovers() const { return failoverCount; }
+    /** Sets acknowledged by only part of the replica pool. */
+    uint64_t degradedResponses() const { return degraded; }
 
   private:
     void handle(rpc::ServerCallPtr call);
@@ -59,6 +69,7 @@ class MidTier
     MidTierOptions options;
     std::atomic<uint64_t> served{0};
     std::atomic<uint64_t> failoverCount{0};
+    std::atomic<uint64_t> degraded{0};
     std::atomic<uint64_t> replicaSalt{0};
 };
 

@@ -60,12 +60,15 @@ struct KvReply
 {
     bool found = false; //!< Gets: key present. Sets: stored.
     std::string value;  //!< Gets only.
+    /** Sets: true if fewer than all replicas acknowledged. */
+    bool degraded = false;
 
     void
     encode(WireWriter &out) const
     {
         out.putBool(found);
         out.putBytes(value);
+        out.putBool(degraded);
     }
 
     bool
@@ -73,6 +76,8 @@ struct KvReply
     {
         found = in.getBool();
         value = std::string(in.getBytes());
+        // Trailing optional field: absent in pre-resilience payloads.
+        degraded = in.remaining() > 0 ? in.getBool() : false;
         return in.ok();
     }
 };

@@ -13,8 +13,9 @@
 namespace musuite {
 namespace setalgebra {
 
-MidTier::MidTier(std::vector<std::shared_ptr<rpc::Channel>> leaves_in)
-    : leaves(std::move(leaves_in))
+MidTier::MidTier(std::vector<std::shared_ptr<rpc::Channel>> leaves_in,
+                 FanoutPolicy policy)
+    : leaves(std::move(leaves_in)), fanoutPolicy(policy)
 {
     MUSUITE_CHECK(!leaves.empty()) << "set algebra needs leaves";
 }
@@ -47,12 +48,15 @@ MidTier::handle(rpc::ServerCallPtr call)
         requests.push_back(std::move(request));
     }
 
-    // Response path: set union over the per-shard intersections.
-    fanoutCall(kIntersect, std::move(requests),
-               [call](std::vector<LeafResult> results) {
+    // Response path: set union over the per-shard intersections. May
+    // run inline on this thread (fanoutCall threading contract).
+    const FanoutOptions fanout_options =
+        fanoutPolicy.resolve(requests.size());
+    fanoutCall(kIntersect, std::move(requests), fanout_options,
+               [this, call](FanoutOutcome outcome) {
                    std::vector<std::vector<uint32_t>> lists;
-                   lists.reserve(results.size());
-                   for (const LeafResult &result : results) {
+                   lists.reserve(outcome.results.size());
+                   for (const LeafResult &result : outcome.results) {
                        if (!result.status.isOk())
                            continue; // Degraded result set.
                        PostingReply reply;
@@ -61,6 +65,10 @@ MidTier::handle(rpc::ServerCallPtr call)
                    }
                    PostingReply merged;
                    merged.docIds = unionAll(lists);
+                   merged.degraded = outcome.degraded;
+                   if (outcome.degraded)
+                       degraded.fetch_add(1,
+                                          std::memory_order_relaxed);
                    call->respondOk(encodeMessage(merged));
                });
 }

@@ -13,6 +13,7 @@
 
 #include "rpc/channel.h"
 #include "rpc/server.h"
+#include "services/common/fanout.h"
 
 namespace musuite {
 namespace setalgebra {
@@ -20,17 +21,22 @@ namespace setalgebra {
 class MidTier
 {
   public:
-    explicit MidTier(std::vector<std::shared_ptr<rpc::Channel>> leaves);
+    explicit MidTier(std::vector<std::shared_ptr<rpc::Channel>> leaves,
+                     FanoutPolicy policy = {});
 
     void registerWith(rpc::Server &server);
 
     uint64_t queriesServed() const { return served; }
+    /** Responses unioned from partial leaf results. */
+    uint64_t degradedResponses() const { return degraded; }
 
   private:
     void handle(rpc::ServerCallPtr call);
 
     std::vector<std::shared_ptr<rpc::Channel>> leaves;
+    FanoutPolicy fanoutPolicy;
     std::atomic<uint64_t> served{0};
+    std::atomic<uint64_t> degraded{0};
 };
 
 } // namespace setalgebra

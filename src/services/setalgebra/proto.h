@@ -43,17 +43,22 @@ struct SearchQuery
 struct PostingReply
 {
     std::vector<uint32_t> docIds;
+    /** True if some leaf shards did not contribute (partial union). */
+    bool degraded = false;
 
     void
     encode(WireWriter &out) const
     {
         out.putU32Vector(docIds);
+        out.putBool(degraded);
     }
 
     bool
     decode(WireReader &in)
     {
         docIds = in.getU32Vector();
+        // Trailing optional field: absent in pre-resilience payloads.
+        degraded = in.remaining() > 0 ? in.getBool() : false;
         return in.ok();
     }
 };

@@ -26,8 +26,9 @@ class InlineChannel : public rpc::Channel
         : prefix(std::move(prefix))
     {}
 
+  protected:
     void
-    call(uint32_t, std::string body, Callback callback) override
+    transportCall(uint32_t, std::string body, Callback callback) override
     {
         callback(Status::ok(), prefix + body);
     }
@@ -39,9 +40,9 @@ class InlineChannel : public rpc::Channel
 /** Channel that always fails. */
 class FailingChannel : public rpc::Channel
 {
-  public:
+  protected:
     void
-    call(uint32_t, std::string, Callback callback) override
+    transportCall(uint32_t, std::string, Callback callback) override
     {
         callback(Status(StatusCode::Unavailable, "down"), {});
     }
@@ -60,8 +61,9 @@ class DeferredChannel : public rpc::Channel
 
     ~DeferredChannel() override { queue.close(); }
 
+  protected:
     void
-    call(uint32_t, std::string body, Callback callback) override
+    transportCall(uint32_t, std::string body, Callback callback) override
     {
         queue.push([body = std::move(body),
                     callback = std::move(callback)] {
@@ -173,6 +175,110 @@ TEST(FanoutTest, MergeRunsOnLastRespondersThread)
                });
     latch.wait();
     EXPECT_NE(merger, caller);
+}
+
+TEST(FanoutTest, MergeRunsInlineWhenAllLegsCompleteInline)
+{
+    // Documented threading contract: with channels that complete
+    // synchronously (LocalChannel, or TCP failing fast), on_complete
+    // runs inline on the caller's thread before fanoutCall returns.
+    // Callers must not hold locks the merge also takes.
+    InlineChannel good;
+    FailingChannel bad;
+    std::vector<FanoutRequest> requests;
+    requests.push_back({&good, "x", 0});
+    requests.push_back({&bad, "y", 1});
+
+    const std::thread::id caller = std::this_thread::get_id();
+    bool merged = false;
+    fanoutCall(1, std::move(requests),
+               [&](std::vector<LeafResult> results) {
+                   EXPECT_EQ(std::this_thread::get_id(), caller);
+                   EXPECT_EQ(results.size(), 2u);
+                   merged = true;
+               });
+    EXPECT_TRUE(merged); // Completed before fanoutCall returned.
+}
+
+/** Channel that never answers (drops the callback). */
+class BlackholeChannel : public rpc::Channel
+{
+  protected:
+    void
+    transportCall(uint32_t, std::string, Callback) override
+    {
+    }
+};
+
+TEST(FanoutTest, QuorumCompletesWithoutStragglers)
+{
+    // One leg fails terminally, so once two OK answers are in hand
+    // the parent completes early and abandons the blackholed leg
+    // without waiting for its deadline.
+    InlineChannel good;
+    FailingChannel bad;
+    BlackholeChannel dead;
+    std::vector<FanoutRequest> requests;
+    requests.push_back({&good, "a", 0});
+    requests.push_back({&good, "b", 1});
+    requests.push_back({&bad, "c", 2});
+    requests.push_back({&dead, "d", 3});
+
+    FanoutOptions options;
+    options.quorum = 2; // Two of four legs suffice.
+    FanoutOutcome got;
+    bool merged = false;
+    fanoutCall(1, std::move(requests), options,
+               [&](FanoutOutcome outcome) {
+                   got = std::move(outcome);
+                   merged = true;
+               });
+    ASSERT_TRUE(merged);
+    ASSERT_EQ(got.results.size(), 4u);
+    EXPECT_TRUE(got.results[0].status.isOk());
+    EXPECT_TRUE(got.results[1].status.isOk());
+    EXPECT_EQ(got.results[2].status.code(), StatusCode::Unavailable);
+    EXPECT_EQ(got.results[3].status.code(),
+              StatusCode::DeadlineExceeded);
+    EXPECT_EQ(got.okLegs, 2u);
+    EXPECT_TRUE(got.degraded);
+}
+
+TEST(FanoutTest, QuorumDoesNotAbandonHealthyLegs)
+{
+    // All legs answer OK: even with a quorum of one, the parent waits
+    // for every leg — early completion requires an observed failure.
+    InlineChannel good;
+    std::vector<FanoutRequest> requests;
+    requests.push_back({&good, "a", 0});
+    requests.push_back({&good, "b", 1});
+    requests.push_back({&good, "c", 2});
+
+    FanoutOptions options;
+    options.quorum = 1;
+    FanoutOutcome got;
+    fanoutCall(1, std::move(requests), options,
+               [&](FanoutOutcome outcome) { got = std::move(outcome); });
+    EXPECT_EQ(got.okLegs, 3u);
+    EXPECT_FALSE(got.degraded);
+    for (const LeafResult &result : got.results)
+        EXPECT_TRUE(result.status.isOk());
+}
+
+TEST(FanoutTest, QuorumEqualToLegsIsNotDegraded)
+{
+    InlineChannel good;
+    std::vector<FanoutRequest> requests;
+    requests.push_back({&good, "a", 0});
+    requests.push_back({&good, "b", 1});
+
+    FanoutOptions options;
+    options.quorum = 2; // Same as the leg count: wait for all.
+    FanoutOutcome got;
+    fanoutCall(1, std::move(requests), options,
+               [&](FanoutOutcome outcome) { got = std::move(outcome); });
+    EXPECT_EQ(got.okLegs, 2u);
+    EXPECT_FALSE(got.degraded);
 }
 
 TEST(FanoutTest, WideFanout)

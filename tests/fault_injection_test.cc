@@ -1,0 +1,289 @@
+/**
+ * @file
+ * End-to-end tests for the hardened fan-out path: deterministic fault
+ * injection, per-call retry/deadline/hedging, quorum degradation when
+ * a leaf dies mid-fan-out, reconnect backoff, and late-response
+ * accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/threading.h"
+#include "base/time_util.h"
+#include "harness/deployment.h"
+#include "rpc/client.h"
+#include "rpc/fault.h"
+#include "rpc/server.h"
+#include "services/common/fanout.h"
+#include "services/hdsearch/proto.h"
+
+namespace musuite {
+namespace {
+
+using rpc::CallOptions;
+using rpc::ClientOptions;
+using rpc::FaultInjector;
+using rpc::FaultSpec;
+using rpc::RpcClient;
+using rpc::Server;
+using rpc::ServerCallPtr;
+using rpc::ServerOptions;
+
+constexpr uint32_t kEcho = 1;
+constexpr uint32_t kBlackHole = 2;
+
+std::unique_ptr<Server>
+makeEchoServer()
+{
+    auto server = std::make_unique<Server>(ServerOptions{});
+    server->registerHandler(kEcho, [](ServerCallPtr call) {
+        call->respondOk(call->body());
+    });
+    server->registerHandler(kBlackHole, [](ServerCallPtr) {
+        // Never responds; the call object is dropped.
+    });
+    server->start();
+    return server;
+}
+
+// --------------------------------------------------------------------
+// Retry: injected transient errors, then success.
+// --------------------------------------------------------------------
+
+TEST(FaultInjectionTest, RetryRecoversFromTransientErrors)
+{
+    auto server = makeEchoServer();
+    RpcClient client(server->port());
+
+    FaultSpec spec;
+    spec.errorFirstN = 2; // Attempts 1 and 2 fail, attempt 3 is clean.
+    auto injector = std::make_shared<FaultInjector>(spec);
+    client.setFaultInjector(injector);
+
+    CallOptions options;
+    options.maxAttempts = 4;
+    options.backoffBaseNs = 1'000'000; // Keep the test fast.
+
+    auto result = client.callSync(kEcho, "persist", options);
+    ASSERT_TRUE(result.isOk()) << result.status().message();
+    EXPECT_EQ(result.value(), "persist");
+    EXPECT_EQ(injector->requestsSeen(), 3u);
+    EXPECT_EQ(injector->faultsInjected(), 2u);
+}
+
+TEST(FaultInjectionTest, RetryBudgetExhaustedReportsLastError)
+{
+    auto server = makeEchoServer();
+    RpcClient client(server->port());
+
+    FaultSpec spec;
+    spec.errorFirstN = 100; // More than the budget.
+    client.setFaultInjector(std::make_shared<FaultInjector>(spec));
+
+    CallOptions options;
+    options.maxAttempts = 3;
+    options.backoffBaseNs = 1'000'000;
+
+    auto result = client.callSync(kEcho, "doomed", options);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::Unavailable);
+}
+
+// --------------------------------------------------------------------
+// Per-call deadline: a blackholed request fails promptly, and a
+// partial fan-out still completes the parent.
+// --------------------------------------------------------------------
+
+TEST(FaultInjectionTest, PerCallDeadlineExpiresBlackholedRequest)
+{
+    auto server = makeEchoServer();
+    RpcClient client(server->port());
+
+    CallOptions options;
+    options.deadlineNs = 50'000'000; // 50 ms.
+
+    const int64_t start = nowNanos();
+    auto result = client.callSync(kBlackHole, "void", options);
+    const int64_t elapsed = nowNanos() - start;
+
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::DeadlineExceeded);
+    EXPECT_GE(elapsed, 40'000'000);
+    EXPECT_LT(elapsed, 2'000'000'000);
+}
+
+TEST(FaultInjectionTest, FanoutMergesPartialResultsAtLegDeadline)
+{
+    auto server = makeEchoServer();
+    RpcClient good_a(server->port());
+    RpcClient good_b(server->port());
+    RpcClient lossy(server->port());
+
+    FaultSpec spec;
+    spec.dropEveryNth = 1; // Blackhole every request on this channel.
+    lossy.setFaultInjector(std::make_shared<FaultInjector>(spec));
+
+    std::vector<FanoutRequest> requests;
+    requests.push_back({&good_a, "a", 0});
+    requests.push_back({&good_b, "b", 1});
+    requests.push_back({&lossy, "c", 2});
+
+    FanoutOptions options;
+    options.leg.deadlineNs = 60'000'000; // 60 ms per leg.
+
+    FanoutOutcome got;
+    CountdownLatch latch(1);
+    fanoutCall(kEcho, std::move(requests), options,
+               [&](FanoutOutcome outcome) {
+                   got = std::move(outcome);
+                   latch.countDown();
+               });
+    latch.wait();
+
+    ASSERT_EQ(got.results.size(), 3u);
+    EXPECT_TRUE(got.results[0].status.isOk());
+    EXPECT_EQ(got.results[0].payload, "a");
+    EXPECT_TRUE(got.results[1].status.isOk());
+    EXPECT_EQ(got.results[2].status.code(),
+              StatusCode::DeadlineExceeded);
+    EXPECT_EQ(got.okLegs, 2u);
+    EXPECT_TRUE(got.degraded);
+}
+
+// --------------------------------------------------------------------
+// Hedging: a delayed first attempt loses to the hedge.
+// --------------------------------------------------------------------
+
+TEST(FaultInjectionTest, HedgeWinsAgainstDelayedFirstAttempt)
+{
+    auto server = makeEchoServer();
+    RpcClient client(server->port());
+
+    FaultSpec spec;
+    spec.delayFirstN = 1;        // Only the first attempt is slow...
+    spec.delayNs = 400'000'000;  // ...by 400 ms.
+    client.setFaultInjector(std::make_shared<FaultInjector>(spec));
+
+    CallOptions options;
+    options.maxAttempts = 2;
+    options.hedgeDelayNs = 20'000'000; // Hedge after 20 ms.
+
+    const int64_t start = nowNanos();
+    auto result = client.callSync(kEcho, "tail", options);
+    const int64_t elapsed = nowNanos() - start;
+
+    ASSERT_TRUE(result.isOk()) << result.status().message();
+    EXPECT_EQ(result.value(), "tail");
+    // The hedge answered long before the delayed original would have.
+    EXPECT_LT(elapsed, 300'000'000);
+}
+
+// --------------------------------------------------------------------
+// Reconnect backoff (regression: the client used to redial on every
+// failed call with no backoff).
+// --------------------------------------------------------------------
+
+TEST(FaultInjectionTest, ReconnectBackoffLimitsDialStorm)
+{
+    // Reserve a port that nothing listens on.
+    uint16_t dead_port;
+    {
+        auto server = makeEchoServer();
+        dead_port = server->port();
+        server->stop();
+    }
+
+    ClientOptions options;
+    options.reconnectBackoffNs = 50'000'000;     // 50 ms.
+    options.reconnectBackoffMaxNs = 500'000'000; // 0.5 s.
+    RpcClient client(dead_port, options);
+
+    const int kCalls = 200;
+    int failures = 0;
+    for (int i = 0; i < kCalls; ++i) {
+        if (!client.callSync(kEcho, "x").isOk())
+            ++failures;
+    }
+    EXPECT_EQ(failures, kCalls);
+    // Without backoff this would be ~kCalls dials; with it, the calls
+    // inside each backoff window fail fast without dialing.
+    EXPECT_LT(client.connectAttempts(), uint64_t(kCalls) / 4);
+    EXPECT_GE(client.connectAttempts(), 1u);
+}
+
+// --------------------------------------------------------------------
+// Late responses after a deadline sweep are counted, not lost.
+// --------------------------------------------------------------------
+
+TEST(FaultInjectionTest, LateResponseAfterSweepIsCounted)
+{
+    auto server = std::make_unique<Server>(ServerOptions{});
+    constexpr uint32_t kSlow = 7;
+    server->registerHandler(kSlow, [](ServerCallPtr call) {
+        sleepForNanos(120'000'000); // 120 ms, past the deadline.
+        call->respondOk(call->body());
+    });
+    server->start();
+
+    ClientOptions options;
+    options.defaultDeadlineNs = 30'000'000; // 30 ms.
+    RpcClient client(server->port(), options);
+
+    auto result = client.callSync(kSlow, "tardy");
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::DeadlineExceeded);
+
+    // Wait for the server's (now useless) response to arrive.
+    const int64_t deadline = nowNanos() + 2'000'000'000;
+    while (client.lateResponses() == 0 && nowNanos() < deadline)
+        sleepForNanos(5'000'000);
+    EXPECT_EQ(client.lateResponses(), 1u);
+}
+
+// --------------------------------------------------------------------
+// Leaf death mid-fan-out: HDSearch completes degraded, never hangs.
+// --------------------------------------------------------------------
+
+TEST(FaultInjectionTest, HdSearchSurvivesLeafDeathWithQuorum)
+{
+    DeploymentOptions options;
+    options.gmm.numVectors = 600; // Small data set: fast bring-up.
+    options.gmm.dimension = 32;
+    options.midTierFanout.leg.deadlineNs = 200'000'000;
+    options.midTierFanout.quorumFraction = 0.75; // 3 of 4 leaves.
+    auto deployment =
+        ServiceDeployment::create(ServiceKind::HdSearch, options);
+
+    RpcClient client(deployment->midTierPort());
+    Rng rng(99);
+
+    // Warm up, then kill one of the four leaves mid-run.
+    const uint32_t method = deployment->frontEndMethod();
+    const int kRequests = 60;
+    int ok = 0, degraded = 0;
+    for (int i = 0; i < kRequests; ++i) {
+        if (i == 5)
+            deployment->killLeaf(0);
+        auto result = client.callSync(
+            method, deployment->sampleRequestBody(rng));
+        if (!result.isOk())
+            continue;
+        hdsearch::NNResponse response;
+        ASSERT_TRUE(decodeMessage(result.value(), response));
+        ++ok;
+        if (response.degraded)
+            ++degraded;
+    }
+    // Every request must complete (no hangs, no parent failures) and
+    // post-kill requests must carry the degraded flag.
+    EXPECT_EQ(ok, kRequests);
+    EXPECT_GE(degraded, kRequests - 10);
+}
+
+} // namespace
+} // namespace musuite

@@ -34,8 +34,11 @@ class ScriptedChannel : public rpc::Channel
         : mode(mode), payload(std::move(payload))
     {}
 
+    int calls = 0;
+
+  protected:
     void
-    call(uint32_t, std::string, Callback callback) override
+    transportCall(uint32_t, std::string, Callback callback) override
     {
         ++calls;
         switch (mode) {
@@ -50,8 +53,6 @@ class ScriptedChannel : public rpc::Channel
             return;
         }
     }
-
-    int calls = 0;
 
   private:
     Mode mode;

@@ -244,9 +244,9 @@ INSTANTIATE_TEST_SUITE_P(Shapes, HistogramShapeSweep,
 // replicaPool is pure route math; it never dials these channels.
 class NullChannel : public rpc::Channel
 {
-  public:
+  protected:
     void
-    call(uint32_t, std::string, Callback callback) override
+    transportCall(uint32_t, std::string, Callback callback) override
     {
         callback(Status(StatusCode::Unavailable, "null"), {});
     }
