@@ -8,14 +8,15 @@
 #include <atomic>
 #include <cstdio>
 #include <ctime>
-#include <mutex>
+
+#include "base/threading.h"
 
 namespace musuite {
 
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Info};
-std::mutex g_sink_mutex;
+Mutex g_sink_mutex{LockRank::logSink, "log.sink"};
 
 const char *
 levelName(LogLevel level)
@@ -58,7 +59,7 @@ logMessage(LogLevel level, const char *file, int line,
             base = p + 1;
     }
 
-    std::lock_guard<std::mutex> guard(g_sink_mutex);
+    MutexLock guard(g_sink_mutex);
     std::fprintf(stderr, "[%s %s:%d] %s\n", levelName(level), base, line,
                  msg.c_str());
 }

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Clang thread-safety-analysis annotation macros.
+ *
+ * These expand to Clang's capability attributes under
+ * `clang++ -Wthread-safety` and to nothing everywhere else (GCC builds
+ * them out entirely). They let the concurrent modules state their
+ * locking contracts in the type system:
+ *
+ *   - GUARDED_BY(m) on a member: only touch it with m held.
+ *   - REQUIRES(m) on a function: caller must hold m.
+ *   - ACQUIRE()/RELEASE()/TRY_ACQUIRE() on lock-shaped methods.
+ *   - CAPABILITY/SCOPED_CAPABILITY on mutex and RAII-guard types.
+ *
+ * The annotated primitives live in base/threading.h (Mutex, MutexLock,
+ * CondVar); `tools/check.sh` runs the whole tree through
+ * `clang++ -Werror=thread-safety` when a clang is available.
+ *
+ * The names follow the Clang documentation's canonical spelling; each
+ * is #ifndef-guarded so a TU that also includes another project's copy
+ * of the same macros does not break.
+ */
+
+#ifndef MUSUITE_BASE_THREAD_ANNOTATIONS_H
+#define MUSUITE_BASE_THREAD_ANNOTATIONS_H
+
+#if defined(__clang__) && !defined(MUSUITE_NO_THREAD_SAFETY_ANALYSIS)
+#define MUSUITE_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define MUSUITE_THREAD_ANNOTATION__(x) // no-op outside clang
+#endif
+
+/** Marks a class as a lockable capability ("mutex", "role", ...). */
+#ifndef CAPABILITY
+#define CAPABILITY(x) MUSUITE_THREAD_ANNOTATION__(capability(x))
+#endif
+
+/** Marks an RAII class whose lifetime holds a capability. */
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY MUSUITE_THREAD_ANNOTATION__(scoped_lockable)
+#endif
+
+/** Data member readable/writable only with the capability held. */
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) MUSUITE_THREAD_ANNOTATION__(guarded_by(x))
+#endif
+
+/** Pointee (not the pointer) guarded by the capability. */
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) MUSUITE_THREAD_ANNOTATION__(pt_guarded_by(x))
+#endif
+
+/** Static lock-ordering hints checked by the analysis. */
+#ifndef ACQUIRED_BEFORE
+#define ACQUIRED_BEFORE(...) \
+    MUSUITE_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#endif
+#ifndef ACQUIRED_AFTER
+#define ACQUIRED_AFTER(...) \
+    MUSUITE_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+#endif
+
+/** Function requires the capability held on entry (and exit). */
+#ifndef REQUIRES
+#define REQUIRES(...) \
+    MUSUITE_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#endif
+
+/** Function acquires the capability and holds it past return. */
+#ifndef ACQUIRE
+#define ACQUIRE(...) \
+    MUSUITE_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#endif
+
+/** Function releases a capability the caller held. */
+#ifndef RELEASE
+#define RELEASE(...) \
+    MUSUITE_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#endif
+
+/** Function acquires the capability iff it returns `b`. */
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+    MUSUITE_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#endif
+
+/** Function must be called with the capability NOT held. */
+#ifndef EXCLUDES
+#define EXCLUDES(...) \
+    MUSUITE_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+#endif
+
+/** Runtime assertion that the capability is held. */
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) \
+    MUSUITE_THREAD_ANNOTATION__(assert_capability(x))
+#endif
+
+/** Function returns a reference to the named capability. */
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) MUSUITE_THREAD_ANNOTATION__(lock_returned(x))
+#endif
+
+/** Opt a function out of the analysis (lock-juggling internals). */
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+    MUSUITE_THREAD_ANNOTATION__(no_thread_safety_analysis)
+#endif
+
+#endif // MUSUITE_BASE_THREAD_ANNOTATIONS_H

@@ -1,13 +1,27 @@
 /**
  * @file
- * Thread utilities: named joining threads and a small countdown latch
- * used to synchronize fan-out completion (the "count down and merge"
- * step of the µSuite mid-tier response path).
+ * Thread utilities: annotated synchronization primitives (Mutex,
+ * MutexLock, CondVar), named joining threads, and a small countdown
+ * latch used to synchronize fan-out completion (the "count down and
+ * merge" step of the µSuite mid-tier response path).
+ *
+ * Mutex/MutexLock/CondVar are thin wrappers over the std types that
+ * carry Clang thread-safety annotations (see thread_annotations.h) and,
+ * in MUSUITE_DEBUG_SYNC builds, feed the runtime lock-rank checker
+ * (see sync_debug.h). In release builds on GCC they compile down to
+ * exactly the raw std types plus two dead pointer-sized members.
+ *
+ * CondVar deliberately has no predicate-taking wait overloads: a lambda
+ * cannot carry a REQUIRES annotation, so predicate waits would hide
+ * guarded-member accesses from the analysis. Callers write the explicit
+ * loop — `while (!cond) cv.wait(lock);` — inside the annotated
+ * function body instead.
  */
 
 #ifndef MUSUITE_BASE_THREADING_H
 #define MUSUITE_BASE_THREADING_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -16,7 +30,147 @@
 #include <thread>
 #include <vector>
 
+#include "base/sync_debug.h"
+#include "base/thread_annotations.h"
+
 namespace musuite {
+
+/**
+ * Annotated mutex. Construct with a LockRank (and optionally a name)
+ * to opt into the rank order check; default construction leaves it
+ * unranked (cycle detection still applies in debug-sync builds).
+ */
+class CAPABILITY("mutex") Mutex
+{
+  public:
+    // constexpr like std::mutex's, so namespace-scope instances are
+    // constant-initialized and safe to use during static init.
+    constexpr Mutex() noexcept = default;
+    constexpr explicit Mutex(LockRank rank,
+                             const char *name = nullptr) noexcept
+        : debugRank(rank), debugName(name)
+    {}
+
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void
+    lock() ACQUIRE()
+    {
+        syncdbg::checkAcquire(this, debugRank, debugName);
+        inner.lock();
+        syncdbg::recordAcquired(this, debugRank, debugName);
+    }
+
+    bool
+    try_lock() TRY_ACQUIRE(true)
+    {
+        // No rank check: try_lock cannot deadlock, and callers use it
+        // exactly where the canonical order must be bypassed.
+        if (!inner.try_lock())
+            return false;
+        syncdbg::recordAcquired(this, debugRank, debugName);
+        return true;
+    }
+
+    void
+    unlock() RELEASE()
+    {
+        syncdbg::recordReleased(this);
+        inner.unlock();
+    }
+
+    LockRank rank() const { return debugRank; }
+
+  private:
+    friend class CondVar;
+
+    std::mutex inner;
+    LockRank debugRank = LockRank::unranked;
+    const char *debugName = nullptr;
+};
+
+/**
+ * RAII guard for Mutex. Relockable: unlock() early to call out without
+ * the lock, lock() to reacquire; the destructor releases only if held.
+ * Satisfies BasicLockable so CondVar can wait on it directly.
+ */
+class SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mutex) ACQUIRE(mutex) : target(mutex)
+    {
+        target.lock();
+        held = true;
+    }
+
+    ~MutexLock() RELEASE()
+    {
+        if (held)
+            target.unlock();
+    }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+    void
+    unlock() RELEASE()
+    {
+        target.unlock();
+        held = false;
+    }
+
+    void
+    lock() ACQUIRE()
+    {
+        target.lock();
+        held = true;
+    }
+
+    bool ownsLock() const { return held; }
+
+  private:
+    friend class CondVar;
+
+    Mutex &target;
+    bool held = false;
+};
+
+/**
+ * Condition variable paired with Mutex/MutexLock. The wait path goes
+ * through MutexLock's lock()/unlock so the debug-sync held-lock stack
+ * stays accurate across the block.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar &) = delete;
+    CondVar &operator=(const CondVar &) = delete;
+
+    /** Atomically release `lock`, block, reacquire. Spurious wakeups
+     *  happen; always wait in a `while (!condition)` loop. */
+    void
+    wait(MutexLock &lock)
+    {
+        inner.wait(lock);
+    }
+
+    /** wait() with a relative timeout. Returns false on timeout. */
+    bool
+    waitFor(MutexLock &lock, int64_t timeoutNs)
+    {
+        return inner.wait_for(lock,
+                              std::chrono::nanoseconds(timeoutNs)) ==
+               std::cv_status::no_timeout;
+    }
+
+    void notifyOne() { inner.notify_one(); }
+    void notifyAll() { inner.notify_all(); }
+
+  private:
+    std::condition_variable_any inner;
+};
 
 /** Name the calling thread (visible in /proc and debuggers). */
 void setCurrentThreadName(const std::string &name);
@@ -59,12 +213,12 @@ class CountdownLatch
     bool
     countDown()
     {
-        std::unique_lock<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         if (remaining == 0)
             return false;
         if (--remaining == 0) {
             lock.unlock();
-            released.notify_all();
+            released.notifyAll();
             return true;
         }
         return false;
@@ -74,21 +228,22 @@ class CountdownLatch
     void
     wait()
     {
-        std::unique_lock<std::mutex> lock(mutex);
-        released.wait(lock, [&] { return remaining == 0; });
+        MutexLock lock(mutex);
+        while (remaining != 0)
+            released.wait(lock);
     }
 
     uint32_t
     pending() const
     {
-        std::unique_lock<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         return remaining;
     }
 
   private:
-    mutable std::mutex mutex;
-    std::condition_variable released;
-    uint32_t remaining;
+    mutable Mutex mutex{LockRank::latch, "latch"};
+    CondVar released;
+    uint32_t remaining GUARDED_BY(mutex);
 };
 
 } // namespace musuite

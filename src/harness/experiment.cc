@@ -76,14 +76,14 @@ measureSaturation(ServiceDeployment &deployment, int max_workers,
     rpc::RpcClient client(deployment.midTierPort(), client_options);
 
     const uint32_t method = deployment.frontEndMethod();
-    std::mutex rng_mutex;
+    Mutex rng_mutex{LockRank::harness, "harness.rng"};
     Rng rng(deployment.kind() == ServiceKind::Router ? 77 : 78);
 
     return findSaturationThroughput(
         [&](uint64_t) {
             std::string body;
             {
-                std::lock_guard<std::mutex> guard(rng_mutex);
+                MutexLock guard(rng_mutex);
                 body = deployment.sampleRequestBody(rng);
             }
             auto result = client.callSync(method, std::move(body));

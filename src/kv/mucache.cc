@@ -65,7 +65,7 @@ MuCache::set(std::string_view key, std::string_view value, int64_t ttl_ns)
         return false;
 
     Shard &shard = shardFor(key);
-    std::lock_guard<std::mutex> guard(shard.mutex);
+    MutexLock guard(shard.mutex);
     shard.stats.sets++;
 
     auto it = shard.index.find(key);
@@ -91,7 +91,7 @@ std::optional<std::string>
 MuCache::get(std::string_view key)
 {
     Shard &shard = shardFor(key);
-    std::lock_guard<std::mutex> guard(shard.mutex);
+    MutexLock guard(shard.mutex);
 
     auto it = shard.index.find(key);
     if (it == shard.index.end()) {
@@ -116,7 +116,7 @@ bool
 MuCache::remove(std::string_view key)
 {
     Shard &shard = shardFor(key);
-    std::lock_guard<std::mutex> guard(shard.mutex);
+    MutexLock guard(shard.mutex);
     auto it = shard.index.find(key);
     if (it == shard.index.end())
         return false;
@@ -130,7 +130,7 @@ MuCache::stats() const
 {
     CacheStats total;
     for (const auto &shard : shards) {
-        std::lock_guard<std::mutex> guard(shard->mutex);
+        MutexLock guard(shard->mutex);
         total.hits += shard->stats.hits;
         total.misses += shard->stats.misses;
         total.sets += shard->stats.sets;
@@ -148,7 +148,7 @@ MuCache::itemCount() const
 {
     uint64_t count = 0;
     for (const auto &shard : shards) {
-        std::lock_guard<std::mutex> guard(shard->mutex);
+        MutexLock guard(shard->mutex);
         count += shard->lru.size();
     }
     return count;
@@ -158,7 +158,7 @@ void
 MuCache::clear()
 {
     for (auto &shard : shards) {
-        std::lock_guard<std::mutex> guard(shard->mutex);
+        MutexLock guard(shard->mutex);
         shard->index.clear();
         shard->lru.clear();
         shard->bytes = 0;

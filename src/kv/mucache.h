@@ -16,12 +16,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "base/threading.h"
 
 namespace musuite {
 
@@ -80,12 +81,13 @@ class MuCache
 
     struct Shard
     {
-        mutable std::mutex mutex;
-        std::list<Entry> lru; //!< Front = most recent.
+        mutable Mutex mutex{LockRank::kvShard, "kv.shard"};
+        std::list<Entry> lru GUARDED_BY(mutex); //!< Front = most recent.
         std::unordered_map<std::string_view,
-                           std::list<Entry>::iterator> index;
-        size_t bytes = 0;
-        CacheStats stats;
+                           std::list<Entry>::iterator> index
+            GUARDED_BY(mutex);
+        size_t bytes GUARDED_BY(mutex) = 0;
+        CacheStats stats GUARDED_BY(mutex);
     };
 
     Shard &shardFor(std::string_view key);
@@ -95,7 +97,7 @@ class MuCache
     void eraseLocked(Shard &shard,
                      std::unordered_map<std::string_view,
                                         std::list<Entry>::iterator>::
-                         iterator it);
+                         iterator it) REQUIRES(shard.mutex);
 
     CacheOptions options;
     size_t perShardBudget;

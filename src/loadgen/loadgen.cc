@@ -7,7 +7,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "base/threading.h"
@@ -20,11 +19,11 @@ namespace {
 /** Completion-side state shared with in-flight callbacks. */
 struct OpenLoopState
 {
-    std::mutex mutex;
-    Histogram latency;
-    uint64_t completed = 0;
-    uint64_t errors = 0;
-    uint64_t degraded = 0;
+    Mutex mutex{LockRank::loadgen, "loadgen"};
+    Histogram latency GUARDED_BY(mutex);
+    uint64_t completed GUARDED_BY(mutex) = 0;
+    uint64_t errors GUARDED_BY(mutex) = 0;
+    uint64_t degraded GUARDED_BY(mutex) = 0;
     std::atomic<uint64_t> outstanding{0};
 };
 
@@ -58,7 +57,7 @@ OpenLoopLoadGen::run(const AsyncIssue &issue)
         issue(seq, [state, scheduled_ns](RequestOutcome outcome) {
             const int64_t now = nowNanos();
             {
-                std::lock_guard<std::mutex> guard(state->mutex);
+                MutexLock guard(state->mutex);
                 if (outcome.ok) {
                     state->latency.record(now - scheduled_ns);
                     state->completed++;
@@ -81,7 +80,7 @@ OpenLoopLoadGen::run(const AsyncIssue &issue)
 
     LoadResult result;
     {
-        std::lock_guard<std::mutex> guard(state->mutex);
+        MutexLock guard(state->mutex);
         result.latency = state->latency;
         result.completed = state->completed;
         result.errors = state->errors;
@@ -117,6 +116,7 @@ ClosedLoopLoadGen::run(const SyncIssue &issue)
         for (int w = 0; w < options.workers; ++w) {
             workers.emplace_back(
                 "loadgen-" + std::to_string(w), [&, w] {
+                    setCurrentThreadRole(ThreadRole::loadgen);
                     WorkerState &mine = states[size_t(w)];
                     while (nowNanos() < deadline) {
                         const uint64_t seq = next_seq.fetch_add(1);

@@ -8,9 +8,9 @@
 #include <algorithm>
 #include <atomic>
 #include <memory>
-#include <mutex>
 
 #include "base/logging.h"
+#include "base/threading.h"
 #include "base/time_util.h"
 
 namespace musuite {
@@ -112,7 +112,7 @@ ProfiledLoadGen::run(const OpenLoopLoadGen::AsyncIssue &issue)
 
     struct Shared
     {
-        std::mutex mutex;
+        Mutex mutex{LockRank::loadgen, "loadgen.profile"};
         std::atomic<uint64_t> outstanding{0};
     };
     auto shared = std::make_shared<Shared>();
@@ -142,7 +142,7 @@ ProfiledLoadGen::run(const OpenLoopLoadGen::AsyncIssue &issue)
         issue(issued, [shared, &phase, scheduled](RequestOutcome outcome) {
             const int64_t now = nowNanos();
             {
-                std::lock_guard<std::mutex> guard(shared->mutex);
+                MutexLock guard(shared->mutex);
                 if (outcome.ok) {
                     phase.load.latency.record(now - scheduled);
                     phase.load.completed++;

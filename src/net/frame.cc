@@ -32,6 +32,7 @@ bool
 FramedConnection::onReadable(
     const std::function<void(std::string_view)> &sink)
 {
+    assertOnFrameReaderThread();
     if (isDead())
         return false;
 
@@ -78,8 +79,14 @@ FramedConnection::onReadable(
 void
 FramedConnection::onWritable()
 {
-    std::unique_lock<std::mutex> lock(outMutex);
-    flushLocked(lock);
+    assertOnFrameReaderThread();
+    bool ok;
+    {
+        MutexLock lock(outMutex);
+        ok = flushLocked();
+    }
+    if (!ok)
+        shutdown();
 }
 
 bool
@@ -89,18 +96,23 @@ FramedConnection::sendFrame(std::string_view payload)
         return false;
     MUSUITE_CHECK(payload.size() <= maxFrameBytes) << "frame too large";
 
-    std::unique_lock<std::mutex> lock(outMutex);
-    const uint32_t length = uint32_t(payload.size());
-    char header[4];
-    std::memcpy(header, &length, 4);
-    outbound.append(header, 4);
-    outbound.append(payload.data(), payload.size());
-    flushLocked(lock);
+    bool ok;
+    {
+        MutexLock lock(outMutex);
+        const uint32_t length = uint32_t(payload.size());
+        char header[4];
+        std::memcpy(header, &length, 4);
+        outbound.append(header, 4);
+        outbound.append(payload.data(), payload.size());
+        ok = flushLocked();
+    }
+    if (!ok)
+        shutdown();
     return !isDead();
 }
 
-void
-FramedConnection::flushLocked(std::unique_lock<std::mutex> &lock)
+bool
+FramedConnection::flushLocked()
 {
     while (outOffset < outbound.size()) {
         size_t sent = 0;
@@ -116,11 +128,9 @@ FramedConnection::flushLocked(std::unique_lock<std::mutex> &lock)
                 poller->modify(sock.fd(), cookie, true);
                 poller->wake();
             }
-            return;
+            return true;
         }
-        lock.unlock();
-        shutdown();
-        return;
+        return false;
     }
 
     // Fully flushed: compact and drop EPOLLOUT interest.
@@ -130,6 +140,7 @@ FramedConnection::flushLocked(std::unique_lock<std::mutex> &lock)
         writeArmed = false;
         poller->modify(sock.fd(), cookie, false);
     }
+    return true;
 }
 
 void
@@ -140,7 +151,10 @@ FramedConnection::shutdown()
         return;
     if (poller && sock.valid())
         poller->remove(sock.fd());
-    sock.close();
+    // Unblock any peer and concurrent sender, but keep the fd alive:
+    // closing here would let the kernel recycle the descriptor while a
+    // sendFrame() caller on another thread is still inside send().
+    sock.shutdownRw();
 }
 
 } // namespace musuite

@@ -15,10 +15,10 @@
 
 #include <atomic>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "base/threading.h"
 #include "net/poller.h"
 #include "net/socket.h"
 
@@ -67,12 +67,20 @@ class FramedConnection
     bool isDead() const { return dead.load(std::memory_order_acquire); }
     int fd() const { return sock.fd(); }
 
-    /** Mark dead and deregister from the poller. */
+    /**
+     * Mark dead, deregister from the poller, and shut the socket down.
+     * The fd itself stays open until destruction so that a concurrent
+     * sender in flushLocked() can never race against fd reuse.
+     */
     void shutdown();
 
   private:
-    /** Flush under lock; updates EPOLLOUT interest. */
-    void flushLocked(std::unique_lock<std::mutex> &lock);
+    /**
+     * Flush under lock; updates EPOLLOUT interest.
+     * @return false on a hard I/O error: the caller must release
+     *         outMutex and then call shutdown().
+     */
+    bool flushLocked() REQUIRES(outMutex);
 
     TcpSocket sock;
     Poller *poller;
@@ -80,13 +88,12 @@ class FramedConnection
 
     // Inbound state: poller thread only.
     std::string inbound;
-    size_t parsed = 0;
 
     // Outbound state: shared.
-    std::mutex outMutex;
-    std::string outbound;
-    size_t outOffset = 0;
-    bool writeArmed = false;
+    Mutex outMutex{LockRank::frameOut, "net.frame.out"};
+    std::string outbound GUARDED_BY(outMutex);
+    size_t outOffset GUARDED_BY(outMutex) = 0;
+    bool writeArmed GUARDED_BY(outMutex) = false;
 
     std::atomic<bool> dead{false};
 };

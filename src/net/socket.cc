@@ -129,6 +129,13 @@ TcpSocket::close()
     handle.reset();
 }
 
+void
+TcpSocket::shutdownRw()
+{
+    if (handle.valid())
+        ::shutdown(handle.get(), SHUT_RDWR);
+}
+
 TcpListener::TcpListener(uint16_t port)
 {
     handle = Fd(::socket(AF_INET, SOCK_STREAM, 0));

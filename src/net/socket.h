@@ -78,6 +78,14 @@ class TcpSocket
     bool valid() const { return handle.valid(); }
     void close();
 
+    /**
+     * Shut down both directions without releasing the fd. Any thread
+     * still blocked in send/receive gets an error instead of touching
+     * a recycled descriptor; the fd itself is closed by close() or the
+     * destructor once no concurrent user remains.
+     */
+    void shutdownRw();
+
   private:
     void configure();
 

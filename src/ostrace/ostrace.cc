@@ -41,9 +41,11 @@ struct OsTraceRecorder::LocalRecorder
             hist.emplace(4); // Coarser precision keeps locals small.
     }
 
+    Mutex mutex{LockRank::osTraceLocal,
+                "ostrace.local"}; // Only contended against collect().
     // Optional-wrapped so construction picks the precision.
-    std::array<std::optional<Histogram>, numOsCategories> histograms;
-    std::mutex mutex; // Only contended against collect().
+    std::array<std::optional<Histogram>, numOsCategories> histograms
+        GUARDED_BY(mutex);
 };
 
 OsTraceRecorder::OsTraceRecorder() = default;
@@ -55,7 +57,7 @@ OsTraceRecorder::localRecorder()
     thread_local std::shared_ptr<LocalRecorder> local;
     if (!local) {
         local = std::make_shared<LocalRecorder>();
-        std::lock_guard<std::mutex> guard(registryMutex);
+        MutexLock guard(registryMutex);
         locals.push_back(local);
     }
     return *local;
@@ -67,7 +69,7 @@ OsTraceRecorder::record(OsCategory category, int64_t latency_ns)
     if (!enabled.load(std::memory_order_relaxed))
         return;
     LocalRecorder &local = localRecorder();
-    std::lock_guard<std::mutex> guard(local.mutex);
+    MutexLock guard(local.mutex);
     local.histograms[size_t(category)]->record(latency_ns);
 }
 
@@ -77,9 +79,9 @@ OsTraceRecorder::collect()
     std::array<Histogram, numOsCategories> merged{
         Histogram(4), Histogram(4), Histogram(4), Histogram(4),
         Histogram(4), Histogram(4), Histogram(4), Histogram(4)};
-    std::lock_guard<std::mutex> registry_guard(registryMutex);
+    MutexLock registry_guard(registryMutex);
     for (auto &local : locals) {
-        std::lock_guard<std::mutex> guard(local->mutex);
+        MutexLock guard(local->mutex);
         for (size_t c = 0; c < numOsCategories; ++c) {
             merged[c].merge(*local->histograms[c]);
             local->histograms[c]->reset();

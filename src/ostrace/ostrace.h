@@ -32,10 +32,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "base/threading.h"
 #include "stats/histogram.h"
 
 namespace musuite {
@@ -92,8 +92,9 @@ class OsTraceRecorder
 
     LocalRecorder &localRecorder();
 
-    std::mutex registryMutex;
-    std::vector<std::shared_ptr<LocalRecorder>> locals;
+    Mutex registryMutex{LockRank::osTraceRegistry, "ostrace.registry"};
+    std::vector<std::shared_ptr<LocalRecorder>> locals
+        GUARDED_BY(registryMutex);
     std::atomic<bool> enabled{true};
 };
 

@@ -31,8 +31,11 @@ resetContentionStats()
 void
 TracedMutex::lock()
 {
-    if (inner.try_lock())
+    syncdbg::checkAcquire(this, debugRank, debugName);
+    if (inner.try_lock()) {
+        syncdbg::recordAcquired(this, debugRank, debugName);
         return;
+    }
     // Contended: the lock word bounces between cores (HITM) and the
     // sleeping acquisition is a futex(FUTEX_WAIT).
     auto &stats = contentionStats();
@@ -40,12 +43,16 @@ TracedMutex::lock()
     stats.futexWaits.fetch_add(1, std::memory_order_relaxed);
     countSyscall(Sys::Futex);
     inner.lock();
+    syncdbg::recordAcquired(this, debugRank, debugName);
 }
 
 bool
 TracedMutex::try_lock()
 {
-    return inner.try_lock();
+    if (!inner.try_lock())
+        return false;
+    syncdbg::recordAcquired(this, debugRank, debugName);
+    return true;
 }
 
 void

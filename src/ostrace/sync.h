@@ -25,6 +25,9 @@
 #include <cstdint>
 #include <mutex>
 
+#include "base/sync_debug.h"
+#include "base/thread_annotations.h"
+
 namespace musuite {
 
 /** Process-global contention statistics backing Fig. 19. */
@@ -41,18 +44,34 @@ void resetContentionStats();
 
 /**
  * Mutex that counts contended acquisitions. Meets Lockable, so it
- * composes with std::unique_lock.
+ * composes with std::unique_lock. Participates in the lock-rank
+ * checker like base/threading.h's Mutex; defaults to LockRank::queue
+ * because task queues are its main deployment.
  */
-class TracedMutex
+class CAPABILITY("mutex") TracedMutex
 {
   public:
-    void lock();
-    bool try_lock();
-    void unlock() { inner.unlock(); }
+    TracedMutex() noexcept = default;
+    explicit TracedMutex(LockRank rank,
+                         const char *name = nullptr) noexcept
+        : debugRank(rank), debugName(name)
+    {}
+
+    void lock() ACQUIRE();
+    bool try_lock() TRY_ACQUIRE(true);
+
+    void
+    unlock() RELEASE()
+    {
+        syncdbg::recordReleased(this);
+        inner.unlock();
+    }
 
   private:
     friend class TracedCondVar;
     std::mutex inner;
+    LockRank debugRank = LockRank::queue;
+    const char *debugName = nullptr;
 };
 
 /**

@@ -9,11 +9,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "base/threading.h"
 #include "base/time_util.h"
 #include "ostrace/sync.h"
 #include "rpc/fault.h"
@@ -66,13 +66,13 @@ struct CallState : std::enable_shared_from_this<CallState>
     int64_t startNs = 0;
     int64_t totalDeadlineAt = 0; //!< 0 = none.
 
-    std::mutex mutex;
-    bool done = false;
-    bool retryPending = false;
-    int attemptsIssued = 0;
-    int outstanding = 0;
-    Status lastError;
-    TimerService::TimerId hedgeTimer = 0;
+    Mutex mutex{LockRank::call, "rpc.call"};
+    bool done GUARDED_BY(mutex) = false;
+    bool retryPending GUARDED_BY(mutex) = false;
+    int attemptsIssued GUARDED_BY(mutex) = 0;
+    int outstanding GUARDED_BY(mutex) = 0;
+    Status lastError GUARDED_BY(mutex);
+    TimerService::TimerId hedgeTimer GUARDED_BY(mutex) = 0;
 
     /**
      * Threads currently inside transportCall() for this call. The
@@ -82,8 +82,8 @@ struct CallState : std::enable_shared_from_this<CallState>
      * issued from the timer thread whose response completes on a
      * client completion thread before the issuing write returns.
      */
-    std::vector<std::thread::id> issuers;
-    std::condition_variable issuersQuiet;
+    std::vector<std::thread::id> issuers GUARDED_BY(mutex);
+    CondVar issuersQuiet;
 };
 
 void issueAttempt(const std::shared_ptr<CallState> &state);
@@ -113,18 +113,23 @@ completeCall(const std::shared_ptr<CallState> &state,
 {
     TimerService::TimerId hedge = 0;
     {
-        std::unique_lock<std::mutex> lock(state->mutex);
+        MutexLock lock(state->mutex);
         // Quiesce: wait (microseconds) until no other thread is inside
         // transportCall. Our own frames are fine — they unwind on this
         // thread before the caller can regain control.
         const std::thread::id self = std::this_thread::get_id();
-        state->issuersQuiet.wait(lock, [&] {
+        while (true) {
+            bool quiet = true;
             for (const std::thread::id &id : state->issuers) {
-                if (id != self)
-                    return false;
+                if (id != self) {
+                    quiet = false;
+                    break;
+                }
             }
-            return true;
-        });
+            if (quiet)
+                break;
+            state->issuersQuiet.wait(lock);
+        }
         hedge = state->hedgeTimer;
         state->hedgeTimer = 0;
     }
@@ -139,7 +144,7 @@ onAttemptDone(const std::shared_ptr<CallState> &state, int attempt,
 {
     if (status.isOk()) {
         {
-            std::lock_guard<std::mutex> guard(state->mutex);
+            MutexLock guard(state->mutex);
             if (state->done) {
                 // A hedge raced us and won first.
                 globalCounters().counter("rpc.hedge.wasted").add();
@@ -158,7 +163,7 @@ onAttemptDone(const std::shared_ptr<CallState> &state, int attempt,
     bool schedule_retry = false;
     int64_t retry_delay = 0;
     {
-        std::lock_guard<std::mutex> guard(state->mutex);
+        MutexLock guard(state->mutex);
         if (state->done)
             return;
         state->outstanding--;
@@ -188,8 +193,9 @@ onAttemptDone(const std::shared_ptr<CallState> &state, int attempt,
     if (schedule_retry) {
         globalCounters().counter("rpc.retry.scheduled").add();
         TimerService::global().schedule(retry_delay, [state] {
+            assertOnTimerThread();
             {
-                std::lock_guard<std::mutex> guard(state->mutex);
+                MutexLock guard(state->mutex);
                 state->retryPending = false;
                 if (state->done)
                     return;
@@ -206,7 +212,7 @@ issueAttempt(const std::shared_ptr<CallState> &state)
 {
     int attempt;
     {
-        std::lock_guard<std::mutex> guard(state->mutex);
+        MutexLock guard(state->mutex);
         if (state->done)
             return;
         attempt = ++state->attemptsIssued;
@@ -271,20 +277,20 @@ issueAttempt(const std::shared_ptr<CallState> &state)
     }
 
     {
-        std::lock_guard<std::mutex> guard(state->mutex);
+        MutexLock guard(state->mutex);
         state->issuers.push_back(std::this_thread::get_id());
     }
     state->channel->call(state->method, state->body,
                          std::move(on_response));
     {
-        std::lock_guard<std::mutex> guard(state->mutex);
+        MutexLock guard(state->mutex);
         auto it = std::find(state->issuers.begin(),
                             state->issuers.end(),
                             std::this_thread::get_id());
         if (it != state->issuers.end())
             state->issuers.erase(it);
     }
-    state->issuersQuiet.notify_all();
+    state->issuersQuiet.notifyAll();
 }
 
 } // namespace
@@ -323,8 +329,9 @@ Channel::call(uint32_t method, std::string body,
     if (options.hedgeDelayNs > 0 && options.maxAttempts >= 2) {
         const uint64_t id = TimerService::global().schedule(
             options.hedgeDelayNs, [state] {
+                assertOnTimerThread();
                 {
-                    std::lock_guard<std::mutex> guard(state->mutex);
+                    MutexLock guard(state->mutex);
                     state->hedgeTimer = 0;
                     if (state->done ||
                         state->attemptsIssued >=
@@ -337,7 +344,7 @@ Channel::call(uint32_t method, std::string body,
             });
         bool fired_late = false;
         {
-            std::lock_guard<std::mutex> guard(state->mutex);
+            MutexLock guard(state->mutex);
             if (state->done) {
                 fired_late = true; // Completed before we armed it.
             } else {

@@ -26,26 +26,28 @@ struct PendingCall
 /** One connection and its in-flight call table. */
 struct RpcClient::ClientConn
 {
-    std::mutex mutex;
-    std::shared_ptr<FramedConnection> fc; //!< Null/dead when down.
-    std::unordered_map<uint64_t, PendingCall> pending;
+    Mutex mutex{LockRank::clientConn, "rpc.client.conn"};
+    /** Null/dead when down. */
+    std::shared_ptr<FramedConnection> fc GUARDED_BY(mutex);
+    std::unordered_map<uint64_t, PendingCall> pending GUARDED_BY(mutex);
     /**
      * Request ids failed by sweepExpired whose response may still
      * arrive; lets a late response be told apart from a garbled or
      * raced one. Cleared when the connection drops (the response can
      * no longer arrive), so it stays small.
      */
-    std::unordered_set<uint64_t> expiredIds;
+    std::unordered_set<uint64_t> expiredIds GUARDED_BY(mutex);
     /** Reconnect backoff: no dial before this monotonic instant. */
-    int64_t nextDialAllowedNs = 0;
-    int64_t dialBackoffNs = 0; //!< 0 until the first failed dial.
+    int64_t nextDialAllowedNs GUARDED_BY(mutex) = 0;
+    /** 0 until the first failed dial. */
+    int64_t dialBackoffNs GUARDED_BY(mutex) = 0;
     CompletionShard *shard = nullptr;
     RpcClient *owner = nullptr;
 
     bool
     healthy()
     {
-        std::lock_guard<std::mutex> guard(mutex);
+        MutexLock guard(mutex);
         return fc && !fc->isDead();
     }
 };
@@ -93,7 +95,7 @@ RpcClient::~RpcClient()
     const Status cancelled(StatusCode::Cancelled, "client destroyed");
     for (auto &conn : conns) {
         {
-            std::lock_guard<std::mutex> guard(conn->mutex);
+            MutexLock guard(conn->mutex);
             if (conn->fc)
                 conn->fc->shutdown();
         }
@@ -104,7 +106,7 @@ RpcClient::~RpcClient()
 bool
 RpcClient::ensureConnected(ClientConn *conn)
 {
-    std::lock_guard<std::mutex> guard(conn->mutex);
+    MutexLock guard(conn->mutex);
     if (conn->fc && !conn->fc->isDead())
         return true;
     // Reconnect backoff: while the hold-off runs, fail fast without a
@@ -143,7 +145,7 @@ RpcClient::killConnections()
                         "connection killed (fault injection)");
     for (auto &conn : conns) {
         {
-            std::lock_guard<std::mutex> guard(conn->mutex);
+            MutexLock guard(conn->mutex);
             if (conn->fc)
                 conn->fc->shutdown();
             conn->fc = nullptr;
@@ -185,7 +187,7 @@ RpcClient::transportCall(uint32_t method, std::string body,
 
     std::shared_ptr<FramedConnection> fc;
     {
-        std::lock_guard<std::mutex> guard(conn->mutex);
+        MutexLock guard(conn->mutex);
         if (!conn->fc || conn->fc->isDead()) {
             fc = nullptr;
         } else {
@@ -209,7 +211,7 @@ RpcClient::transportCall(uint32_t method, std::string body,
         // completion thread has not already failed it.
         Callback reclaimed;
         {
-            std::lock_guard<std::mutex> guard(conn->mutex);
+            MutexLock guard(conn->mutex);
             auto it = conn->pending.find(request_id);
             if (it != conn->pending.end()) {
                 reclaimed = std::move(it->second.callback);
@@ -224,6 +226,7 @@ RpcClient::transportCall(uint32_t method, std::string body,
 void
 RpcClient::completionMain(size_t index)
 {
+    setCurrentThreadRole(ThreadRole::completion);
     CompletionShard &shard = *shards[index];
     // With deadlines armed, a blocked completion thread must still
     // wake periodically to sweep expired calls.
@@ -243,7 +246,7 @@ RpcClient::completionMain(size_t index)
             if (event.writable) {
                 std::shared_ptr<FramedConnection> fc;
                 {
-                    std::lock_guard<std::mutex> guard(conn->mutex);
+                    MutexLock guard(conn->mutex);
                     fc = conn->fc;
                 }
                 if (fc)
@@ -258,9 +261,10 @@ RpcClient::completionMain(size_t index)
 void
 RpcClient::onConnReadable(ClientConn *conn)
 {
+    assertOnCompletionThread();
     std::shared_ptr<FramedConnection> fc;
     {
-        std::lock_guard<std::mutex> guard(conn->mutex);
+        MutexLock guard(conn->mutex);
         fc = conn->fc;
     }
     if (!fc)
@@ -276,7 +280,7 @@ RpcClient::onConnReadable(ClientConn *conn)
         }
         Callback callback;
         {
-            std::lock_guard<std::mutex> guard(conn->mutex);
+            MutexLock guard(conn->mutex);
             auto it = conn->pending.find(header.requestId);
             if (it == conn->pending.end()) {
                 // Already failed. If the deadline sweep beat this
@@ -312,7 +316,7 @@ RpcClient::failPending(ClientConn *conn, const Status &status)
 {
     std::unordered_map<uint64_t, PendingCall> orphaned;
     {
-        std::lock_guard<std::mutex> guard(conn->mutex);
+        MutexLock guard(conn->mutex);
         orphaned.swap(conn->pending);
         // Responses for swept calls can no longer arrive on this
         // connection; drop the late-response watch list.
@@ -325,10 +329,11 @@ RpcClient::failPending(ClientConn *conn, const Status &status)
 void
 RpcClient::sweepExpired(CompletionShard &shard)
 {
+    assertOnCompletionThread();
     const int64_t now = nowNanos();
     std::vector<Callback> expired;
     for (ClientConn *conn : shard.conns) {
-        std::lock_guard<std::mutex> guard(conn->mutex);
+        MutexLock guard(conn->mutex);
         for (auto it = conn->pending.begin();
              it != conn->pending.end();) {
             if (it->second.deadlineNs != 0 &&

@@ -42,7 +42,7 @@ FaultInjector::decideRequest(uint64_t ordinal)
         return decision;
     }
 
-    std::lock_guard<std::mutex> guard(mutex);
+    MutexLock guard(mutex);
     if (spec.errorProb > 0 && rng.nextBool(spec.errorProb)) {
         decision.kind = FaultDecision::Kind::Error;
         decision.status = Status(spec.errorCode, "injected fault");
@@ -62,7 +62,7 @@ FaultInjector::onResponse()
 {
     FaultDecision decision;
     {
-        std::lock_guard<std::mutex> guard(mutex);
+        MutexLock guard(mutex);
         if (spec.dropResponseProb > 0 &&
             rng.nextBool(spec.dropResponseProb)) {
             decision.kind = FaultDecision::Kind::Drop;

@@ -20,10 +20,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 #include "base/rng.h"
 #include "base/status.h"
+#include "base/threading.h"
 
 namespace musuite {
 namespace rpc {
@@ -88,8 +88,8 @@ class FaultInjector
     FaultDecision decideRequest(uint64_t ordinal);
 
     FaultSpec spec;
-    std::mutex mutex; //!< Guards rng.
-    Rng rng;
+    Mutex mutex{LockRank::faultInjector, "rpc.fault"};
+    Rng rng GUARDED_BY(mutex);
     std::atomic<uint64_t> requestCount{0};
     std::atomic<uint64_t> faultCount{0};
 };

@@ -47,8 +47,9 @@ struct Server::Conn
 struct Server::PollerShard
 {
     Poller poller;
-    std::mutex connMutex;
-    std::unordered_map<Conn *, std::unique_ptr<Conn>> conns;
+    Mutex connMutex{LockRank::serverConns, "rpc.server.conns"};
+    std::unordered_map<Conn *, std::unique_ptr<Conn>> conns
+        GUARDED_BY(connMutex);
     /** Distinct cookie marking listener readiness (shard 0 only). */
     char listenerTag = 0;
 
@@ -56,7 +57,7 @@ struct Server::PollerShard
     adopt(std::unique_ptr<Conn> conn)
     {
         Conn *key = conn.get();
-        std::lock_guard<std::mutex> guard(connMutex);
+        MutexLock guard(connMutex);
         conns[key] = std::move(conn);
     }
 
@@ -64,14 +65,14 @@ struct Server::PollerShard
     drop(Conn *conn)
     {
         conn->fc->shutdown();
-        std::lock_guard<std::mutex> guard(connMutex);
+        MutexLock guard(connMutex);
         conns.erase(conn);
     }
 
     void
     clear()
     {
-        std::lock_guard<std::mutex> guard(connMutex);
+        MutexLock guard(connMutex);
         for (auto &[key, conn] : conns)
             conn->fc->shutdown();
         conns.clear();
@@ -152,6 +153,7 @@ Server::stop()
 void
 Server::acceptPending()
 {
+    assertOnPollerThread();
     while (true) {
         TcpSocket sock = listener->accept();
         if (!sock.valid())
@@ -173,6 +175,7 @@ Server::acceptPending()
 void
 Server::pollerMain(size_t index)
 {
+    setCurrentThreadRole(ThreadRole::poller);
     PollerShard &shard = *shards[index];
     const int static_timeout_ms = options.blockingPoll ? -1 : 0;
     int empty_streak = 0;
@@ -221,13 +224,17 @@ Server::pollerMain(size_t index)
 void
 Server::workerMain(size_t)
 {
-    while (auto task = taskQueue.pop())
+    setCurrentThreadRole(ThreadRole::worker);
+    while (auto task = taskQueue.pop()) {
+        assertOnWorkerThread();
         execute(*task);
+    }
 }
 
 void
 Server::handleFrame(Conn *conn, std::string_view frame)
 {
+    assertOnPollerThread();
     MessageHeader header;
     std::string_view payload;
     if (!decodeFrame(frame, header, payload) ||

@@ -23,10 +23,10 @@ TimerService::TimerService() = default;
 TimerService::~TimerService()
 {
     {
-        std::lock_guard<std::mutex> guard(mutex);
+        MutexLock guard(mutex);
         stopping = true;
     }
-    wakeup.notify_all();
+    wakeup.notifyAll();
     if (thread.joinable())
         thread.join();
 }
@@ -38,7 +38,7 @@ TimerService::schedule(int64_t delay_ns, std::function<void()> fn)
         nowNanos() + (delay_ns > 0 ? delay_ns : 0);
     TimerId id;
     {
-        std::lock_guard<std::mutex> guard(mutex);
+        MutexLock guard(mutex);
         id = nextId++;
         armed.emplace(id, std::move(fn));
         heap.emplace(deadline, id);
@@ -47,7 +47,7 @@ TimerService::schedule(int64_t delay_ns, std::function<void()> fn)
             thread = std::thread([this] { timerMain(); });
         }
     }
-    wakeup.notify_one();
+    wakeup.notifyOne();
     return id;
 }
 
@@ -56,14 +56,14 @@ TimerService::cancel(TimerId id)
 {
     // Lazy cancellation: the heap entry stays and is skipped when it
     // surfaces, so cancel never has to search the heap.
-    std::lock_guard<std::mutex> guard(mutex);
+    MutexLock guard(mutex);
     return armed.erase(id) > 0;
 }
 
 size_t
 TimerService::pendingCount() const
 {
-    std::lock_guard<std::mutex> guard(mutex);
+    MutexLock guard(mutex);
     return armed.size();
 }
 
@@ -71,7 +71,8 @@ void
 TimerService::timerMain()
 {
     setCurrentThreadName("rpc-timers");
-    std::unique_lock<std::mutex> lock(mutex);
+    setCurrentThreadRole(ThreadRole::timer);
+    MutexLock lock(mutex);
     while (!stopping) {
         // Drop cancelled heads so the wait below targets a live timer.
         while (!heap.empty() && armed.find(heap.top().second) ==
@@ -79,15 +80,13 @@ TimerService::timerMain()
             heap.pop();
         }
         if (heap.empty()) {
-            wakeup.wait(lock,
-                        [&] { return stopping || !heap.empty(); });
+            wakeup.wait(lock);
             continue;
         }
         const int64_t deadline = heap.top().first;
         const int64_t now = nowNanos();
         if (now < deadline) {
-            wakeup.wait_for(lock,
-                            std::chrono::nanoseconds(deadline - now));
+            wakeup.waitFor(lock, deadline - now);
             continue;
         }
         const TimerId id = heap.top().second;

@@ -13,15 +13,15 @@
 #ifndef MUSUITE_RPC_TIMERS_H
 #define MUSUITE_RPC_TIMERS_H
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "base/threading.h"
 
 namespace musuite {
 namespace rpc {
@@ -64,17 +64,17 @@ class TimerService
   private:
     void timerMain();
 
-    mutable std::mutex mutex;
-    std::condition_variable wakeup;
+    mutable Mutex mutex{LockRank::timer, "rpc.timers"};
+    CondVar wakeup;
     /** Armed timers by id; the heap holds (deadline, id) references. */
-    std::map<TimerId, std::function<void()>> armed;
+    std::map<TimerId, std::function<void()>> armed GUARDED_BY(mutex);
     std::priority_queue<std::pair<int64_t, TimerId>,
                         std::vector<std::pair<int64_t, TimerId>>,
                         std::greater<>>
-        heap;
-    TimerId nextId = 1;
-    bool started = false;
-    bool stopping = false;
+        heap GUARDED_BY(mutex);
+    TimerId nextId GUARDED_BY(mutex) = 1;
+    bool started GUARDED_BY(mutex) = false;
+    bool stopping GUARDED_BY(mutex) = false;
     std::thread thread;
 };
 

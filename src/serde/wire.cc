@@ -59,7 +59,9 @@ void
 WireWriter::putBytes(std::string_view bytes)
 {
     putVarint(bytes.size());
-    buffer.append(bytes.data(), bytes.size());
+    // Empty views may carry a null data(), which append() forbids.
+    if (!bytes.empty())
+        buffer.append(bytes.data(), bytes.size());
 }
 
 void
@@ -83,7 +85,9 @@ WireWriter::putFloatVector(const std::vector<float> &values)
 {
     putVarint(values.size());
     const size_t bytes = values.size() * sizeof(float);
-    buffer.append(reinterpret_cast<const char *>(values.data()), bytes);
+    if (bytes != 0)
+        buffer.append(reinterpret_cast<const char *>(values.data()),
+                      bytes);
 }
 
 void
@@ -91,7 +95,9 @@ WireWriter::putDoubleVector(const std::vector<double> &values)
 {
     putVarint(values.size());
     const size_t bytes = values.size() * sizeof(double);
-    buffer.append(reinterpret_cast<const char *>(values.data()), bytes);
+    if (bytes != 0)
+        buffer.append(reinterpret_cast<const char *>(values.data()),
+                      bytes);
 }
 
 uint64_t
@@ -206,8 +212,13 @@ WireReader::getFloatVector()
     if (failed || count * sizeof(float) > remaining())
         return fail<std::vector<float>>();
     std::vector<float> values(count);
-    std::memcpy(values.data(), data.data() + cursor, count * sizeof(float));
-    cursor += count * sizeof(float);
+    // count == 0 gives null data() pointers, which memcpy forbids
+    // even for zero-length copies.
+    if (count != 0) {
+        std::memcpy(values.data(), data.data() + cursor,
+                    count * sizeof(float));
+        cursor += count * sizeof(float);
+    }
     return values;
 }
 
@@ -218,8 +229,11 @@ WireReader::getDoubleVector()
     if (failed || count * sizeof(double) > remaining())
         return fail<std::vector<double>>();
     std::vector<double> values(count);
-    std::memcpy(values.data(), data.data() + cursor, count * sizeof(double));
-    cursor += count * sizeof(double);
+    if (count != 0) {
+        std::memcpy(values.data(), data.data() + cursor,
+                    count * sizeof(double));
+        cursor += count * sizeof(double);
+    }
     return values;
 }
 

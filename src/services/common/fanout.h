@@ -41,11 +41,11 @@
 #include <cmath>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "base/logging.h"
+#include "base/threading.h"
 #include "rpc/channel.h"
 #include "stats/counters.h"
 
@@ -138,12 +138,12 @@ fanoutCall(uint32_t method, std::vector<FanoutRequest> requests,
 
     struct SharedState
     {
-        std::mutex mutex;
-        std::vector<LeafResult> results;
-        std::vector<bool> arrived;
-        uint32_t completedLegs = 0;
-        uint32_t okLegs = 0;
-        bool done = false;
+        Mutex mutex{LockRank::fanout, "fanout"};
+        std::vector<LeafResult> results GUARDED_BY(mutex);
+        std::vector<bool> arrived GUARDED_BY(mutex);
+        uint32_t completedLegs GUARDED_BY(mutex) = 0;
+        uint32_t okLegs GUARDED_BY(mutex) = 0;
+        bool done GUARDED_BY(mutex) = false;
         uint32_t legs;
         uint32_t quorum;
         std::function<void(FanoutOutcome)> merge;
@@ -170,7 +170,7 @@ fanoutCall(uint32_t method, std::vector<FanoutRequest> requests,
                 FanoutOutcome outcome;
                 bool fire = false;
                 {
-                    std::lock_guard<std::mutex> guard(state->mutex);
+                    MutexLock guard(state->mutex);
                     if (state->done) {
                         // Straggler beyond the quorum: the parent has
                         // already answered. Never touch results here —

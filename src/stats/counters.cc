@@ -10,7 +10,7 @@ namespace musuite {
 Counter &
 CounterSet::counter(const std::string &name)
 {
-    std::lock_guard<std::mutex> guard(mutex);
+    MutexLock guard(mutex);
     auto &slot = counters[name];
     if (!slot)
         slot = std::make_unique<Counter>();
@@ -20,7 +20,7 @@ CounterSet::counter(const std::string &name)
 CounterSnapshot
 CounterSet::snapshot() const
 {
-    std::lock_guard<std::mutex> guard(mutex);
+    MutexLock guard(mutex);
     CounterSnapshot snap;
     for (const auto &[name, counter] : counters)
         snap[name] = counter->get();
@@ -43,7 +43,7 @@ CounterSet::diff(const CounterSnapshot &before, const CounterSnapshot &after)
 void
 CounterSet::clear()
 {
-    std::lock_guard<std::mutex> guard(mutex);
+    MutexLock guard(mutex);
     counters.clear();
 }
 

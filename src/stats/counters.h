@@ -15,9 +15,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "base/threading.h"
 
 namespace musuite {
 
@@ -62,8 +63,9 @@ class CounterSet
     void clear();
 
   private:
-    mutable std::mutex mutex;
-    std::map<std::string, std::unique_ptr<Counter>> counters;
+    mutable Mutex mutex{LockRank::counters, "stats.counters"};
+    std::map<std::string, std::unique_ptr<Counter>> counters
+        GUARDED_BY(mutex);
 };
 
 /** Process-global counter set used by the transport/ostrace layers. */

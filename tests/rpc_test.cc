@@ -47,7 +47,10 @@ class RpcTest : public ::testing::Test
             call->respond(StatusCode::NotFound, "nope");
         });
         server->registerHandler(kAsyncEcho, [this](ServerCallPtr call) {
-            // Complete from a different thread, as mid-tiers do.
+            // Complete from a different thread, as mid-tiers do. The
+            // handler runs on a server worker, so the fixture vector
+            // needs a lock against TearDown and concurrent handlers.
+            MutexLock lock(asyncMutex);
             asyncWorkers.emplace_back("async-reply", [call] {
                 call->respondOk(call->body());
             });
@@ -58,12 +61,16 @@ class RpcTest : public ::testing::Test
     void
     TearDown() override
     {
-        asyncWorkers.clear();
+        {
+            MutexLock lock(asyncMutex);
+            asyncWorkers.clear(); // Joins the reply threads.
+        }
         server.reset();
     }
 
     std::unique_ptr<Server> server;
-    std::vector<ScopedThread> asyncWorkers;
+    Mutex asyncMutex;
+    std::vector<ScopedThread> asyncWorkers GUARDED_BY(asyncMutex);
 };
 
 TEST(MessageHeaderTest, RoundTrip)

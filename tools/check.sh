@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# Concurrency-correctness gate for musuite.
+#
+# Builds and runs the tier-1 ctest suite under four configurations:
+#
+#   1. -Werror release build            (warning-clean tree)
+#   2. MUSUITE_DEBUG_SYNC debug build   (lock-rank + thread-role checks)
+#   3. ThreadSanitizer                  (data races, lock-order inversions)
+#   4. AddressSanitizer + UBSan         (memory errors, undefined behavior)
+#
+# plus, when clang tooling is on PATH:
+#
+#   5. clang++ -Wthread-safety syntax-only pass over src/
+#   6. clang-tidy over src/ using .clang-tidy
+#
+# Stages 5-6 are skipped (with a notice) when clang/clang-tidy are not
+# installed, so the script is still a complete dynamic gate on a
+# gcc-only box.
+#
+# Usage: tools/check.sh [--quick]
+#   --quick  stages 1-2 only (no sanitizer builds)
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$repo_root"
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+failures=()
+
+banner() {
+    printf '\n==== %s ====\n' "$1"
+}
+
+run_stage() {
+    # run_stage <name> <build-dir> <cmake-args...>
+    local name="$1" dir="$2"
+    shift 2
+    banner "$name: configure + build"
+    mkdir -p "$dir"
+    if ! cmake -S "$repo_root" -B "$dir" "$@" \
+            >"$dir/configure.log" 2>&1; then
+        echo "CONFIGURE FAILED (see $dir/configure.log)"
+        failures+=("$name: configure")
+        return 0
+    fi
+    if ! cmake --build "$dir" -j "$jobs" >"$dir/build.log" 2>&1; then
+        grep -E 'error|warning' "$dir/build.log" | head -40 || true
+        echo "BUILD FAILED (see $dir/build.log)"
+        failures+=("$name: build")
+        return 0
+    fi
+    # Even a successful -Werror-less build must be warning-clean.
+    if grep -qE ' warning: ' "$dir/build.log"; then
+        grep -E ' warning: ' "$dir/build.log" | head -20
+        failures+=("$name: warnings")
+    fi
+    banner "$name: ctest -L tier1"
+    if ! ctest --test-dir "$dir" -L tier1 --output-on-failure; then
+        failures+=("$name: tests")
+    fi
+}
+
+# ---- stage 1: -Werror release build --------------------------------------
+run_stage "werror" build-check-werror \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMUSUITE_WERROR=ON
+
+# ---- stage 2: debug-sync (lock-rank + role checks) -----------------------
+run_stage "debug-sync" build-check-debug-sync \
+    -DCMAKE_BUILD_TYPE=Debug -DMUSUITE_WERROR=ON -DMUSUITE_DEBUG_SYNC=ON
+
+if [[ "$quick" -eq 0 ]]; then
+    # ---- stage 3: ThreadSanitizer ----------------------------------------
+    export TSAN_OPTIONS="suppressions=$repo_root/tools/tsan.supp:halt_on_error=1:second_deadlock_stack=1"
+    run_stage "tsan" build-check-tsan \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMUSUITE_SANITIZE=thread
+    unset TSAN_OPTIONS
+
+    # ---- stage 4: ASan + UBSan -------------------------------------------
+    # detect_leaks=0: LSan needs ptrace permissions that CI containers
+    # often lack; ASan's memory-error checks are unaffected.
+    export ASAN_OPTIONS="detect_leaks=0"
+    export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+    run_stage "asan-ubsan" build-check-asan-ubsan \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMUSUITE_SANITIZE=address+undefined
+    unset ASAN_OPTIONS UBSAN_OPTIONS
+fi
+
+# ---- stage 5: clang -Wthread-safety (static analysis) --------------------
+if command -v clang++ >/dev/null 2>&1; then
+    banner "clang -Wthread-safety syntax pass"
+    ts_fail=0
+    while IFS= read -r -d '' src; do
+        clang++ -std=c++20 -fsyntax-only -I "$repo_root/src" \
+            -Wthread-safety -Werror=thread-safety "$src" || ts_fail=1
+    done < <(find "$repo_root/src" -name '*.cc' -print0)
+    [[ "$ts_fail" -ne 0 ]] && failures+=("thread-safety: warnings")
+else
+    banner "clang -Wthread-safety: SKIPPED (clang++ not on PATH)"
+fi
+
+# ---- stage 6: clang-tidy -------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+    banner "clang-tidy"
+    tidy_db=build-check-werror
+    if [[ ! -f "$tidy_db/compile_commands.json" ]]; then
+        cmake -S "$repo_root" -B "$tidy_db" \
+            -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+    fi
+    tidy_fail=0
+    while IFS= read -r -d '' src; do
+        clang-tidy -p "$tidy_db" --quiet "$src" || tidy_fail=1
+    done < <(find "$repo_root/src" -name '*.cc' -print0)
+    [[ "$tidy_fail" -ne 0 ]] && failures+=("clang-tidy: findings")
+else
+    banner "clang-tidy: SKIPPED (not on PATH)"
+fi
+
+# ---- summary -------------------------------------------------------------
+banner "summary"
+if [[ "${#failures[@]}" -eq 0 ]]; then
+    echo "ALL STAGES PASSED"
+    exit 0
+fi
+echo "FAILED STAGES:"
+printf '  - %s\n' "${failures[@]}"
+exit 1
