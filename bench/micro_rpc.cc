@@ -10,9 +10,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "base/threading.h"
+#include "base/time_util.h"
+#include "ostrace/syscalls.h"
 #include "rpc/client.h"
 #include "rpc/local_channel.h"
 #include "rpc/message.h"
@@ -91,6 +97,34 @@ BM_PipelinedThroughput(benchmark::State &state)
 BENCHMARK(BM_PipelinedThroughput)->Arg(8)->Arg(64);
 
 void
+BM_PipelinedThroughputCorked(benchmark::State &state)
+{
+    // Same pipelined window, but the whole batch leaves under one
+    // write cork — one scatter-gather sendmsg per connection instead
+    // of one per call.
+    auto server = makeEchoServer();
+    RpcClient client(server->port());
+    const std::string body(64, 'x');
+    const int window = int(state.range(0));
+
+    for (auto _ : state) {
+        CountdownLatch latch{uint32_t(window)};
+        {
+            ScopedWriteBatch batch(&client);
+            for (int i = 0; i < window; ++i) {
+                client.call(kEcho, body,
+                            [&](const Status &, std::string_view) {
+                                latch.countDown();
+                            });
+            }
+        }
+        latch.wait();
+    }
+    state.SetItemsProcessed(int64_t(state.iterations()) * window);
+}
+BENCHMARK(BM_PipelinedThroughputCorked)->Arg(8)->Arg(64);
+
+void
 BM_LocalChannelDispatch(benchmark::State &state)
 {
     auto server = makeEchoServer();
@@ -123,8 +157,112 @@ BM_FrameCodec(benchmark::State &state)
 }
 BENCHMARK(BM_FrameCodec)->Arg(64)->Arg(4096);
 
+/**
+ * CI smoke mode (--smoke-json=PATH): a fixed, short workload that
+ * records the bench trajectory without google-benchmark's adaptive
+ * iteration counts — single-call round-trip latency, corked pipelined
+ * throughput, and the syscall bill per pipelined request. Runs in
+ * about a second so tools/check.sh can afford it on every push.
+ */
+int
+runSmoke(const std::string &path)
+{
+    auto server = makeEchoServer();
+    RpcClient client(server->port());
+    const std::string body(64, 'x');
+
+    // Unary round-trip: median and mean over a fixed sample count.
+    constexpr int warmup = 200;
+    constexpr int samples = 2000;
+    for (int i = 0; i < warmup; ++i)
+        client.callSync(kEcho, body);
+    std::vector<int64_t> rtt(samples);
+    for (int i = 0; i < samples; ++i) {
+        const int64_t start = nowNanos();
+        auto result = client.callSync(kEcho, body);
+        rtt[size_t(i)] = nowNanos() - start;
+        if (!result.status().isOk())
+            return 1;
+    }
+    std::sort(rtt.begin(), rtt.end());
+    const int64_t rtt_p50 = rtt[rtt.size() / 2];
+    int64_t rtt_sum = 0;
+    for (int64_t sample : rtt)
+        rtt_sum += sample;
+    const double rtt_mean = double(rtt_sum) / samples;
+
+    // Corked pipelined batches: QPS plus the per-request syscall bill
+    // (this is the number the batched write path exists to shrink).
+    constexpr int depth = 16;
+    constexpr int batches = 200;
+    const auto before = snapshotSyscalls();
+    const int64_t pipe_start = nowNanos();
+    for (int batch = 0; batch < batches; ++batch) {
+        CountdownLatch latch{depth};
+        {
+            ScopedWriteBatch cork(&client);
+            for (int i = 0; i < depth; ++i) {
+                client.call(kEcho, body,
+                            [&](const Status &, std::string_view) {
+                                latch.countDown();
+                            });
+            }
+        }
+        latch.wait();
+    }
+    const int64_t pipe_ns = nowNanos() - pipe_start;
+    const auto delta = diffSyscalls(before, snapshotSyscalls());
+    const double requests = double(depth) * batches;
+    const double qps = requests / (double(pipe_ns) * 1e-9);
+    const auto per_req = [&](Sys sys) {
+        return double(delta[size_t(sys)]) / requests;
+    };
+
+    FILE *out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+        std::fprintf(stderr, "micro_rpc: cannot open %s\n",
+                     path.c_str());
+        return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"unary_rtt_p50_ns\": %lld,\n"
+                 "  \"unary_rtt_mean_ns\": %.1f,\n"
+                 "  \"pipelined_depth\": %d,\n"
+                 "  \"pipelined_qps\": %.0f,\n"
+                 "  \"sendmsg_per_request\": %.3f,\n"
+                 "  \"recvmsg_per_request\": %.3f,\n"
+                 "  \"futex_per_request\": %.3f,\n"
+                 "  \"epoll_wait_per_request\": %.3f\n"
+                 "}\n",
+                 static_cast<long long>(rtt_p50), rtt_mean, depth, qps,
+                 per_req(Sys::Sendmsg), per_req(Sys::Recvmsg),
+                 per_req(Sys::Futex), per_req(Sys::EpollPwait));
+    std::fclose(out);
+    std::printf("micro_rpc smoke: rtt_p50=%lldns qps=%.0f "
+                "sendmsg/req=%.3f -> %s\n",
+                static_cast<long long>(rtt_p50), qps,
+                per_req(Sys::Sendmsg), path.c_str());
+    return 0;
+}
+
 } // namespace
 } // namespace rpc
 } // namespace musuite
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const std::string flag = "--smoke-json=";
+        if (arg.rfind(flag, 0) == 0)
+            return musuite::rpc::runSmoke(arg.substr(flag.size()));
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -17,6 +17,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "base/logging.h"
 
@@ -73,6 +74,41 @@ class BlockingQueue
     }
 
     /**
+     * Push a whole batch under one lock acquisition and (at most) one
+     * wakeup per space-wait round — the batching half of the paper's
+     * futex-reduction story: N single push() calls cost up to N
+     * notify_one futex wakes, this costs one notify_all.
+     * Blocks while the queue is full.
+     * @return false if the queue was closed (remaining items dropped).
+     */
+    bool
+    pushAll(std::vector<T> batch)
+    {
+        size_t next = 0;
+        while (next < batch.size()) {
+            size_t pushed = 0;
+            {
+                std::unique_lock<Mutex> lock(mutex);
+                notFull.wait(lock, [&] {
+                    return items.size() < capacity || closed;
+                });
+                if (closed)
+                    return false;
+                while (next < batch.size() && items.size() < capacity) {
+                    items.push_back(std::move(batch[next]));
+                    ++next;
+                    ++pushed;
+                }
+            }
+            if (pushed == 1)
+                notEmpty.notify_one();
+            else if (pushed > 1)
+                notEmpty.notify_all();
+        }
+        return true;
+    }
+
+    /**
      * Pop an item, blocking while the queue is empty.
      * @return nullopt once closed and drained.
      */
@@ -88,6 +124,34 @@ class BlockingQueue
         lock.unlock();
         notFull.notify_one();
         return item;
+    }
+
+    /**
+     * Pop up to `max` items in one lock acquisition, blocking while
+     * the queue is empty — the consumer half of batch dispatch: a
+     * worker drains a clump of requests with one futex round instead
+     * of one per request.
+     * @return empty vector once closed and drained (shutdown signal).
+     */
+    std::vector<T>
+    popMany(size_t max)
+    {
+        std::vector<T> out;
+        size_t popped = 0;
+        {
+            std::unique_lock<Mutex> lock(mutex);
+            notEmpty.wait(lock, [&] { return !items.empty() || closed; });
+            while (!items.empty() && out.size() < max) {
+                out.push_back(std::move(items.front()));
+                items.pop_front();
+                ++popped;
+            }
+        }
+        if (popped == 1)
+            notFull.notify_one();
+        else if (popped > 1)
+            notFull.notify_all();
+        return out;
     }
 
     /** Pop without blocking; nullopt if empty. */

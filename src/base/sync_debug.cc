@@ -40,6 +40,7 @@ lockRankName(LockRank rank)
       case LockRank::timer:           return "rpc.timers";
       case LockRank::kvShard:         return "kv.shard";
       case LockRank::frameOut:        return "net.frame.out";
+      case LockRank::wirePool:        return "serde.wirepool";
       case LockRank::osTraceRegistry: return "ostrace.registry";
       case LockRank::osTraceLocal:    return "ostrace.local";
       case LockRank::counters:        return "stats.counters";

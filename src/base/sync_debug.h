@@ -58,6 +58,8 @@ enum class LockRank : int {
     timer = 60,          //!< Timer-service heap (rpc/timers).
     kvShard = 65,        //!< mucache shard (kv/mucache).
     frameOut = 70,       //!< Framed-connection outbound buffer.
+    wirePool = 72,       //!< Wire-buffer recycling pool (serde/wire) —
+                         //!< taken inside the frame flush path.
     osTraceRegistry = 74,//!< ostrace thread registry.
     osTraceLocal = 76,   //!< ostrace per-thread histograms.
     counters = 80,       //!< Counter registry (stats/counters).

@@ -5,11 +5,27 @@
 
 #include "net/frame.h"
 
+#include <algorithm>
 #include <cstring>
+#include <sys/uio.h>
 
 #include "base/logging.h"
+#include "serde/wire.h"
 
 namespace musuite {
+
+namespace {
+
+/** Frames rejected on the send side for exceeding maxFrameBytes. */
+std::atomic<uint64_t> oversizedSends{0};
+
+} // namespace
+
+uint64_t
+FramedConnection::oversizedSendCount()
+{
+    return oversizedSends.load(std::memory_order_relaxed);
+}
 
 FramedConnection::FramedConnection(TcpSocket socket, Poller *poller,
                                    void *cookie)
@@ -19,6 +35,13 @@ FramedConnection::FramedConnection(TcpSocket socket, Poller *poller,
 FramedConnection::~FramedConnection()
 {
     shutdown();
+    // No concurrent users remain at destruction; recycle what never
+    // reached the kernel.
+    MutexLock lock(outMutex);
+    while (!outQueue.empty()) {
+        releaseWireBuffer(std::move(outQueue.front().payload));
+        outQueue.pop_front();
+    }
 }
 
 void
@@ -36,17 +59,35 @@ FramedConnection::onReadable(
     if (isDead())
         return false;
 
-    char chunk[64 * 1024];
+    constexpr size_t readChunk = 64 * 1024;
     while (true) {
-        size_t received = 0;
-        const IoStatus status = sock.receive(chunk, sizeof(chunk), received);
-        if (status == IoStatus::Ok) {
-            inbound.append(chunk, received);
-            // A full kernel buffer may hold more; keep draining until
-            // WouldBlock so level-triggered epoll stays quiet.
-            if (received < sizeof(chunk)) {
-                // Likely drained; parse what we have first.
+        // Ensure readChunk bytes of tail space: slide unparsed bytes
+        // to the front (cursor compaction, no erase-shuffle per event)
+        // and grow geometrically only when a frame outsizes the
+        // buffer. Capacity is kept across events, so steady-state
+        // reads allocate nothing.
+        if (inbound.size() - inEnd < readChunk) {
+            if (inCursor > 0) {
+                std::memmove(&inbound[0], inbound.data() + inCursor,
+                             inEnd - inCursor);
+                inEnd -= inCursor;
+                inCursor = 0;
             }
+            if (inbound.size() - inEnd < readChunk)
+                inbound.resize(
+                    std::max(inEnd + readChunk, 2 * inbound.size()));
+        }
+        const size_t want = inbound.size() - inEnd;
+        size_t received = 0;
+        const IoStatus status =
+            sock.receive(&inbound[inEnd], want, received);
+        if (status == IoStatus::Ok) {
+            inEnd += received;
+            // A short read means the kernel buffer is drained: go
+            // parse instead of paying a guaranteed-EAGAIN recv. Only
+            // a full read hints at more pending bytes.
+            if (received < want)
+                break;
             continue;
         }
         if (status == IoStatus::WouldBlock)
@@ -55,24 +96,23 @@ FramedConnection::onReadable(
         return false;
     }
 
-    // Parse complete frames.
-    size_t cursor = 0;
-    while (inbound.size() - cursor >= 4) {
+    // Parse complete frames in [inCursor, inEnd).
+    while (inEnd - inCursor >= 4) {
         uint32_t length;
-        std::memcpy(&length, inbound.data() + cursor, 4);
+        std::memcpy(&length, inbound.data() + inCursor, 4);
         if (length > maxFrameBytes) {
             MUSUITE_WARN() << "oversized frame (" << length
                            << " bytes); dropping connection";
             shutdown();
             return false;
         }
-        if (inbound.size() - cursor - 4 < length)
+        if (inEnd - inCursor - 4 < length)
             break;
-        sink(std::string_view(inbound.data() + cursor + 4, length));
-        cursor += 4 + size_t(length);
+        sink(std::string_view(inbound.data() + inCursor + 4, length));
+        inCursor += 4 + size_t(length);
     }
-    if (cursor > 0)
-        inbound.erase(0, cursor);
+    if (inCursor == inEnd)
+        inCursor = inEnd = 0; // All consumed: rewind, keep capacity.
     return !isDead();
 }
 
@@ -83,7 +123,7 @@ FramedConnection::onWritable()
     bool ok;
     {
         MutexLock lock(outMutex);
-        ok = flushLocked();
+        ok = flushLocked(lock);
     }
     if (!ok)
         shutdown();
@@ -94,53 +134,151 @@ FramedConnection::sendFrame(std::string_view payload)
 {
     if (isDead())
         return false;
-    MUSUITE_CHECK(payload.size() <= maxFrameBytes) << "frame too large";
+    if (payload.size() > maxFrameBytes) {
+        oversizedSends.fetch_add(1, std::memory_order_relaxed);
+        MUSUITE_WARN() << "oversized outbound frame (" << payload.size()
+                       << " bytes) rejected";
+        return false;
+    }
+    std::string owned = acquireWireBuffer(payload.size());
+    if (!payload.empty())
+        owned.assign(payload.data(), payload.size());
+    return sendFrameOwned(std::move(owned));
+}
+
+bool
+FramedConnection::sendFrameOwned(std::string payload)
+{
+    if (isDead())
+        return false;
+    if (payload.size() > maxFrameBytes) {
+        oversizedSends.fetch_add(1, std::memory_order_relaxed);
+        MUSUITE_WARN() << "oversized outbound frame (" << payload.size()
+                       << " bytes) rejected";
+        return false;
+    }
 
     bool ok;
     {
         MutexLock lock(outMutex);
-        const uint32_t length = uint32_t(payload.size());
-        char header[4];
-        std::memcpy(header, &length, 4);
-        outbound.append(header, 4);
-        outbound.append(payload.data(), payload.size());
-        ok = flushLocked();
+        queueLocked(std::move(payload));
+        ok = flushLocked(lock);
     }
     if (!ok)
         shutdown();
     return !isDead();
 }
 
-bool
-FramedConnection::flushLocked()
+void
+FramedConnection::cork()
 {
-    while (outOffset < outbound.size()) {
+    MutexLock lock(outMutex);
+    ++corkDepth;
+}
+
+bool
+FramedConnection::uncork()
+{
+    bool ok;
+    {
+        MutexLock lock(outMutex);
+        MUSUITE_CHECK(corkDepth > 0) << "uncork without matching cork";
+        --corkDepth;
+        ok = corkDepth == 0 ? flushLocked(lock) : true;
+    }
+    if (!ok)
+        shutdown();
+    return !isDead();
+}
+
+void
+FramedConnection::queueLocked(std::string &&payload)
+{
+    OutFrame frame;
+    const uint32_t length = uint32_t(payload.size());
+    std::memcpy(frame.header, &length, sizeof(frame.header));
+    frame.payload = std::move(payload);
+    outQueue.push_back(std::move(frame));
+}
+
+bool
+FramedConnection::flushLocked(MutexLock &lock)
+{
+    if (flushing || corkDepth > 0)
+        return true; // The active flusher / uncork will drain us.
+    flushing = true;
+
+    bool ok = true;
+    while (!outQueue.empty() && corkDepth == 0) {
+        // Build the scatter list: {header, payload} per frame, the
+        // front frame offset by outCursor.
+        struct iovec iov[2 * maxFramesPerFlush];
+        int iovcnt = 0;
+        size_t skip = outCursor;
+        for (OutFrame &frame : outQueue) {
+            if (iovcnt + 2 > int(2 * maxFramesPerFlush))
+                break;
+            if (skip < sizeof(frame.header)) {
+                iov[iovcnt].iov_base = frame.header + skip;
+                iov[iovcnt].iov_len = sizeof(frame.header) - skip;
+                ++iovcnt;
+                skip = 0;
+            } else {
+                skip -= sizeof(frame.header);
+            }
+            if (skip < frame.payload.size()) {
+                iov[iovcnt].iov_base =
+                    const_cast<char *>(frame.payload.data()) + skip;
+                iov[iovcnt].iov_len = frame.payload.size() - skip;
+                ++iovcnt;
+            }
+            skip = 0; // Only the front frame is partially sent.
+        }
+
+        // Drop the lock across the syscall: senders keep appending
+        // (deque growth never invalidates existing element
+        // references, and only the flusher pops), so concurrent load
+        // coalesces into the next iteration instead of convoying.
+        lock.unlock();
         size_t sent = 0;
-        const IoStatus status = sock.send(outbound.data() + outOffset,
-                                          outbound.size() - outOffset, sent);
+        const IoStatus status = sock.sendv(iov, iovcnt, sent);
+        lock.lock();
+
         if (status == IoStatus::Ok) {
-            outOffset += sent;
+            outCursor += sent;
+            while (!outQueue.empty()) {
+                OutFrame &front = outQueue.front();
+                const size_t frame_bytes =
+                    sizeof(front.header) + front.payload.size();
+                if (outCursor < frame_bytes)
+                    break;
+                outCursor -= frame_bytes;
+                releaseWireBuffer(std::move(front.payload));
+                outQueue.pop_front();
+            }
             continue;
         }
         if (status == IoStatus::WouldBlock) {
-            if (!writeArmed && poller) {
+            if (!writeArmed && poller && !isDead()) {
                 writeArmed = true;
                 poller->modify(sock.fd(), cookie, true);
                 poller->wake();
             }
-            return true;
+            break;
         }
-        return false;
+        ok = false;
+        break;
     }
 
-    // Fully flushed: compact and drop EPOLLOUT interest.
-    outbound.clear();
-    outOffset = 0;
-    if (writeArmed && poller) {
-        writeArmed = false;
-        poller->modify(sock.fd(), cookie, false);
+    flushing = false;
+    if (outQueue.empty()) {
+        outCursor = 0;
+        if (writeArmed && poller && !isDead()) {
+            writeArmed = false;
+            poller->modify(sock.fd(), cookie, false);
+        }
     }
-    return true;
+    return ok;
 }
 
 void
@@ -153,7 +291,7 @@ FramedConnection::shutdown()
         poller->remove(sock.fd());
     // Unblock any peer and concurrent sender, but keep the fd alive:
     // closing here would let the kernel recycle the descriptor while a
-    // sendFrame() caller on another thread is still inside send().
+    // sender on another thread is still inside sendv().
     sock.shutdownRw();
 }
 

@@ -5,15 +5,34 @@
  * Frames are a 4-byte little-endian payload length followed by the
  * payload. A FramedConnection is read only by its owning poller
  * thread, but frames may be sent from any thread (µSuite workers and
- * response threads complete RPCs from the worker pool): sendFrame
- * appends under a lock, flushes opportunistically, and arms EPOLLOUT +
- * wakes the poller when the kernel buffer fills.
+ * response threads complete RPCs from the worker pool).
+ *
+ * The byte path is built around batching and reuse (the paper's
+ * syscall findings, Figs. 11–14: sendmsg/recvmsg dominate mid-tier OS
+ * time):
+ *
+ *  - Outbound frames queue as {header, payload} pairs and flush many
+ *    frames per sendmsg via scatter-gather (TcpSocket::sendv). A
+ *    single flusher drains the queue with the lock *dropped* across
+ *    the syscall; concurrent senders just append and return, so load
+ *    coalesces naturally instead of convoying on the kernel.
+ *  - cork()/uncork() let callers batch explicitly: a mid-tier issuing
+ *    a fan-out (or a worker flushing a batch of responses) corks,
+ *    queues everything, and uncorks into one syscall.
+ *  - Inbound bytes land directly in a cursor-compacted buffer (no
+ *    erase(0, cursor) shuffle), and a short read ends the recv loop —
+ *    a short read means the kernel buffer is drained, so the old
+ *    "one more recv" was a guaranteed-EAGAIN syscall per event.
+ *  - Payload buffers are recycled through the serde wire-buffer pool
+ *    (acquireWireBuffer/releaseWireBuffer), so steady-state sends
+ *    allocate nothing.
  */
 
 #ifndef MUSUITE_NET_FRAME_H
 #define MUSUITE_NET_FRAME_H
 
 #include <atomic>
+#include <deque>
 #include <functional>
 #include <string>
 #include <string_view>
@@ -29,6 +48,9 @@ class FramedConnection
   public:
     /** Frames larger than this indicate a corrupt stream. */
     static constexpr uint32_t maxFrameBytes = 64u << 20;
+
+    /** Most frames packed into one sendv (two iovecs per frame). */
+    static constexpr size_t maxFramesPerFlush = 32;
 
     /**
      * @param socket Connected non-blocking socket (takes ownership).
@@ -59,40 +81,86 @@ class FramedConnection
 
     /**
      * Queue one frame and flush as much as the kernel accepts.
-     * Callable from any thread.
-     * @return false if the connection is dead.
+     * Callable from any thread. Oversized payloads are rejected
+     * (counted under net.frame.oversized_send) without harming the
+     * connection.
+     * @return false if the frame was rejected or the connection is
+     *         dead.
      */
     bool sendFrame(std::string_view payload);
+
+    /**
+     * sendFrame() taking ownership of the payload buffer: no copy on
+     * the send path, and the buffer is recycled through the wire pool
+     * once the kernel has it.
+     */
+    bool sendFrameOwned(std::string payload);
+
+    /**
+     * Write-combining: while corked, sendFrame() only queues; the
+     * matching uncork() flushes everything queued since — ideally as
+     * one scatter-gather syscall. Nests; callable from any thread.
+     */
+    void cork();
+
+    /** @return false if the connection died flushing. */
+    bool uncork();
 
     bool isDead() const { return dead.load(std::memory_order_acquire); }
     int fd() const { return sock.fd(); }
 
+    /** Frames rejected for exceeding maxFrameBytes (process-wide). */
+    static uint64_t oversizedSendCount();
+
     /**
      * Mark dead, deregister from the poller, and shut the socket down.
      * The fd itself stays open until destruction so that a concurrent
-     * sender in flushLocked() can never race against fd reuse.
+     * sender in the flush path can never race against fd reuse.
      */
     void shutdown();
 
   private:
+    /** One queued outbound frame: length prefix + payload. */
+    struct OutFrame
+    {
+        char header[4];
+        std::string payload;
+    };
+
+    /** Append one frame to the outbound queue. */
+    void queueLocked(std::string &&payload) REQUIRES(outMutex);
+
     /**
-     * Flush under lock; updates EPOLLOUT interest.
+     * Drain the outbound queue through sendv, releasing `lock` across
+     * each syscall (appenders keep making progress; deque references
+     * stay valid). Only one thread flushes at a time — later callers
+     * see `flushing` and return, leaving their frames to the active
+     * flusher. Updates EPOLLOUT interest.
      * @return false on a hard I/O error: the caller must release
      *         outMutex and then call shutdown().
      */
-    bool flushLocked() REQUIRES(outMutex);
+    bool flushLocked(MutexLock &lock) REQUIRES(outMutex);
 
     TcpSocket sock;
     Poller *poller;
     void *cookie;
 
-    // Inbound state: poller thread only.
+    // Inbound state: poller thread only. Unparsed bytes live at
+    // [inCursor, inEnd) of `inbound`; compaction slides them to the
+    // front (memmove) only when tail space runs out, and the buffer's
+    // capacity is kept across events so steady-state reads allocate
+    // nothing.
     std::string inbound;
+    size_t inCursor = 0;
+    size_t inEnd = 0;
 
     // Outbound state: shared.
     Mutex outMutex{LockRank::frameOut, "net.frame.out"};
-    std::string outbound GUARDED_BY(outMutex);
-    size_t outOffset GUARDED_BY(outMutex) = 0;
+    std::deque<OutFrame> outQueue GUARDED_BY(outMutex);
+    /** Bytes of the front frame already handed to the kernel. */
+    size_t outCursor GUARDED_BY(outMutex) = 0;
+    bool flushing GUARDED_BY(outMutex) = false;
+    int corkDepth GUARDED_BY(outMutex) = 0;
     bool writeArmed GUARDED_BY(outMutex) = false;
 
     std::atomic<bool> dead{false};

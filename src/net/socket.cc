@@ -12,6 +12,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include "base/logging.h"
@@ -93,6 +94,28 @@ TcpSocket::send(const char *data, size_t length, size_t &sent)
     sent = 0;
     const int64_t start = nowNanos();
     const ssize_t n = ::send(handle.get(), data, length, MSG_NOSIGNAL);
+    countSyscall(Sys::Sendmsg);
+    recordOs(OsCategory::NetTx, nowNanos() - start);
+    if (n > 0) {
+        sent = size_t(n);
+        return IoStatus::Ok;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+        return IoStatus::WouldBlock;
+    return IoStatus::Error;
+}
+
+IoStatus
+TcpSocket::sendv(const struct iovec *iov, int iovcnt, size_t &sent)
+{
+    sent = 0;
+    msghdr msg{};
+    // sendmsg never writes through the iovec; the const_cast only
+    // bridges the POSIX struct's non-const field.
+    msg.msg_iov = const_cast<struct iovec *>(iov);
+    msg.msg_iovlen = size_t(iovcnt);
+    const int64_t start = nowNanos();
+    const ssize_t n = ::sendmsg(handle.get(), &msg, MSG_NOSIGNAL);
     countSyscall(Sys::Sendmsg);
     recordOs(OsCategory::NetTx, nowNanos() - start);
     if (n > 0) {

@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <string>
 
+struct iovec;
+
 namespace musuite {
 
 /** Owned file descriptor. */
@@ -67,6 +69,16 @@ class TcpSocket
      * @param sent Out: bytes actually queued to the kernel.
      */
     IoStatus send(const char *data, size_t length, size_t &sent);
+
+    /**
+     * Scatter-gather send: transfer the iovec array in one syscall
+     * (sendmsg, so MSG_NOSIGNAL still applies). Same NetTx/sendmsg
+     * accounting as send(); this is the batching primitive that lets
+     * FramedConnection flush many queued frames per syscall.
+     * @param sent Out: bytes actually queued to the kernel (may end
+     *        mid-iovec; the caller tracks a byte cursor).
+     */
+    IoStatus sendv(const struct iovec *iov, int iovcnt, size_t &sent);
 
     /**
      * Try to receive bytes. Records NetRx time and recvmsg counts.

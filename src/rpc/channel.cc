@@ -18,6 +18,7 @@
 #include "ostrace/sync.h"
 #include "rpc/fault.h"
 #include "rpc/timers.h"
+#include "serde/wire.h"
 #include "stats/counters.h"
 
 namespace musuite {
@@ -385,11 +386,14 @@ Channel::injectedCall(uint32_t method, std::string body,
                     .add();
                 return;
               case FaultDecision::Kind::Delay: {
-                std::string copy(payload);
+                std::string copy = acquireWireBuffer(payload.size());
+                if (!payload.empty())
+                    copy.assign(payload.data(), payload.size());
                 TimerService::global().schedule(
                     decision.delayNs,
-                    [callback, status, copy = std::move(copy)] {
+                    [callback, status, copy = std::move(copy)]() mutable {
                         callback(status, copy);
+                        releaseWireBuffer(std::move(copy));
                     });
                 return;
               }

@@ -27,10 +27,12 @@
 #ifndef MUSUITE_RPC_CHANNEL_H
 #define MUSUITE_RPC_CHANNEL_H
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "base/status.h"
 
@@ -117,6 +119,19 @@ class Channel
     /** True if the channel can currently reach its target. */
     virtual bool isHealthy() const { return true; }
 
+    /**
+     * Write-combining hints. Between corkWrites() and the matching
+     * uncorkWrites(), a transport may hold frames back and flush them
+     * all at uncork — ideally one scatter-gather syscall per
+     * connection — so a caller issuing many calls back to back (a
+     * fan-out, a pipelined batch) pays one sendmsg instead of one per
+     * call. Purely advisory: the defaults are no-ops (in-process
+     * channels have no wire), calls stay asynchronous, and nesting is
+     * allowed. Prefer ScopedWriteBatch over raw cork/uncork pairs.
+     */
+    virtual void corkWrites() {}
+    virtual void uncorkWrites() {}
+
     /** Blocking convenience wrappers over call(). */
     Result<std::string> callSync(uint32_t method, std::string body);
     Result<std::string> callSync(uint32_t method, std::string body,
@@ -149,6 +164,43 @@ class Channel
                       Callback callback);
 
     std::shared_ptr<FaultInjector> injector;
+};
+
+/**
+ * RAII write batch over a set of channels: add() corks a channel the
+ * first time it appears (duplicates are fine), the destructor uncorks
+ * everything. Scope it around a burst of call()s; responses cannot
+ * arrive before the frames flush, so the batch must end before any
+ * blocking wait on completions.
+ */
+class ScopedWriteBatch
+{
+  public:
+    ScopedWriteBatch() = default;
+    explicit ScopedWriteBatch(Channel *channel) { add(channel); }
+
+    ScopedWriteBatch(const ScopedWriteBatch &) = delete;
+    ScopedWriteBatch &operator=(const ScopedWriteBatch &) = delete;
+
+    ~ScopedWriteBatch()
+    {
+        for (Channel *channel : corked)
+            channel->uncorkWrites();
+    }
+
+    void
+    add(Channel *channel)
+    {
+        if (!channel ||
+            std::find(corked.begin(), corked.end(), channel) !=
+                corked.end())
+            return;
+        channel->corkWrites();
+        corked.push_back(channel);
+    }
+
+  private:
+    std::vector<Channel *> corked;
 };
 
 } // namespace rpc

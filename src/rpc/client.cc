@@ -41,6 +41,13 @@ struct RpcClient::ClientConn
     int64_t nextDialAllowedNs GUARDED_BY(mutex) = 0;
     /** 0 until the first failed dial. */
     int64_t dialBackoffNs GUARDED_BY(mutex) = 0;
+    /**
+     * True from a successful dial until the connection's first
+     * response. A connection that dies in this window proves the
+     * server is flapping (accepts, then drops), so the backoff grows
+     * instead of resetting; only a real response wipes the slate.
+     */
+    bool awaitingFirstResponse GUARDED_BY(mutex) = false;
     CompletionShard *shard = nullptr;
     RpcClient *owner = nullptr;
 
@@ -119,17 +126,22 @@ RpcClient::ensureConnected(ClientConn *conn)
     dialAttempts.fetch_add(1, std::memory_order_relaxed);
     globalCounters().counter("rpc.client.dial_attempts").add();
     TcpSocket sock = TcpSocket::connectLoopback(targetPort);
-    if (!sock.valid()) {
+    // The backoff grows on a refused dial, and equally when the
+    // previous connection died before ever answering (a flapping
+    // server accepts and drops; its connect(2) "successes" must not
+    // re-enable a full-rate connect storm). It resets only when a
+    // connection produces its first response (onConnReadable).
+    if (!sock.valid() || conn->awaitingFirstResponse) {
         conn->dialBackoffNs =
             conn->dialBackoffNs == 0
                 ? options.reconnectBackoffNs
                 : std::min(conn->dialBackoffNs * 2,
                            options.reconnectBackoffMaxNs);
         conn->nextDialAllowedNs = now + conn->dialBackoffNs;
-        return false;
+        if (!sock.valid())
+            return false;
     }
-    conn->dialBackoffNs = 0;
-    conn->nextDialAllowedNs = 0;
+    conn->awaitingFirstResponse = true;
     conn->fc = std::make_shared<FramedConnection>(std::move(sock),
                                                   &conn->shard->poller,
                                                   conn);
@@ -149,9 +161,50 @@ RpcClient::killConnections()
             if (conn->fc)
                 conn->fc->shutdown();
             conn->fc = nullptr;
+            // The *client* killed this connection; that is no
+            // evidence of a flapping server, so don't let the next
+            // dial grow the backoff.
+            conn->awaitingFirstResponse = false;
         }
         failPending(conn.get(), killed);
     }
+}
+
+void
+RpcClient::corkWrites()
+{
+    // Snapshot the live transports first (conn->mutex), then cork
+    // them with no client lock held — frameOut ranks above
+    // clientConn, and cork never blocks on the kernel. The snapshot
+    // goes on the cork stack so the matching uncork releases exactly
+    // one cork per connection corked here, even if a reconnect swaps
+    // conn->fc in between.
+    std::vector<std::shared_ptr<FramedConnection>> fcs;
+    fcs.reserve(conns.size());
+    for (auto &conn : conns) {
+        MutexLock guard(conn->mutex);
+        if (conn->fc && !conn->fc->isDead())
+            fcs.push_back(conn->fc);
+    }
+    for (auto &fc : fcs)
+        fc->cork();
+    MutexLock guard(corkMutex);
+    corkStack.push_back(std::move(fcs));
+}
+
+void
+RpcClient::uncorkWrites()
+{
+    std::vector<std::shared_ptr<FramedConnection>> fcs;
+    {
+        MutexLock guard(corkMutex);
+        if (corkStack.empty())
+            return; // Unmatched uncork: tolerate.
+        fcs = std::move(corkStack.back());
+        corkStack.pop_back();
+    }
+    for (auto &fc : fcs)
+        fc->uncork();
 }
 
 bool
@@ -206,7 +259,7 @@ RpcClient::transportCall(uint32_t method, std::string body,
         return;
     }
 
-    if (!fc->sendFrame(frame)) {
+    if (!fc->sendFrameOwned(std::move(frame))) {
         // Connection died under us: reclaim the callback if the
         // completion thread has not already failed it.
         Callback reclaimed;
@@ -281,6 +334,14 @@ RpcClient::onConnReadable(ClientConn *conn)
         Callback callback;
         {
             MutexLock guard(conn->mutex);
+            // First response on this connection: the server is
+            // provably alive and answering, so wipe the reconnect
+            // backoff slate (see ensureConnected).
+            if (conn->awaitingFirstResponse) {
+                conn->awaitingFirstResponse = false;
+                conn->dialBackoffNs = 0;
+                conn->nextDialAllowedNs = 0;
+            }
             auto it = conn->pending.find(header.requestId);
             if (it == conn->pending.end()) {
                 // Already failed. If the deadline sweep beat this

@@ -51,10 +51,12 @@ struct ClientOptions
      * Reconnect backoff after a failed dial: the first failure holds
      * further dial attempts on that connection for
      * reconnectBackoffNs, doubling per consecutive failure up to
-     * reconnectBackoffMaxNs (reset on success). Prevents a connect
-     * storm against a dead or restarting server: calls during the
-     * hold-off fail fast with UNAVAILABLE without touching the
-     * network.
+     * reconnectBackoffMaxNs. A server that merely *accepts* does not
+     * clear the slate — a flapping leaf accepts and dies instantly,
+     * and resetting on connect(2) success would re-enable a full-rate
+     * connect storm. The backoff resets only once the new connection
+     * delivers its first response. Calls during the hold-off fail
+     * fast with UNAVAILABLE without touching the network.
      */
     int64_t reconnectBackoffNs = 1'000'000;        //!< 1 ms.
     int64_t reconnectBackoffMaxNs = 1'000'000'000; //!< 1 s.
@@ -99,6 +101,14 @@ class RpcClient : public Channel
      */
     void killConnections();
 
+    /**
+     * Write-combining over every live connection: requests issued
+     * between cork and uncork flush together at uncork, one
+     * scatter-gather sendmsg per connection (see Channel).
+     */
+    void corkWrites() override;
+    void uncorkWrites() override;
+
   protected:
     void transportCall(uint32_t method, std::string body,
                        Callback callback) override;
@@ -120,6 +130,17 @@ class RpcClient : public Channel
     std::vector<std::unique_ptr<CompletionShard>> shards;
     std::vector<std::unique_ptr<ClientConn>> conns;
     std::vector<ScopedThread> threads;
+
+    /**
+     * Connections corked by corkWrites(), a vector per outstanding
+     * cork. uncorkWrites() pops one entry and uncorks it; concurrent
+     * batches may pop each other's entries, which balances per
+     * connection because the stack holds exactly the multiset of
+     * corked connections.
+     */
+    Mutex corkMutex{LockRank::clientConn, "rpc.client.cork"};
+    std::vector<std::vector<std::shared_ptr<FramedConnection>>>
+        corkStack GUARDED_BY(corkMutex);
 
     std::atomic<uint64_t> nextRequestId{1};
     std::atomic<size_t> nextConn{0};

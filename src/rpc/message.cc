@@ -7,14 +7,19 @@
 
 #include <cstring>
 
+#include "serde/wire.h"
+
 namespace musuite {
 namespace rpc {
 
 std::string
 encodeFrame(const MessageHeader &header, std::string_view payload)
 {
-    std::string frame;
-    frame.reserve(MessageHeader::wireSize + payload.size());
+    // The frame buffer comes from the wire pool; the framed connection
+    // recycles it after transmission (sendFrameOwned), so steady-state
+    // encoding allocates nothing.
+    std::string frame =
+        acquireWireBuffer(MessageHeader::wireSize + payload.size());
     frame.push_back(char(uint8_t(header.kind)));
     frame.push_back(char(uint8_t(header.status)));
     char word[8];
@@ -22,7 +27,8 @@ encodeFrame(const MessageHeader &header, std::string_view payload)
     frame.append(word, 4);
     std::memcpy(word, &header.requestId, 8);
     frame.append(word, 8);
-    frame.append(payload.data(), payload.size());
+    if (!payload.empty())
+        frame.append(payload.data(), payload.size());
     return frame;
 }
 

@@ -7,20 +7,87 @@
 
 #include <climits>
 #include <unordered_map>
+#include <vector>
 
 #include "base/logging.h"
 #include "base/time_util.h"
 #include "ostrace/ostrace.h"
 #include "ostrace/syscalls.h"
+#include "serde/wire.h"
 
 namespace musuite {
 namespace rpc {
+
+namespace {
+
+/**
+ * Write-combining context for response frames. While a drain loop
+ * (worker batch or inline poller event) is executing handlers, the
+ * thread's active batch collects every response frame produced
+ * synchronously; the drain flushes them afterwards grouped by
+ * connection — one cork/uncork (ideally one sendmsg) per connection
+ * per drain instead of one per response. Responses completed later
+ * from other threads (async handlers) miss the batch and flush
+ * directly, exactly as before.
+ */
+struct ResponseBatch
+{
+    struct Entry
+    {
+        std::shared_ptr<FramedConnection> fc;
+        std::string frame;
+    };
+    std::vector<Entry> entries;
+};
+
+thread_local ResponseBatch *activeResponseBatch = nullptr;
+
+/** Poller-thread dispatch batch: frames parsed from one readable
+ *  event hand their calls to the worker queue in one pushAll. */
+thread_local std::vector<ServerCallPtr> *pendingDispatch = nullptr;
+
+/** Cap on frames a dispatch batch defers before flushing early, so a
+ *  huge burst still reaches idle workers while the poller parses. */
+constexpr size_t maxDispatchBatch = 64;
+
+/** Cap on tasks a worker drains per round: bounds how long the first
+ *  response of a batch waits behind the handlers after it. */
+constexpr size_t maxWorkerDrain = 32;
+
+void
+flushResponseBatch(ResponseBatch &batch)
+{
+    // Group by connection (batches are small; quadratic scan beats a
+    // map here): cork once, queue every frame, flush in one uncork.
+    for (size_t i = 0; i < batch.entries.size(); ++i) {
+        auto fc = std::move(batch.entries[i].fc);
+        if (!fc)
+            continue;
+        fc->cork();
+        fc->sendFrameOwned(std::move(batch.entries[i].frame));
+        for (size_t j = i + 1; j < batch.entries.size(); ++j) {
+            if (batch.entries[j].fc == fc) {
+                fc->sendFrameOwned(std::move(batch.entries[j].frame));
+                batch.entries[j].fc = nullptr;
+            }
+        }
+        fc->uncork();
+    }
+    batch.entries.clear();
+}
+
+} // namespace
 
 ServerCall::ServerCall(uint32_t method, std::string body,
                        uint64_t request_id, Responder responder)
     : methodId(method), requestBody(std::move(body)), id(request_id),
       arrivalNs(nowNanos()), responder(std::move(responder))
 {}
+
+ServerCall::~ServerCall()
+{
+    releaseWireBuffer(std::move(requestBody));
+}
 
 void
 ServerCall::respond(StatusCode code, std::string_view payload)
@@ -210,10 +277,23 @@ Server::pollerMain(size_t index)
             if (event.writable)
                 conn->fc->onWritable();
             if (event.readable) {
+                // Batch contexts for this event: frames parsed in one
+                // onReadable hand off to the workers in one pushAll
+                // (one futex round), and inline-mode responses for
+                // this connection coalesce into one flush.
+                ResponseBatch responses;
+                std::vector<ServerCallPtr> dispatch;
+                activeResponseBatch = &responses;
+                pendingDispatch = &dispatch;
                 const bool alive = conn->fc->onReadable(
                     [this, conn](std::string_view frame) {
                         handleFrame(conn, frame);
                     });
+                pendingDispatch = nullptr;
+                activeResponseBatch = nullptr;
+                if (!dispatch.empty())
+                    taskQueue.pushAll(std::move(dispatch));
+                flushResponseBatch(responses);
                 if (!alive)
                     shard.drop(conn);
             }
@@ -225,9 +305,18 @@ void
 Server::workerMain(size_t)
 {
     setCurrentThreadRole(ThreadRole::worker);
-    while (auto task = taskQueue.pop()) {
-        assertOnWorkerThread();
-        execute(*task);
+    while (true) {
+        auto tasks = taskQueue.popMany(maxWorkerDrain);
+        if (tasks.empty())
+            return; // Queue closed and drained.
+        ResponseBatch responses;
+        activeResponseBatch = &responses;
+        for (auto &task : tasks) {
+            assertOnWorkerThread();
+            execute(task);
+        }
+        activeResponseBatch = nullptr;
+        flushResponseBatch(responses);
     }
 }
 
@@ -257,16 +346,38 @@ Server::handleFrame(Conn *conn, std::string_view frame)
         response_header.status = code;
         response_header.method = method;
         response_header.requestId = request_id;
-        fc->sendFrame(encodeFrame(response_header, body));
+        std::string frame = encodeFrame(response_header, body);
+        // Inside a drain loop, defer to the thread's batch so all
+        // responses sharing a connection leave in one flush; async
+        // completions (no batch on their thread) flush directly.
+        if (ResponseBatch *batch = activeResponseBatch) {
+            batch->entries.push_back(
+                {std::move(fc), std::move(frame)});
+            return;
+        }
+        fc->sendFrameOwned(std::move(frame));
     };
 
+    std::string body = acquireWireBuffer(payload.size());
+    if (!payload.empty())
+        body.assign(payload.data(), payload.size());
     auto call = std::make_shared<ServerCall>(
-        method, std::string(payload), request_id, std::move(responder));
+        method, std::move(body), request_id, std::move(responder));
 
     if (options.dispatchToWorkers) {
         // Network thread hands off to the worker pool; the queue's
-        // traced condvar makes the wakeup visible to ostrace.
-        taskQueue.push(call);
+        // traced condvar makes the wakeup visible to ostrace. Frames
+        // from one readable event batch into a single pushAll.
+        if (pendingDispatch) {
+            pendingDispatch->push_back(std::move(call));
+            if (pendingDispatch->size() >= maxDispatchBatch) {
+                std::vector<ServerCallPtr> flush_now;
+                flush_now.swap(*pendingDispatch);
+                taskQueue.pushAll(std::move(flush_now));
+            }
+        } else {
+            taskQueue.push(std::move(call));
+        }
     } else {
         execute(call);
     }

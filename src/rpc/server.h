@@ -67,6 +67,7 @@ class ServerCall
 
     ServerCall(uint32_t method, std::string body, uint64_t request_id,
                Responder responder);
+    ~ServerCall();
 
     uint32_t method() const { return methodId; }
     const std::string &body() const { return requestBody; }

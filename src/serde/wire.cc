@@ -5,7 +5,61 @@
 
 #include "serde/wire.h"
 
+#include "base/threading.h"
+
 namespace musuite {
+
+namespace {
+
+// Pool sizing: enough entries for every thread of a busy mid-tier to
+// have a few buffers in flight, small enough that the pool itself is
+// noise (128 × ≤1 MiB worst case, in practice a few KiB each).
+constexpr size_t maxPooledBuffers = 128;
+constexpr size_t maxPooledCapacity = 1u << 20;
+
+Mutex poolMutex{LockRank::wirePool, "serde.wirepool"};
+std::vector<std::string> pool GUARDED_BY(poolMutex);
+
+} // namespace
+
+std::string
+acquireWireBuffer(size_t reserve)
+{
+    std::string out;
+    {
+        MutexLock lock(poolMutex);
+        if (!pool.empty()) {
+            out = std::move(pool.back());
+            pool.pop_back();
+        }
+    }
+    out.clear();
+    if (reserve != 0)
+        out.reserve(reserve);
+    return out;
+}
+
+void
+releaseWireBuffer(std::string &&buffer)
+{
+    // Small-string-optimized buffers carry no heap allocation worth
+    // keeping; jumbo ones would pin memory. Pool only the middle.
+    if (buffer.capacity() <= sizeof(std::string) ||
+        buffer.capacity() > maxPooledCapacity)
+        return;
+    buffer.clear();
+    MutexLock lock(poolMutex);
+    if (pool.size() >= maxPooledBuffers)
+        return;
+    pool.push_back(std::move(buffer));
+}
+
+size_t
+wireBufferPoolSize()
+{
+    MutexLock lock(poolMutex);
+    return pool.size();
+}
 
 void
 WireWriter::putVarint(uint64_t value)

@@ -27,11 +27,39 @@
 
 namespace musuite {
 
+// --------------------------------------------------------------------
+// Wire-buffer recycling pool.
+//
+// Every murpc frame is built in a std::string that travels encode →
+// send queue → kernel and then dies; at steady state that is one
+// malloc/free pair per message on the hot path. The pool recycles
+// those buffers process-wide: acquire hands out an empty string that
+// keeps a previously released buffer's capacity, release returns one
+// after use. Oversized buffers (> ~1 MiB) and overflow beyond the pool
+// cap are simply freed, so a burst of jumbo frames cannot pin memory.
+// --------------------------------------------------------------------
+
+/** Empty buffer, reusing pooled capacity when available. */
+std::string acquireWireBuffer(size_t reserve = 0);
+
+/** Recycle a spent buffer (contents discarded). */
+void releaseWireBuffer(std::string &&buffer);
+
+/** Buffers currently sitting in the pool (tests/metrics). */
+size_t wireBufferPoolSize();
+
 /** Serializer appending to an internal byte buffer. */
 class WireWriter
 {
   public:
     WireWriter() = default;
+
+    /** Reuse `storage` (cleared) as the output buffer — pairs with
+     *  acquireWireBuffer() for allocation-free steady-state encoding. */
+    explicit WireWriter(std::string storage) : buffer(std::move(storage))
+    {
+        buffer.clear();
+    }
 
     void putVarint(uint64_t value);
     void putZigzag(int64_t value);
@@ -59,9 +87,10 @@ class WireWriter
     void
     putMessage(const Message &msg)
     {
-        WireWriter nested;
+        WireWriter nested(acquireWireBuffer());
         msg.encode(nested);
         putBytes(nested.view());
+        releaseWireBuffer(nested.take());
     }
 
     /** Encode a repeated nested message field. */
@@ -157,12 +186,13 @@ class WireReader
     bool failed = false;
 };
 
-/** Serialize a message to a standalone string. */
+/** Serialize a message to a standalone string. The buffer comes from
+ *  the wire pool; release it back after use to close the reuse loop. */
 template <typename Message>
 std::string
 encodeMessage(const Message &msg)
 {
-    WireWriter out;
+    WireWriter out(acquireWireBuffer());
     msg.encode(out);
     return out.take();
 }

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <cstring>
 #include <fcntl.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include "base/threading.h"
@@ -20,6 +21,7 @@
 #include "net/frame.h"
 #include "net/poller.h"
 #include "net/socket.h"
+#include "ostrace/syscalls.h"
 
 namespace musuite {
 namespace {
@@ -373,6 +375,129 @@ TEST_F(FrameTest, OversizedFrameHeaderDropsConnection)
             sleepForNanos(500'000);
     }
     EXPECT_TRUE(victim.isDead());
+}
+
+TEST(TcpSocketTest, SendvGathersAcrossBuffers)
+{
+    SocketPair pair;
+    ASSERT_TRUE(pair.client.valid());
+    ASSERT_TRUE(pair.server.valid());
+
+    const std::string a = "scatter-", b = "gather-", c = "sendmsg";
+    struct iovec iov[3];
+    iov[0] = {const_cast<char *>(a.data()), a.size()};
+    iov[1] = {const_cast<char *>(b.data()), b.size()};
+    iov[2] = {const_cast<char *>(c.data()), c.size()};
+
+    const auto before = snapshotSyscalls();
+    size_t sent = 0;
+    ASSERT_EQ(pair.client.sendv(iov, 3, sent), IoStatus::Ok);
+    const auto after = snapshotSyscalls();
+    const std::string expected = a + b + c;
+    EXPECT_EQ(sent, expected.size());
+    EXPECT_EQ(diffSyscalls(before, after)[size_t(Sys::Sendmsg)], 1u);
+
+    std::string got;
+    char buf[64];
+    const int64_t deadline = nowNanos() + 2'000'000'000;
+    while (got.size() < expected.size() && nowNanos() < deadline) {
+        size_t received = 0;
+        if (pair.server.receive(buf, sizeof(buf), received) ==
+            IoStatus::Ok)
+            got.append(buf, received);
+        else
+            sleepForNanos(500'000);
+    }
+    EXPECT_EQ(got, expected);
+}
+
+TEST_F(FrameTest, ShortReadParsesWithoutExtraRecv)
+{
+    // Regression: onReadable used to re-recv unconditionally after a
+    // short read, paying a guaranteed-EAGAIN syscall per readable
+    // event. The call that delivers a small frame must cost exactly
+    // one recv — the short read itself proves the buffer is drained.
+    ASSERT_TRUE(sender->sendFrame("short read"));
+
+    std::vector<std::string> frames;
+    uint64_t recvs_in_delivering_call = 0;
+    const int64_t deadline = nowNanos() + 2'000'000'000;
+    while (frames.empty() && nowNanos() < deadline) {
+        const auto before = snapshotSyscalls();
+        receiver->onReadable([&](std::string_view frame) {
+            frames.emplace_back(frame);
+        });
+        const auto after = snapshotSyscalls();
+        if (!frames.empty()) {
+            recvs_in_delivering_call =
+                diffSyscalls(before, after)[size_t(Sys::Recvmsg)];
+        } else {
+            sleepForNanos(500'000);
+        }
+    }
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0], "short read");
+    EXPECT_EQ(recvs_in_delivering_call, 1u);
+}
+
+TEST_F(FrameTest, OversizedSendRejectedConnectionSurvives)
+{
+    // Regression: an oversized outbound frame used to abort the whole
+    // process via MUSUITE_CHECK. It must be rejected — counted, not
+    // crashed — and the connection must keep working.
+    const uint64_t rejected_before =
+        FramedConnection::oversizedSendCount();
+    std::string huge(size_t(FramedConnection::maxFrameBytes) + 1, 'x');
+    EXPECT_FALSE(sender->sendFrame(huge));
+    EXPECT_FALSE(sender->isDead());
+    EXPECT_EQ(FramedConnection::oversizedSendCount(),
+              rejected_before + 1);
+
+    ASSERT_TRUE(sender->sendFrame("still alive"));
+    const auto frames = drain(1);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0], "still alive");
+}
+
+TEST_F(FrameTest, CorkedFramesFlushAsOneSyscall)
+{
+    // Write-combining: frames queued under cork leave in a single
+    // scatter-gather sendmsg at uncork.
+    sender->cork();
+    const auto before = snapshotSyscalls();
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(sender->sendFrame("corked-" + std::to_string(i)));
+    const auto mid = snapshotSyscalls();
+    EXPECT_EQ(diffSyscalls(before, mid)[size_t(Sys::Sendmsg)], 0u);
+
+    ASSERT_TRUE(sender->uncork());
+    const auto after = snapshotSyscalls();
+    EXPECT_EQ(diffSyscalls(mid, after)[size_t(Sys::Sendmsg)], 1u);
+
+    const auto frames = drain(8);
+    ASSERT_EQ(frames.size(), 8u);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(frames[size_t(i)], "corked-" + std::to_string(i));
+}
+
+TEST_F(FrameTest, UncorkedBurstCoalescesFrames)
+{
+    // Even without an explicit cork, a burst from one thread must not
+    // cost one syscall per frame: the flusher drains whatever has
+    // queued per sendv round. Upper-bound the syscalls loosely — the
+    // win asserted here is "fewer syscalls than frames".
+    constexpr int count = 64;
+    const auto before = snapshotSyscalls();
+    sender->cork();
+    for (int i = 0; i < count; ++i)
+        ASSERT_TRUE(sender->sendFrame("burst-" + std::to_string(i)));
+    sender->uncork();
+    const auto after = snapshotSyscalls();
+    // 64 frames, 32 frames max per sendv round: two syscalls.
+    EXPECT_LE(diffSyscalls(before, after)[size_t(Sys::Sendmsg)], 3u);
+
+    const auto frames = drain(count);
+    ASSERT_EQ(frames.size(), size_t(count));
 }
 
 } // namespace

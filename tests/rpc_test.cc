@@ -13,6 +13,10 @@
 #include <vector>
 
 #include "base/threading.h"
+#include "base/time_util.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "ostrace/syscalls.h"
 #include "rpc/client.h"
 #include "rpc/local_channel.h"
 #include "rpc/message.h"
@@ -360,6 +364,103 @@ INSTANTIATE_TEST_SUITE_P(
                std::to_string(p.workers) +
                (p.dispatch ? "_dispatch" : "_inline");
     });
+
+TEST_F(RpcTest, PipelinedBatchSyscallBudget)
+{
+    // Locks in the coalescing win: a corked batch of pipelined calls
+    // must cost a small constant number of sendmsg syscalls, not one
+    // per request per side (the pre-batching cost: 2/request, so 32
+    // for this batch). Inline mode keeps the response path
+    // deterministic — all responses flush from the poller event.
+    ServerOptions server_options;
+    server_options.dispatchToWorkers = false;
+    startServer(server_options);
+    RpcClient client(server->port());
+    ASSERT_TRUE(client.callSync(kEcho, "warm").isOk());
+
+    constexpr int depth = 16;
+    const std::string body(64, 'x');
+    std::atomic<int> completed{0};
+    CountdownLatch latch(depth);
+    const auto before = snapshotSyscalls();
+    {
+        ScopedWriteBatch batch(&client);
+        for (int i = 0; i < depth; ++i) {
+            client.call(kEcho, body,
+                        [&](const Status &status, std::string_view) {
+                            if (status.isOk())
+                                completed.fetch_add(1);
+                            latch.countDown();
+                        });
+        }
+    }
+    latch.wait();
+    const auto after = snapshotSyscalls();
+    EXPECT_EQ(completed.load(), depth);
+
+    const uint64_t sendmsgs =
+        diffSyscalls(before, after)[size_t(Sys::Sendmsg)];
+    EXPECT_GE(sendmsgs, 1u);
+    EXPECT_LE(sendmsgs, 8u) << "coalescing regressed: " << sendmsgs
+                            << " sendmsg for a " << depth
+                            << "-deep pipelined batch";
+}
+
+TEST_F(RpcTest, DialBackoffPersistsAcrossFlappingDial)
+{
+    // Regression: the backoff used to reset the moment connect(2)
+    // succeeded, so a flapping server — accepts, then drops the
+    // connection before ever answering — saw a full-rate connect
+    // storm. The slate may only be wiped by a real response.
+    TcpListener listener;
+    std::atomic<bool> stop{false};
+    ScopedThread flapper("flapper", [&] {
+        while (!stop.load()) {
+            TcpSocket sock = listener.accept();
+            if (sock.valid())
+                sock.close(); // Accept-and-die.
+            else
+                sleepForNanos(200'000);
+        }
+    });
+
+    ClientOptions client_options;
+    client_options.reconnectBackoffNs = 50'000'000; // 50 ms.
+    client_options.reconnectBackoffMaxNs = 1'000'000'000;
+    RpcClient client(listener.port(), client_options);
+    for (int i = 0; i < 100; ++i) {
+        client.call(kEcho, "x",
+                    [](const Status &, std::string_view) {});
+        sleepForNanos(2'000'000);
+    }
+    stop.store(true);
+    flapper.join();
+
+    // 100 calls over >= 200 ms against 50 ms-doubling backoff: a
+    // handful of dials. The broken reset-on-connect behaviour dialed
+    // on nearly every call.
+    EXPECT_GE(client.connectAttempts(), 1u);
+    EXPECT_LE(client.connectAttempts(), 12u)
+        << "connect storm: " << client.connectAttempts() << " dials";
+}
+
+TEST_F(RpcTest, OversizedPayloadFailsCallNotProcess)
+{
+    // Regression: an oversized outbound frame used to abort the
+    // process. It must fail just that call and leave the connection
+    // (and everything else) working.
+    startServer();
+    RpcClient client(server->port());
+    std::string huge(size_t(FramedConnection::maxFrameBytes) + 64,
+                     'x');
+    auto result = client.callSync(kEcho, std::move(huge));
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::Unavailable);
+
+    auto ok = client.callSync(kEcho, "after oversize");
+    ASSERT_TRUE(ok.isOk()) << ok.status().toString();
+    EXPECT_EQ(ok.value(), "after oversize");
+}
 
 } // namespace
 } // namespace rpc

@@ -4,6 +4,7 @@
 # Builds and runs the tier-1 ctest suite under four configurations:
 #
 #   1. -Werror release build            (warning-clean tree)
+#      + bench/micro_rpc smoke -> BENCH_rpc.json (rpc bench trajectory)
 #   2. MUSUITE_DEBUG_SYNC debug build   (lock-rank + thread-role checks)
 #   3. ThreadSanitizer                  (data races, lock-order inversions)
 #   4. AddressSanitizer + UBSan         (memory errors, undefined behavior)
@@ -67,6 +68,21 @@ run_stage() {
 # ---- stage 1: -Werror release build --------------------------------------
 run_stage "werror" build-check-werror \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DMUSUITE_WERROR=ON
+
+# ---- stage 1b: micro_rpc bench smoke -------------------------------------
+# Fixed short workload against the werror build; emits BENCH_rpc.json
+# (round-trip ns, pipelined QPS, syscalls/request) so the RPC-path
+# bench trajectory is recorded on every run. ~1s, single-core friendly.
+banner "bench smoke: micro_rpc"
+if cmake --build build-check-werror --target micro_rpc -j "$jobs" \
+        >>build-check-werror/build.log 2>&1 \
+        && build-check-werror/bench/micro_rpc \
+            --smoke-json="$repo_root/BENCH_rpc.json"; then
+    :
+else
+    echo "BENCH SMOKE FAILED"
+    failures+=("bench-smoke: micro_rpc")
+fi
 
 # ---- stage 2: debug-sync (lock-rank + role checks) -----------------------
 run_stage "debug-sync" build-check-debug-sync \
