@@ -14,6 +14,7 @@
 #define MUSUITE_BASE_QUEUE_H
 
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <mutex>
 #include <optional>
@@ -106,6 +107,37 @@ class BlockingQueue
                 notEmpty.notify_all();
         }
         return true;
+    }
+
+    /**
+     * Push as much of a batch as fits, without blocking, under one
+     * lock acquisition. The non-blocking counterpart of pushAll() for
+     * producers that shed on overflow instead of exerting
+     * backpressure — the murpc server's overload path.
+     * @return the items that did not fit, in order (the whole batch
+     *         if the queue is closed). Empty means everything landed.
+     */
+    std::vector<T>
+    tryPushAll(std::vector<T> batch)
+    {
+        size_t pushed = 0;
+        {
+            std::unique_lock<Mutex> lock(mutex);
+            if (!closed) {
+                while (pushed < batch.size() &&
+                       items.size() < capacity) {
+                    items.push_back(std::move(batch[pushed]));
+                    ++pushed;
+                }
+            }
+        }
+        if (pushed == 1)
+            notEmpty.notify_one();
+        else if (pushed > 1)
+            notEmpty.notify_all();
+        batch.erase(batch.begin(),
+                    batch.begin() + std::ptrdiff_t(pushed));
+        return batch;
     }
 
     /**

@@ -68,6 +68,15 @@ class Status
     StatusCode code() const { return _code; }
     const std::string &message() const { return _message; }
 
+    /**
+     * Server-suggested retry-after delay, carried on RESOURCE_EXHAUSTED
+     * rejections from an overloaded server (0 = no hint). The retry
+     * layer uses it as a floor under its computed backoff so a shedding
+     * server controls the pace of the retries it will see.
+     */
+    int64_t retryAfterNs() const { return _retryAfterNs; }
+    void setRetryAfterNs(int64_t ns) { _retryAfterNs = ns < 0 ? 0 : ns; }
+
     /** Render as "CODE: message" for logs. */
     std::string
     toString() const
@@ -86,6 +95,7 @@ class Status
   private:
     StatusCode _code;
     std::string _message;
+    int64_t _retryAfterNs = 0;
 };
 
 /**

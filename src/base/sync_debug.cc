@@ -33,7 +33,9 @@ lockRankName(LockRank rank)
       case LockRank::harness:         return "harness";
       case LockRank::fanout:          return "fanout";
       case LockRank::call:            return "rpc.call";
+      case LockRank::overload:        return "rpc.overload";
       case LockRank::faultInjector:   return "rpc.fault";
+      case LockRank::admission:       return "rpc.admission";
       case LockRank::clientConn:      return "rpc.client.conn";
       case LockRank::serverConns:     return "rpc.server.conns";
       case LockRank::queue:           return "queue";

@@ -51,7 +51,11 @@ enum class LockRank : int {
     harness = 15,        //!< Experiment-harness shared RNG.
     fanout = 20,         //!< Fan-out merge state (services/common).
     call = 30,           //!< Per-call retry/hedge state (rpc/channel).
+    overload = 32,       //!< Breaker / retry-throttle state (rpc/overload)
+                         //!< — taken inside the attempt path, never
+                         //!< while another overload lock is held.
     faultInjector = 35,  //!< Fault-injection RNG (rpc/fault).
+    admission = 37,      //!< Server admission controller (rpc/overload).
     clientConn = 40,     //!< Client connection + pending table.
     serverConns = 45,    //!< Server per-shard connection table.
     queue = 50,          //!< Task queues and rendezvous cells.

@@ -41,16 +41,20 @@ struct DeploymentOptions
     uint32_t leafShards = 4;   //!< Router overrides to 16 by default.
     bool routerDefaultShards = true; //!< Apply the 16-way override.
 
-    rpc::ServerOptions midTierServer{
-        /*pollerThreads=*/1, /*workerThreads=*/4,
-        /*dispatchToWorkers=*/true, /*blockingPoll=*/true,
-        /*adaptiveIdleStreak=*/0,
-        /*queueCapacity=*/1 << 16, /*name=*/"mid"};
-    rpc::ServerOptions leafServer{
-        /*pollerThreads=*/1, /*workerThreads=*/2,
-        /*dispatchToWorkers=*/true, /*blockingPoll=*/true,
-        /*adaptiveIdleStreak=*/0,
-        /*queueCapacity=*/1 << 16, /*name=*/"leaf"};
+    // Field-by-field (not positional aggregate init) so growing
+    // ServerOptions doesn't churn or silently reorder these.
+    rpc::ServerOptions midTierServer = [] {
+        rpc::ServerOptions options;
+        options.workerThreads = 4;
+        options.name = "mid";
+        return options;
+    }();
+    rpc::ServerOptions leafServer = [] {
+        rpc::ServerOptions options;
+        options.workerThreads = 2;
+        options.name = "leaf";
+        return options;
+    }();
     rpc::ClientOptions midToLeafClient{
         /*connections=*/1, /*completionThreads=*/1,
         /*blockingPoll=*/true, /*name=*/"mid2leaf"};

@@ -23,6 +23,7 @@ struct OpenLoopState
     Histogram latency GUARDED_BY(mutex);
     uint64_t completed GUARDED_BY(mutex) = 0;
     uint64_t errors GUARDED_BY(mutex) = 0;
+    uint64_t shed GUARDED_BY(mutex) = 0;
     uint64_t degraded GUARDED_BY(mutex) = 0;
     std::atomic<uint64_t> outstanding{0};
 };
@@ -65,6 +66,8 @@ OpenLoopLoadGen::run(const AsyncIssue &issue)
                         state->degraded++;
                 } else {
                     state->errors++;
+                    if (outcome.shed)
+                        state->shed++;
                 }
             }
             state->outstanding.fetch_sub(1, std::memory_order_release);
@@ -84,6 +87,7 @@ OpenLoopLoadGen::run(const AsyncIssue &issue)
         result.latency = state->latency;
         result.completed = state->completed;
         result.errors = state->errors;
+        result.shed = state->shed;
         result.degraded = state->degraded;
     }
     result.issued = issued;

@@ -44,8 +44,19 @@ struct RequestOutcome
     {
     }
 
+    /** A request the server explicitly refused (RESOURCE_EXHAUSTED)
+     *  rather than failed: overload shedding, not breakage. */
+    static RequestOutcome
+    shedRequest()
+    {
+        RequestOutcome outcome(false);
+        outcome.shed = true;
+        return outcome;
+    }
+
     bool ok = true;
     bool degraded = false;
+    bool shed = false;
 };
 
 /** Outcome of one load-generation run. */
@@ -54,7 +65,8 @@ struct LoadResult
     Histogram latency;        //!< End-to-end ns per completed request.
     uint64_t issued = 0;
     uint64_t completed = 0;
-    uint64_t errors = 0;
+    uint64_t errors = 0;      //!< All failures, sheds included.
+    uint64_t shed = 0;        //!< Failures that were explicit sheds.
     uint64_t degraded = 0;    //!< Completed, but partial results.
     double offeredQps = 0.0;  //!< Open loop only.
     double achievedQps = 0.0; //!< completed / elapsed.
@@ -72,6 +84,31 @@ struct LoadResult
     degradedRate() const
     {
         return completed ? double(degraded) / double(completed) : 0.0;
+    }
+
+    /**
+     * Completions that landed within `deadline_ns` — goodput, the
+     * metric the overload experiments report instead of raw
+     * throughput (0 = no deadline: every completion counts).
+     */
+    uint64_t
+    goodputCount(int64_t deadline_ns) const
+    {
+        return deadline_ns > 0 ? latency.countAtOrBelow(deadline_ns)
+                               : completed;
+    }
+
+    /** Shed/accept/goodput view of this run against a deadline. */
+    ShedAcceptBreakdown
+    breakdown(int64_t deadline_ns) const
+    {
+        ShedAcceptBreakdown out;
+        out.offered = issued;
+        out.completed = completed;
+        out.shed = shed;
+        out.failed = errors >= shed ? errors - shed : 0;
+        out.goodput = goodputCount(deadline_ns);
+        return out;
     }
 };
 

@@ -17,6 +17,7 @@
 #include "base/time_util.h"
 #include "ostrace/sync.h"
 #include "rpc/fault.h"
+#include "rpc/overload.h"
 #include "rpc/timers.h"
 #include "serde/wire.h"
 #include "stats/counters.h"
@@ -172,14 +173,27 @@ onAttemptDone(const std::shared_ptr<CallState> &state, int attempt,
 
         if (isRetryable(status) && !state->retryPending &&
             state->attemptsIssued < state->options.maxAttempts) {
-            retry_delay = backoffDelayNs(state->options,
-                                         state->attemptsIssued);
-            const bool within_budget =
-                state->totalDeadlineAt == 0 ||
-                nowNanos() + retry_delay < state->totalDeadlineAt;
-            if (within_budget) {
-                state->retryPending = true;
-                schedule_retry = true;
+            RetryThrottle *throttle = state->channel->retryThrottle();
+            if (throttle && !throttle->allowRetry()) {
+                globalCounters()
+                    .counter("overload.retry_throttled")
+                    .add();
+            } else {
+                retry_delay = backoffDelayNs(state->options,
+                                             state->attemptsIssued);
+                // An explicit server pacing hint (RESOURCE_EXHAUSTED
+                // retry-after) acts as a floor under the backoff: the
+                // server knows its queue better than our exponential
+                // schedule does.
+                retry_delay =
+                    std::max(retry_delay, status.retryAfterNs());
+                const bool within_budget =
+                    state->totalDeadlineAt == 0 ||
+                    nowNanos() + retry_delay < state->totalDeadlineAt;
+                if (within_budget) {
+                    state->retryPending = true;
+                    schedule_retry = true;
+                }
             }
         }
         if (!schedule_retry && state->outstanding == 0 &&
@@ -281,8 +295,10 @@ issueAttempt(const std::shared_ptr<CallState> &state)
         MutexLock guard(state->mutex);
         state->issuers.push_back(std::this_thread::get_id());
     }
-    state->channel->call(state->method, state->body,
-                         std::move(on_response));
+    // The effective attempt deadline doubles as the wire budget: the
+    // server learns exactly how long this attempt is worth queueing.
+    state->channel->attemptCall(state->method, state->body,
+                                deadline_ns, std::move(on_response));
     {
         MutexLock guard(state->mutex);
         auto it = std::find(state->issuers.begin(),
@@ -299,11 +315,68 @@ issueAttempt(const std::shared_ptr<CallState> &state)
 void
 Channel::call(uint32_t method, std::string body, Callback callback)
 {
-    if (!injector) {
-        transportCall(method, std::move(body), std::move(callback));
+    attemptCall(method, std::move(body), 0, std::move(callback));
+}
+
+void
+Channel::attemptCall(uint32_t method, std::string body,
+                     int64_t budget_ns, Callback callback)
+{
+    // Circuit-breaker gate: while the leaf is presumed down, fail fast
+    // without touching the transport. The rejection is not recorded as
+    // a breaker failure (it never reached the wire), and it must not
+    // drain the retry throttle either, so it bypasses the outcome
+    // recorder below entirely.
+    if (breaker && !breaker->allowRequest()) {
+        callback(Status(StatusCode::Unavailable,
+                        "circuit breaker open"),
+                 {});
         return;
     }
-    injectedCall(method, std::move(body), std::move(callback));
+
+    if (breaker || throttle) {
+        // Record the outcome the transport (or injector) actually
+        // reports, even if the attempt already settled locally via its
+        // deadline timer — the breaker and throttle track server
+        // health, not per-call bookkeeping. UNAVAILABLE and
+        // DEADLINE_EXCEEDED mean the leaf is absent or drowning: both
+        // machines count them. RESOURCE_EXHAUSTED means the leaf is
+        // alive and shedding on purpose: the throttle backs off, but
+        // the breaker must stay closed or controlled shedding would
+        // blind the client. Anything else is an application-level
+        // answer from a healthy server.
+        callback = [breaker = breaker, throttle = throttle,
+                    inner = std::move(callback)](
+                       const Status &status,
+                       std::string_view payload) {
+            const StatusCode code = status.code();
+            const bool transport_failure =
+                code == StatusCode::Unavailable ||
+                code == StatusCode::DeadlineExceeded;
+            if (breaker) {
+                if (transport_failure)
+                    breaker->recordFailure();
+                else
+                    breaker->recordSuccess();
+            }
+            if (throttle) {
+                if (transport_failure ||
+                    code == StatusCode::ResourceExhausted)
+                    throttle->onFailure();
+                else
+                    throttle->onSuccess();
+            }
+            inner(status, payload);
+        };
+    }
+
+    if (!injector) {
+        transportCall(method, std::move(body), budget_ns,
+                      std::move(callback));
+        return;
+    }
+    injectedCall(method, std::move(body), budget_ns,
+                 std::move(callback));
 }
 
 void
@@ -340,6 +413,14 @@ Channel::call(uint32_t method, std::string body,
                         return;
                     }
                 }
+                RetryThrottle *throttle =
+                    state->channel->retryThrottle();
+                if (throttle && !throttle->allowRetry()) {
+                    globalCounters()
+                        .counter("overload.hedge_throttled")
+                        .add();
+                    return;
+                }
                 globalCounters().counter("rpc.hedge.fired").add();
                 issueAttempt(state);
             });
@@ -359,7 +440,7 @@ Channel::call(uint32_t method, std::string body,
 
 void
 Channel::injectedCall(uint32_t method, std::string body,
-                      Callback callback)
+                      int64_t budget_ns, Callback callback)
 {
     // Hold our own reference: the injector may be swapped mid-call.
     std::shared_ptr<FaultInjector> fi = injector;
@@ -405,14 +486,15 @@ Channel::injectedCall(uint32_t method, std::string body,
     if (request_decision.kind == FaultDecision::Kind::Delay) {
         TimerService::global().schedule(
             request_decision.delayNs,
-            [this, method, body = std::move(body),
+            [this, method, budget_ns, body = std::move(body),
              inspected = std::move(inspected)]() mutable {
-                transportCall(method, std::move(body),
+                transportCall(method, std::move(body), budget_ns,
                               std::move(inspected));
             });
         return;
     }
-    transportCall(method, std::move(body), std::move(inspected));
+    transportCall(method, std::move(body), budget_ns,
+                  std::move(inspected));
 }
 
 Result<std::string>

@@ -11,10 +11,16 @@
  * both implement transportCall(), so services and tests share one code
  * path — including the resilience features layered on top here:
  *
- *  - per-call deadlines (attempt-level and whole-call),
- *  - retry budgets with exponential backoff + jitter,
+ *  - per-call deadlines (attempt-level and whole-call), propagated to
+ *    the server as a wire budget so queues can shed expired work,
+ *  - retry budgets with exponential backoff + jitter, paced by the
+ *    server's RESOURCE_EXHAUSTED retry-after hints,
  *  - hedged second requests for tail-tolerant reads,
- *  - deterministic fault injection (rpc/fault.h).
+ *  - deterministic fault injection (rpc/fault.h),
+ *  - client-side overload cooperation (rpc/overload.h): a per-channel
+ *    circuit breaker consulted before every attempt, and a retry
+ *    throttle that stops retries/hedges while recent calls keep
+ *    failing, so a saturated leaf is not hammered into the ground.
  *
  * THREADING CONTRACT: a callback may run on a completion thread, on
  * the shared timer thread, or *synchronously on the caller's own
@@ -40,6 +46,8 @@ namespace musuite {
 namespace rpc {
 
 class FaultInjector;
+class CircuitBreaker;
+class RetryThrottle;
 
 /**
  * Per-call resilience options (replaces reliance on the client-wide
@@ -150,6 +158,47 @@ class Channel
 
     FaultInjector *faultInjector() const { return injector.get(); }
 
+    /**
+     * Attach (or clear) a circuit breaker consulted before every
+     * attempt through this channel. While the breaker refuses, calls
+     * complete immediately with UNAVAILABLE and never reach the
+     * transport. Install before traffic, like the fault injector.
+     */
+    void
+    setCircuitBreaker(std::shared_ptr<CircuitBreaker> breaker_in)
+    {
+        breaker = std::move(breaker_in);
+    }
+
+    CircuitBreaker *circuitBreaker() const { return breaker.get(); }
+
+    /**
+     * Attach (or clear) a retry throttle. Every attempt outcome feeds
+     * the token bucket; retries and hedges are suppressed while it is
+     * below half. May be shared across the channels of one client to
+     * bound aggregate retry amplification.
+     */
+    void
+    setRetryThrottle(std::shared_ptr<RetryThrottle> throttle_in)
+    {
+        throttle = std::move(throttle_in);
+    }
+
+    RetryThrottle *retryThrottle() const { return throttle.get(); }
+
+    /**
+     * One attempt through the overload gate: circuit-breaker check,
+     * fault injection, transport, then breaker/throttle outcome
+     * recording around the callback. budget_ns is the remaining
+     * deadline this attempt grants the server (0 = unlimited); it is
+     * carried in the request header so downstream queues can shed the
+     * request once it expires. The retry/hedging layer funnels every
+     * attempt through here; services needing a bare single-shot call
+     * with an explicit budget may use it directly.
+     */
+    void attemptCall(uint32_t method, std::string body,
+                     int64_t budget_ns, Callback callback);
+
   protected:
     /**
      * Transport implementation of one attempt. Must invoke the
@@ -158,12 +207,28 @@ class Channel
     virtual void transportCall(uint32_t method, std::string body,
                                Callback callback) = 0;
 
+    /**
+     * Budget-carrying variant. Transports that can put the deadline
+     * budget on the wire override this one; the default discards the
+     * budget and delegates, so existing transports and test doubles
+     * keep working unchanged.
+     */
+    virtual void
+    transportCall(uint32_t method, std::string body, int64_t budget_ns,
+                  Callback callback)
+    {
+        (void)budget_ns;
+        transportCall(method, std::move(body), std::move(callback));
+    }
+
   private:
     /** One attempt with fault injection at both boundaries. */
     void injectedCall(uint32_t method, std::string body,
-                      Callback callback);
+                      int64_t budget_ns, Callback callback);
 
     std::shared_ptr<FaultInjector> injector;
+    std::shared_ptr<CircuitBreaker> breaker;
+    std::shared_ptr<RetryThrottle> throttle;
 };
 
 /**

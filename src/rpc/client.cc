@@ -221,6 +221,13 @@ void
 RpcClient::transportCall(uint32_t method, std::string body,
                          Callback callback)
 {
+    transportCall(method, std::move(body), 0, std::move(callback));
+}
+
+void
+RpcClient::transportCall(uint32_t method, std::string body,
+                         int64_t budget_ns, Callback callback)
+{
     ClientConn *conn =
         conns[nextConn.fetch_add(1, std::memory_order_relaxed) %
               conns.size()].get();
@@ -236,6 +243,7 @@ RpcClient::transportCall(uint32_t method, std::string body,
     header.kind = MessageKind::Request;
     header.method = method;
     header.requestId = request_id;
+    header.budgetNs = budget_ns > 0 ? budget_ns : 0;
     std::string frame = encodeFrame(header, body);
 
     std::shared_ptr<FramedConnection> fc;
@@ -362,7 +370,14 @@ RpcClient::onConnReadable(ClientConn *conn)
         if (header.status == StatusCode::Ok) {
             callback(Status::ok(), payload);
         } else {
-            callback(Status(header.status, "remote error"), payload);
+            Status status(header.status, "remote error");
+            // A shed server suggests when to come back; the retry
+            // layer uses it as a floor under its backoff.
+            if (header.status == StatusCode::ResourceExhausted &&
+                header.budgetNs > 0) {
+                status.setRetryAfterNs(header.budgetNs);
+            }
+            callback(status, payload);
         }
     });
 

@@ -112,6 +112,9 @@ class RpcClient : public Channel
   protected:
     void transportCall(uint32_t method, std::string body,
                        Callback callback) override;
+    /** Budget-carrying attempt: the deadline rides the wire header. */
+    void transportCall(uint32_t method, std::string body,
+                       int64_t budget_ns, Callback callback) override;
 
   private:
     struct ClientConn;

@@ -12,8 +12,15 @@ void
 LocalChannel::transportCall(uint32_t method, std::string body,
                             Callback callback)
 {
+    transportCall(method, std::move(body), 0, std::move(callback));
+}
+
+void
+LocalChannel::transportCall(uint32_t method, std::string body,
+                            int64_t budget_ns, Callback callback)
+{
     server.invokeLocal(
-        method, std::move(body),
+        method, std::move(body), budget_ns,
         [callback = std::move(callback)](StatusCode code,
                                          std::string_view payload) {
             if (code == StatusCode::Ok) {

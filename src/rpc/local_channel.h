@@ -24,6 +24,9 @@ class LocalChannel : public Channel
   protected:
     void transportCall(uint32_t method, std::string body,
                        Callback callback) override;
+    /** Budget-carrying attempt: propagated via invokeLocal. */
+    void transportCall(uint32_t method, std::string body,
+                       int64_t budget_ns, Callback callback) override;
 
   private:
     Server &server;

@@ -27,6 +27,8 @@ encodeFrame(const MessageHeader &header, std::string_view payload)
     frame.append(word, 4);
     std::memcpy(word, &header.requestId, 8);
     frame.append(word, 8);
+    std::memcpy(word, &header.budgetNs, 8);
+    frame.append(word, 8);
     if (!payload.empty())
         frame.append(payload.data(), payload.size());
     return frame;
@@ -48,6 +50,9 @@ decodeFrame(std::string_view frame, MessageHeader &header,
     header.status = StatusCode(status);
     std::memcpy(&header.method, frame.data() + 2, 4);
     std::memcpy(&header.requestId, frame.data() + 6, 8);
+    std::memcpy(&header.budgetNs, frame.data() + 14, 8);
+    if (header.budgetNs < 0)
+        header.budgetNs = 0;
     payload = frame.substr(MessageHeader::wireSize);
     return true;
 }

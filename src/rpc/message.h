@@ -3,11 +3,18 @@
  * murpc wire header.
  *
  * Every frame on a murpc connection is one unary RPC message: a fixed
- * 14-byte little-endian header followed by the serialized payload.
+ * 22-byte little-endian header followed by the serialized payload.
  * Requests and responses are multiplexed over one connection per the
  * paper's Router design ("one TCP connection to a given destination
  * per thread; all requests share the same connection"), matched by
  * request id.
+ *
+ * The header carries the overload-control word `budgetNs`: on a
+ * request it is the caller's remaining deadline budget (decremented
+ * hop by hop), which lets a server reject work whose budget expired
+ * while it sat in the dispatch queue; on a response it is the
+ * server-suggested retry-after delay for RESOURCE_EXHAUSTED
+ * rejections. Zero means "none" in both directions.
  */
 
 #ifndef MUSUITE_RPC_MESSAGE_H
@@ -35,8 +42,14 @@ struct MessageHeader
     StatusCode status = StatusCode::Ok; //!< Responses only.
     uint32_t method = 0;
     uint64_t requestId = 0;
+    /**
+     * Requests: remaining deadline budget in ns (0 = unlimited).
+     * Responses: suggested retry-after in ns (0 = no hint); only
+     * meaningful alongside a RESOURCE_EXHAUSTED status.
+     */
+    int64_t budgetNs = 0;
 
-    static constexpr size_t wireSize = 1 + 1 + 4 + 8;
+    static constexpr size_t wireSize = 1 + 1 + 4 + 8 + 8;
 };
 
 /** Serialize header + payload into one frame payload. */

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Implementation of the overload-control primitives.
+ */
+
+#include "rpc/overload.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "base/time_util.h"
+#include "stats/counters.h"
+
+namespace musuite {
+namespace rpc {
+
+// ---------------------------------------------------------------------
+// GradientAdmission
+// ---------------------------------------------------------------------
+
+GradientAdmission::GradientAdmission(Options options_in)
+    : options(options_in), limit(options_in.initialLimit)
+{
+}
+
+bool
+GradientAdmission::admit(size_t queue_depth)
+{
+    (void)queue_depth; // The concurrency limit subsumes queue depth.
+    MutexLock guard(mutex);
+    if (double(inflightCount) >= limit)
+        return false;
+    inflightCount++;
+    return true;
+}
+
+void
+GradientAdmission::onAdmittedComplete(int64_t latency_ns)
+{
+    if (latency_ns < 0)
+        latency_ns = 0;
+    MutexLock guard(mutex);
+    if (inflightCount > 0)
+        inflightCount--;
+
+    // Windowed minimum RTT: commit the smallest sample of each window
+    // as the new estimate, so the floor can rise again after a
+    // transient that produced an unrealistically small minimum.
+    if (windowSamples == 0 || latency_ns < windowMin)
+        windowMin = latency_ns;
+    if (minRtt == 0 || latency_ns < minRtt)
+        minRtt = latency_ns;
+    if (++windowSamples >= options.rttWindow) {
+        minRtt = windowMin;
+        windowSamples = 0;
+    }
+
+    // AIMD on residence vs. the no-queueing floor: decrease
+    // multiplicatively while samples show queueing, creep up
+    // additively (1/limit per sample) while they do not.
+    if (minRtt > 0 &&
+        double(latency_ns) > options.tolerance * double(minRtt)) {
+        limit = std::max(options.minLimit, limit * options.decrease);
+    } else {
+        limit = std::min(options.maxLimit,
+                         limit + options.increase / std::max(1.0, limit));
+    }
+}
+
+void
+GradientAdmission::onAdmittedDropped()
+{
+    MutexLock guard(mutex);
+    if (inflightCount > 0)
+        inflightCount--;
+}
+
+int64_t
+GradientAdmission::retryAfterHintNs() const
+{
+    MutexLock guard(mutex);
+    // One service time per admitted request ahead of the caller: the
+    // earliest instant a retry could plausibly find a free slot.
+    return minRtt > 0 ? minRtt * int64_t(inflightCount + 1) : 0;
+}
+
+double
+GradientAdmission::currentLimit() const
+{
+    MutexLock guard(mutex);
+    return limit;
+}
+
+int64_t
+GradientAdmission::minRttNs() const
+{
+    MutexLock guard(mutex);
+    return minRtt;
+}
+
+size_t
+GradientAdmission::inflight() const
+{
+    MutexLock guard(mutex);
+    return inflightCount;
+}
+
+// ---------------------------------------------------------------------
+// CircuitBreaker
+// ---------------------------------------------------------------------
+
+CircuitBreaker::CircuitBreaker(Options options_in) : options(options_in)
+{
+    MUSUITE_CHECK(options.failureThreshold >= 1)
+        << "breaker needs a positive failure threshold";
+    MUSUITE_CHECK(options.halfOpenProbes >= 1)
+        << "breaker needs >= 1 half-open probe";
+}
+
+bool
+CircuitBreaker::allowRequest()
+{
+    MutexLock guard(mutex);
+    switch (current) {
+      case State::Closed:
+        return true;
+      case State::Open:
+        if (nowNanos() < reopenAtNs) {
+            globalCounters().counter("overload.breaker_rejected").add();
+            return false;
+        }
+        // Cooldown elapsed: this attempt becomes the first probe.
+        current = State::HalfOpen;
+        probesInFlight = 1;
+        probeSuccesses = 0;
+        globalCounters().counter("overload.breaker_probe").add();
+        return true;
+      case State::HalfOpen:
+        if (probesInFlight >= options.halfOpenProbes) {
+            globalCounters().counter("overload.breaker_rejected").add();
+            return false;
+        }
+        probesInFlight++;
+        globalCounters().counter("overload.breaker_probe").add();
+        return true;
+    }
+    return true; // Unreachable.
+}
+
+void
+CircuitBreaker::recordSuccess()
+{
+    MutexLock guard(mutex);
+    switch (current) {
+      case State::Closed:
+        consecutiveFailures = 0;
+        break;
+      case State::HalfOpen:
+        if (probesInFlight > 0)
+            probesInFlight--;
+        if (++probeSuccesses >= options.closeThreshold) {
+            current = State::Closed;
+            consecutiveFailures = 0;
+            probeSuccesses = 0;
+            globalCounters().counter("overload.breaker_closed").add();
+        }
+        break;
+      case State::Open:
+        // A late response from before the trip; the cooldown stands.
+        break;
+    }
+}
+
+void
+CircuitBreaker::recordFailure()
+{
+    MutexLock guard(mutex);
+    switch (current) {
+      case State::Closed:
+        if (++consecutiveFailures >= options.failureThreshold) {
+            current = State::Open;
+            reopenAtNs = nowNanos() + options.openCooldownNs;
+            openedCount.fetch_add(1, std::memory_order_relaxed);
+            globalCounters().counter("overload.breaker_opened").add();
+        }
+        break;
+      case State::HalfOpen:
+        // The probe failed: back to open for a fresh cooldown.
+        current = State::Open;
+        probesInFlight = 0;
+        probeSuccesses = 0;
+        reopenAtNs = nowNanos() + options.openCooldownNs;
+        openedCount.fetch_add(1, std::memory_order_relaxed);
+        globalCounters().counter("overload.breaker_opened").add();
+        break;
+      case State::Open:
+        break;
+    }
+}
+
+CircuitBreaker::State
+CircuitBreaker::state() const
+{
+    MutexLock guard(mutex);
+    return current;
+}
+
+// ---------------------------------------------------------------------
+// RetryThrottle
+// ---------------------------------------------------------------------
+
+RetryThrottle::RetryThrottle(Options options_in)
+    : options(options_in), bucket(options_in.maxTokens)
+{
+    MUSUITE_CHECK(options.maxTokens > 0) << "throttle needs tokens";
+}
+
+void
+RetryThrottle::onSuccess()
+{
+    MutexLock guard(mutex);
+    bucket = std::min(options.maxTokens, bucket + options.tokenRatio);
+}
+
+void
+RetryThrottle::onFailure()
+{
+    MutexLock guard(mutex);
+    bucket = std::max(0.0, bucket - 1.0);
+}
+
+bool
+RetryThrottle::allowRetry() const
+{
+    MutexLock guard(mutex);
+    return bucket > options.maxTokens / 2.0;
+}
+
+double
+RetryThrottle::tokens() const
+{
+    MutexLock guard(mutex);
+    return bucket;
+}
+
+} // namespace rpc
+} // namespace musuite

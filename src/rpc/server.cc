@@ -14,6 +14,7 @@
 #include "ostrace/ostrace.h"
 #include "ostrace/syscalls.h"
 #include "serde/wire.h"
+#include "stats/counters.h"
 
 namespace musuite {
 namespace rpc {
@@ -79,9 +80,11 @@ flushResponseBatch(ResponseBatch &batch)
 } // namespace
 
 ServerCall::ServerCall(uint32_t method, std::string body,
-                       uint64_t request_id, Responder responder)
+                       uint64_t request_id, Responder responder,
+                       int64_t deadline_at_ns)
     : methodId(method), requestBody(std::move(body)), id(request_id),
-      arrivalNs(nowNanos()), responder(std::move(responder))
+      arrivalNs(nowNanos()), deadlineAtNs(deadline_at_ns),
+      responder(std::move(responder))
 {}
 
 ServerCall::~ServerCall()
@@ -98,8 +101,23 @@ ServerCall::respond(StatusCode code, std::string_view payload)
         return;
     }
     // Net mid-tier latency: full server residence of this request.
-    recordOs(OsCategory::Net, nowNanos() - arrivalNs);
+    const int64_t residence_ns = nowNanos() - arrivalNs;
+    recordOs(OsCategory::Net, residence_ns);
+    // Close the admission loop with the residence sample — including
+    // in-queue-expired requests, whose large samples are exactly what
+    // an adaptive limiter must see to shrink its window.
+    if (admission)
+        admission->onAdmittedComplete(residence_ns);
     responder(code, payload);
+}
+
+int64_t
+ServerCall::remainingBudgetNs() const
+{
+    if (deadlineAtNs == 0)
+        return 0;
+    const int64_t remaining = deadlineAtNs - nowNanos();
+    return remaining > 0 ? remaining : 1;
 }
 
 /** One accepted connection plus its routing back-pointers. */
@@ -290,9 +308,12 @@ Server::pollerMain(size_t index)
                         handleFrame(conn, frame);
                     });
                 pendingDispatch = nullptr;
-                activeResponseBatch = nullptr;
+                // Dispatch before dropping the response batch: any
+                // queue-overflow rejections it produces coalesce into
+                // this event's flush.
                 if (!dispatch.empty())
-                    taskQueue.pushAll(std::move(dispatch));
+                    dispatchBatch(std::move(dispatch));
+                activeResponseBatch = nullptr;
                 flushResponseBatch(responses);
                 if (!alive)
                     shard.drop(conn);
@@ -313,6 +334,18 @@ Server::workerMain(size_t)
         activeResponseBatch = &responses;
         for (auto &task : tasks) {
             assertOnWorkerThread();
+            // Tier 3: a request that outlived its budget while queued
+            // is dead weight — the client has already given up, so
+            // running the handler would burn worker time to produce a
+            // response nobody reads. Shed it instead.
+            if (options.enforceQueueDeadline &&
+                task->expired(nowNanos())) {
+                globalCounters()
+                    .counter("overload.expired_in_queue")
+                    .add();
+                task->respond(StatusCode::DeadlineExceeded, "");
+                continue;
+            }
             execute(task);
         }
         activeResponseBatch = nullptr;
@@ -336,8 +369,9 @@ Server::handleFrame(Conn *conn, std::string_view frame)
     std::weak_ptr<FramedConnection> wfc = conn->fc;
     const uint64_t request_id = header.requestId;
     const uint32_t method = header.method;
-    auto responder = [wfc, request_id, method](StatusCode code,
-                                               std::string_view body) {
+    const int64_t default_retry_after = options.rejectRetryAfterNs;
+    auto responder = [wfc, request_id, method, default_retry_after](
+                         StatusCode code, std::string_view body) {
         auto fc = wfc.lock();
         if (!fc || fc->isDead())
             return; // Client went away; response is moot.
@@ -346,6 +380,9 @@ Server::handleFrame(Conn *conn, std::string_view frame)
         response_header.status = code;
         response_header.method = method;
         response_header.requestId = request_id;
+        // A shed response tells the client when retrying might work.
+        if (code == StatusCode::ResourceExhausted)
+            response_header.budgetNs = default_retry_after;
         std::string frame = encodeFrame(response_header, body);
         // Inside a drain loop, defer to the thread's batch so all
         // responses sharing a connection leave in one flush; async
@@ -358,29 +395,91 @@ Server::handleFrame(Conn *conn, std::string_view frame)
         fc->sendFrameOwned(std::move(frame));
     };
 
+    // Tier 1: admission, decided before the body is even copied. The
+    // rejection frame is produced right here on the poller thread —
+    // an overloaded worker pool never sees the request at all.
+    if (options.admission &&
+        !options.admission->admit(taskQueue.size())) {
+        globalCounters().counter("overload.admission_rejected").add();
+        int64_t hint = options.admission->retryAfterHintNs();
+        if (hint == 0)
+            hint = default_retry_after;
+        MessageHeader reject;
+        reject.kind = MessageKind::Response;
+        reject.status = StatusCode::ResourceExhausted;
+        reject.method = method;
+        reject.requestId = request_id;
+        reject.budgetNs = hint;
+        std::string frame = encodeFrame(reject, "");
+        if (ResponseBatch *batch = activeResponseBatch)
+            batch->entries.push_back({conn->fc, std::move(frame)});
+        else
+            conn->fc->sendFrameOwned(std::move(frame));
+        return;
+    }
+
+    // The wire budget is relative (clock domains differ across
+    // hosts); pin it to this host's monotonic clock on arrival.
+    const int64_t deadline_at =
+        header.budgetNs > 0 ? nowNanos() + header.budgetNs : 0;
+
     std::string body = acquireWireBuffer(payload.size());
     if (!payload.empty())
         body.assign(payload.data(), payload.size());
-    auto call = std::make_shared<ServerCall>(
-        method, std::move(body), request_id, std::move(responder));
+    auto call = std::make_shared<ServerCall>(method, std::move(body),
+                                             request_id,
+                                             std::move(responder),
+                                             deadline_at);
+    call->setAdmission(options.admission);
 
     if (options.dispatchToWorkers) {
         // Network thread hands off to the worker pool; the queue's
         // traced condvar makes the wakeup visible to ostrace. Frames
-        // from one readable event batch into a single pushAll.
+        // from one readable event batch into a single push, and a
+        // full queue sheds (tier 2) instead of blocking the poller.
         if (pendingDispatch) {
             pendingDispatch->push_back(std::move(call));
             if (pendingDispatch->size() >= maxDispatchBatch) {
                 std::vector<ServerCallPtr> flush_now;
                 flush_now.swap(*pendingDispatch);
-                taskQueue.pushAll(std::move(flush_now));
+                dispatchBatch(std::move(flush_now));
             }
         } else {
-            taskQueue.push(std::move(call));
+            ServerCallPtr keep = call;
+            if (!taskQueue.tryPush(std::move(call))) {
+                globalCounters()
+                    .counter("overload.queue_rejected")
+                    .add();
+                shedCall(keep);
+            }
         }
     } else {
         execute(call);
     }
+}
+
+void
+Server::dispatchBatch(std::vector<ServerCallPtr> batch)
+{
+    std::vector<ServerCallPtr> rejected =
+        taskQueue.tryPushAll(std::move(batch));
+    if (rejected.empty())
+        return;
+    globalCounters()
+        .counter("overload.queue_rejected")
+        .add(rejected.size());
+    for (const ServerCallPtr &call : rejected)
+        shedCall(call);
+}
+
+void
+Server::shedCall(const ServerCallPtr &call)
+{
+    // No latency sample for the limiter: the request never ran, and a
+    // near-zero "residence" would teach an adaptive policy that the
+    // server is fast precisely while it is drowning.
+    call->admissionDropped();
+    call->respond(StatusCode::ResourceExhausted, "");
 }
 
 void
@@ -399,10 +498,21 @@ void
 Server::invokeLocal(uint32_t method, std::string body,
                     ServerCall::Responder responder)
 {
+    invokeLocal(method, std::move(body), 0, std::move(responder));
+}
+
+void
+Server::invokeLocal(uint32_t method, std::string body,
+                    int64_t budget_ns,
+                    ServerCall::Responder responder)
+{
     static std::atomic<uint64_t> local_ids{1};
+    const int64_t deadline_at =
+        budget_ns > 0 ? nowNanos() + budget_ns : 0;
     auto call = std::make_shared<ServerCall>(method, std::move(body),
                                              local_ids.fetch_add(1),
-                                             std::move(responder));
+                                             std::move(responder),
+                                             deadline_at);
     execute(call);
 }
 

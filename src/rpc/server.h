@@ -16,6 +16,21 @@
  * Handlers receive a shared ServerCall and may respond from any
  * thread, which is how mid-tiers respond from leaf-response completion
  * threads after fan-out merges.
+ *
+ * OVERLOAD CONTROL (rpc/overload.h): three shedding tiers keep the
+ * server's goodput near peak once offered load passes saturation.
+ *  1. Admission — an optional AdmissionController is consulted on the
+ *     poller thread before the request body is even copied; rejected
+ *     requests get RESOURCE_EXHAUSTED with a suggested retry-after in
+ *     the response header, produced without touching the worker pool.
+ *  2. Queue bound — dispatch uses the task queue's non-blocking push;
+ *     on overflow the request is shed the same way instead of the
+ *     poller blocking (overload.queue_rejected).
+ *  3. Deadline-aware dequeue — requests carry their remaining client
+ *     budget in the wire header; a worker that dequeues an already
+ *     expired request answers DEADLINE_EXCEEDED without running the
+ *     handler (overload.expired_in_queue), so a saturated queue sheds
+ *     the work nobody is waiting for anymore.
  */
 
 #ifndef MUSUITE_RPC_SERVER_H
@@ -34,6 +49,7 @@
 #include "net/poller.h"
 #include "ostrace/sync.h"
 #include "rpc/message.h"
+#include "rpc/overload.h"
 
 namespace musuite {
 namespace rpc {
@@ -54,6 +70,26 @@ struct ServerOptions
     int adaptiveIdleStreak = 0;
     size_t queueCapacity = 1 << 16;
     std::string name = "srv";
+
+    /**
+     * Admission policy consulted per request on the poller thread;
+     * null admits everything. Shared so tests and benchmarks can keep
+     * a handle for inspection while the server uses it.
+     */
+    std::shared_ptr<AdmissionController> admission;
+
+    /**
+     * Shed queued requests whose wire deadline budget expired before a
+     * worker picked them up (tier 3 above). Off reproduces the
+     * uncontrolled server the overload benchmark contrasts against.
+     */
+    bool enforceQueueDeadline = true;
+
+    /**
+     * Default retry-after hint on RESOURCE_EXHAUSTED responses when
+     * the admission policy offers none (0 = send no hint).
+     */
+    int64_t rejectRetryAfterNs = 1'000'000;
 };
 
 /**
@@ -66,7 +102,7 @@ class ServerCall
     using Responder = std::function<void(StatusCode, std::string_view)>;
 
     ServerCall(uint32_t method, std::string body, uint64_t request_id,
-               Responder responder);
+               Responder responder, int64_t deadline_at_ns = 0);
     ~ServerCall();
 
     uint32_t method() const { return methodId; }
@@ -74,6 +110,50 @@ class ServerCall
     uint64_t requestId() const { return id; }
     /** Monotonic ns when the request frame was parsed. */
     int64_t arrivalNanos() const { return arrivalNs; }
+
+    /** Absolute monotonic deadline from the wire budget; 0 = none. */
+    int64_t deadlineNanos() const { return deadlineAtNs; }
+
+    /** True once the request's budget has run out. */
+    bool
+    expired(int64_t now_ns) const
+    {
+        return deadlineAtNs != 0 && now_ns >= deadlineAtNs;
+    }
+
+    /**
+     * Budget left for downstream work, for deadline propagation: a
+     * mid-tier handler passes this to its fan-out so leaf attempts
+     * inherit what remains of the client's deadline. 0 = unlimited (no
+     * deadline on the wire); an expired call reports 1ns, so
+     * downstream calls fail fast rather than look unbounded.
+     */
+    int64_t remainingBudgetNs() const;
+
+    /**
+     * Attach the admission controller that admitted this request; its
+     * onAdmittedComplete() fires from respond() with the request's
+     * full server residence. Pre-dispatch only (not thread-safe).
+     */
+    void
+    setAdmission(std::shared_ptr<AdmissionController> admission_in)
+    {
+        admission = std::move(admission_in);
+    }
+
+    /**
+     * The request was shed after admission without producing a
+     * latency sample (e.g. queue overflow): report the drop and
+     * detach, so the follow-up respond() does not feed the limiter.
+     */
+    void
+    admissionDropped()
+    {
+        if (admission) {
+            admission->onAdmittedDropped();
+            admission.reset();
+        }
+    }
 
     /**
      * Complete the RPC. Thread-safe; second and later calls are
@@ -93,7 +173,9 @@ class ServerCall
     std::string requestBody;
     uint64_t id;
     int64_t arrivalNs;
+    int64_t deadlineAtNs;
     Responder responder;
+    std::shared_ptr<AdmissionController> admission;
     std::atomic<bool> completed{false};
 };
 
@@ -134,6 +216,15 @@ class Server
     void invokeLocal(uint32_t method, std::string body,
                      ServerCall::Responder responder);
 
+    /**
+     * Budget-carrying variant (LocalChannel's budget path): the
+     * handler's ServerCall reports the remaining deadline, so local
+     * mid-tiers propagate budgets exactly like networked ones.
+     */
+    void invokeLocal(uint32_t method, std::string body,
+                     int64_t budget_ns,
+                     ServerCall::Responder responder);
+
   private:
     struct Conn;
     struct PollerShard;
@@ -144,6 +235,10 @@ class Server
     void handleFrame(Conn *conn, std::string_view frame);
     void execute(const ServerCallPtr &call);
     Handler *findHandler(uint32_t method);
+    /** Non-blocking queue handoff; overflow is shed, not blocked on. */
+    void dispatchBatch(std::vector<ServerCallPtr> batch);
+    /** Reject a dispatched call with RESOURCE_EXHAUSTED + retry-after. */
+    void shedCall(const ServerCallPtr &call);
 
     ServerOptions options;
     std::map<uint32_t, Handler> handlers;

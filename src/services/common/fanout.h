@@ -120,6 +120,30 @@ struct FanoutPolicy
         }
         return options;
     }
+
+    /**
+     * Deadline-propagating variant: clamp every leg's deadlines to the
+     * budget the mid-tier's own caller has left (ServerCall::
+     * remainingBudgetNs; 0 = no inbound deadline, no clamping). A leaf
+     * is never given longer than the end-to-end caller will wait, so
+     * work the client has abandoned is not re-queued downstream, and
+     * legs with no deadline of their own inherit the inbound one.
+     */
+    FanoutOptions
+    resolve(size_t legs, int64_t inbound_budget_ns) const
+    {
+        FanoutOptions options = resolve(legs);
+        if (inbound_budget_ns > 0) {
+            auto clamp = [inbound_budget_ns](int64_t &deadline_ns) {
+                if (deadline_ns == 0 ||
+                    deadline_ns > inbound_budget_ns)
+                    deadline_ns = inbound_budget_ns;
+            };
+            clamp(options.leg.deadlineNs);
+            clamp(options.leg.totalDeadlineNs);
+        }
+        return options;
+    }
 };
 
 /**

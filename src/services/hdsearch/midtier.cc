@@ -81,8 +81,8 @@ MidTier::handle(rpc::ServerCallPtr call)
     for (const FanoutRequest &request : requests)
         tags.push_back(request.tag);
 
-    const FanoutOptions fanout_options =
-        fanoutPolicy.resolve(requests.size());
+    const FanoutOptions fanout_options = fanoutPolicy.resolve(
+        requests.size(), call->remainingBudgetNs());
     fanoutCall(kLeafDistance, std::move(requests), fanout_options,
                [this, call, k,
                 tags = std::move(tags)](FanoutOutcome outcome) {

@@ -50,8 +50,8 @@ MidTier::handle(rpc::ServerCallPtr call)
 
     // Response path: average of the ratings received from leaves. May
     // run inline on this thread (fanoutCall threading contract).
-    const FanoutOptions fanout_options =
-        fanoutPolicy.resolve(requests.size());
+    const FanoutOptions fanout_options = fanoutPolicy.resolve(
+        requests.size(), call->remainingBudgetNs());
     fanoutCall(kLeafPredict, std::move(requests), fanout_options,
                [this, call](FanoutOutcome outcome) {
                    double sum = 0.0;

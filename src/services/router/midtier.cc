@@ -87,8 +87,8 @@ MidTier::routeSet(rpc::ServerCallPtr call, const std::string &body,
         requests.push_back(std::move(request));
     }
 
-    const FanoutOptions fanout_options =
-        options.fanout.resolve(requests.size());
+    const FanoutOptions fanout_options = options.fanout.resolve(
+        requests.size(), call->remainingBudgetNs());
     fanoutCall(kLeafOp, std::move(requests), fanout_options,
                [this, call](FanoutOutcome outcome) {
                    // The set succeeds if any replica stored it; a

@@ -50,8 +50,8 @@ MidTier::handle(rpc::ServerCallPtr call)
 
     // Response path: set union over the per-shard intersections. May
     // run inline on this thread (fanoutCall threading contract).
-    const FanoutOptions fanout_options =
-        fanoutPolicy.resolve(requests.size());
+    const FanoutOptions fanout_options = fanoutPolicy.resolve(
+        requests.size(), call->remainingBudgetNs());
     fanoutCall(kIntersect, std::move(requests), fanout_options,
                [this, call](FanoutOutcome outcome) {
                    std::vector<std::vector<uint32_t>> lists;

@@ -30,6 +30,16 @@ DistributionSummary::toString() const
     return out.str();
 }
 
+std::string
+ShedAcceptBreakdown::toString() const
+{
+    std::ostringstream out;
+    out << "offered=" << offered << " completed=" << completed
+        << " shed=" << shed << " failed=" << failed
+        << " goodput=" << goodput;
+    return out.str();
+}
+
 Histogram::Histogram(int sub_bucket_bits)
     : subBucketBits(sub_bucket_bits)
 {
@@ -141,6 +151,20 @@ Histogram::valueAtQuantile(double q) const
             return std::clamp(bucketMidpoint(i), lo, hi);
     }
     return hi;
+}
+
+uint64_t
+Histogram::countAtOrBelow(int64_t value) const
+{
+    if (total == 0 || value < 0)
+        return 0;
+    if (value >= hi)
+        return total;
+    const size_t limit = bucketIndex(value);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i <= limit && i < buckets.size(); ++i)
+        cumulative += buckets[i];
+    return cumulative;
 }
 
 DistributionSummary

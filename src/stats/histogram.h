@@ -38,6 +38,37 @@ struct DistributionSummary
 };
 
 /**
+ * Accept/shed accounting for overload experiments: of everything
+ * offered, what was explicitly shed (RESOURCE_EXHAUSTED), what failed
+ * some other way, what completed — and of the completions, how many
+ * landed inside the deadline (the goodput the paper's saturation
+ * experiments care about, as opposed to raw throughput).
+ */
+struct ShedAcceptBreakdown
+{
+    uint64_t offered = 0;
+    uint64_t completed = 0; //!< Responses with OK status.
+    uint64_t shed = 0;      //!< Rejected with RESOURCE_EXHAUSTED.
+    uint64_t failed = 0;    //!< Any other error.
+    uint64_t goodput = 0;   //!< Completions within the deadline.
+
+    double
+    shedRate() const
+    {
+        return offered ? double(shed) / double(offered) : 0.0;
+    }
+
+    double
+    goodputRate() const
+    {
+        return offered ? double(goodput) / double(offered) : 0.0;
+    }
+
+    /** One-line "offered/completed/shed/failed/goodput" rendering. */
+    std::string toString() const;
+};
+
+/**
  * Single-writer histogram of non-negative int64 values (nanoseconds by
  * convention). Not internally synchronized: record into per-thread
  * instances and merge() at collection time.
@@ -75,6 +106,14 @@ class Histogram
      * exactly.
      */
     int64_t valueAtQuantile(double q) const;
+
+    /**
+     * Recorded values <= `value`, at bucket granularity (the bucket's
+     * relative error, ~1.5% at default precision, applies). This is
+     * how goodput is computed post-hoc: record every completion, then
+     * count the ones inside the deadline.
+     */
+    uint64_t countAtOrBelow(int64_t value) const;
 
     /** Standard summary (median, tails, mean...). */
     DistributionSummary summary() const;

@@ -5,6 +5,7 @@
 #
 #   1. -Werror release build            (warning-clean tree)
 #      + bench/micro_rpc smoke -> BENCH_rpc.json (rpc bench trajectory)
+#      + bench/overload_storm smoke -> BENCH_overload.json (goodput)
 #   2. MUSUITE_DEBUG_SYNC debug build   (lock-rank + thread-role checks)
 #   3. ThreadSanitizer                  (data races, lock-order inversions)
 #   4. AddressSanitizer + UBSan         (memory errors, undefined behavior)
@@ -82,6 +83,23 @@ if cmake --build build-check-werror --target micro_rpc -j "$jobs" \
 else
     echo "BENCH SMOKE FAILED"
     failures+=("bench-smoke: micro_rpc")
+fi
+
+# ---- stage 1c: overload_storm bench smoke --------------------------------
+# Shortened goodput-under-saturation storm against the werror build;
+# emits BENCH_overload.json (vanilla vs controlled goodput at 0.5x/1x/2x
+# of peak). The binary's own gate is weak on purpose: it fails only when
+# the overload layer is functionally broken, not when a loaded CI box
+# skews absolute numbers. ~5s.
+banner "bench smoke: overload_storm"
+if cmake --build build-check-werror --target overload_storm -j "$jobs" \
+        >>build-check-werror/build.log 2>&1 \
+        && build-check-werror/bench/overload_storm \
+            --smoke-json="$repo_root/BENCH_overload.json"; then
+    :
+else
+    echo "BENCH SMOKE FAILED"
+    failures+=("bench-smoke: overload_storm")
 fi
 
 # ---- stage 2: debug-sync (lock-rank + role checks) -----------------------
