@@ -175,7 +175,7 @@ runSmoke(const std::string &path)
     constexpr int warmup = 200;
     constexpr int samples = 2000;
     for (int i = 0; i < warmup; ++i)
-        client.callSync(kEcho, body);
+        (void)client.callSync(kEcho, body); // Warmup; outcome irrelevant.
     std::vector<int64_t> rtt(samples);
     for (int i = 0; i < samples; ++i) {
         const int64_t start = nowNanos();

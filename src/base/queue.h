@@ -29,7 +29,10 @@ namespace musuite {
  * nullopt once the queue is closed and drained, which is the worker
  * shutdown signal.
  */
-template <typename T, typename Mutex = std::mutex,
+template <typename T,
+          // mulint: allow(raw-sync): default only; traced builds pass TracedMutex
+          typename Mutex = std::mutex,
+          // mulint: allow(raw-sync): default only; traced builds pass TracedCondVar
           typename CondVar = std::condition_variable>
 class BlockingQueue
 {
@@ -52,6 +55,7 @@ class BlockingQueue
         if (closed)
             return false;
         items.push_back(std::move(item));
+        // mulint: allow(raw-sync): unlock-before-notify keeps the waiter off a held mutex
         lock.unlock();
         notEmpty.notify_one();
         return true;
@@ -153,6 +157,7 @@ class BlockingQueue
             return std::nullopt;
         T item = std::move(items.front());
         items.pop_front();
+        // mulint: allow(raw-sync): unlock-before-notify keeps the waiter off a held mutex
         lock.unlock();
         notFull.notify_one();
         return item;
@@ -195,6 +200,7 @@ class BlockingQueue
             return std::nullopt;
         T item = std::move(items.front());
         items.pop_front();
+        // mulint: allow(raw-sync): unlock-before-notify keeps the waiter off a held mutex
         lock.unlock();
         notFull.notify_one();
         return item;
@@ -227,6 +233,7 @@ class BlockingQueue
     }
 
   private:
+    // mulint: allow(guarded-by): Mutex is a template parameter; capability macros need the concrete annotated type
     mutable Mutex mutex;
     CondVar notEmpty;
     CondVar notFull;

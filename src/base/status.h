@@ -54,7 +54,7 @@ statusCodeName(StatusCode code)
  * Outcome of an operation: a code plus an optional message. Statuses are
  * cheap to copy when OK (empty message).
  */
-class Status
+class [[nodiscard]] Status
 {
   public:
     Status() : _code(StatusCode::Ok) {}
@@ -103,7 +103,7 @@ class Status
  * value of an errored Result panics, so callers must test first.
  */
 template <typename T>
-class Result
+class [[nodiscard]] Result
 {
   public:
     Result(T value) : _state(std::move(value)) {}

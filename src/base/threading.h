@@ -137,6 +137,40 @@ class SCOPED_CAPABILITY MutexLock
 };
 
 /**
+ * Scoped inversion of MutexLock: releases the lock on construction and
+ * reacquires it when the scope ends. Replaces manual
+ * `lock.unlock(); ...; lock.lock();` windows (which leak the lock in
+ * the released state if the middle throws or returns early) around
+ * callbacks and syscalls that must run unlocked.
+ *
+ *     MutexLock lock(mutex);
+ *     ...
+ *     {
+ *         MutexUnlock relock(lock);
+ *         callback(); // Runs without the lock; reacquired at `}`.
+ *     }
+ *
+ * The reacquisition goes through MutexLock::lock(), so the debug-sync
+ * held-lock stack and rank checks stay accurate across the window.
+ */
+class SCOPED_CAPABILITY MutexUnlock
+{
+  public:
+    explicit MutexUnlock(MutexLock &lock) RELEASE(lock) : target(lock)
+    {
+        target.unlock();
+    }
+
+    ~MutexUnlock() ACQUIRE() { target.lock(); }
+
+    MutexUnlock(const MutexUnlock &) = delete;
+    MutexUnlock &operator=(const MutexUnlock &) = delete;
+
+  private:
+    MutexLock &target;
+};
+
+/**
  * Condition variable paired with Mutex/MutexLock. The wait path goes
  * through MutexLock's lock()/unlock so the debug-sync held-lock stack
  * stays accurate across the block.

@@ -112,6 +112,7 @@ ProfiledLoadGen::run(const OpenLoopLoadGen::AsyncIssue &issue)
 
     struct Shared
     {
+        // mulint: allow(guarded-by): guards the stack-local PhaseResult records captured by completion callbacks; locals cannot carry GUARDED_BY
         Mutex mutex{LockRank::loadgen, "loadgen.profile"};
         std::atomic<uint64_t> outstanding{0};
     };

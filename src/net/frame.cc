@@ -239,10 +239,12 @@ FramedConnection::flushLocked(MutexLock &lock)
         // (deque growth never invalidates existing element
         // references, and only the flusher pops), so concurrent load
         // coalesces into the next iteration instead of convoying.
-        lock.unlock();
         size_t sent = 0;
-        const IoStatus status = sock.sendv(iov, iovcnt, sent);
-        lock.lock();
+        IoStatus status;
+        {
+            MutexUnlock relock(lock);
+            status = sock.sendv(iov, iovcnt, sent);
+        }
 
         if (status == IoStatus::Ok) {
             outCursor += sent;

@@ -42,6 +42,7 @@ TracedMutex::lock()
     stats.lockContended.fetch_add(1, std::memory_order_relaxed);
     stats.futexWaits.fetch_add(1, std::memory_order_relaxed);
     countSyscall(Sys::Futex);
+    // mulint: allow(raw-sync): contended-path acquisition of the wrapped raw mutex
     inner.lock();
     syncdbg::recordAcquired(this, debugRank, debugName);
 }

@@ -64,11 +64,13 @@ class CAPABILITY("mutex") TracedMutex
     unlock() RELEASE()
     {
         syncdbg::recordReleased(this);
+        // mulint: allow(raw-sync): this IS the wrapper the rule points everyone at
         inner.unlock();
     }
 
   private:
     friend class TracedCondVar;
+    // mulint: allow(raw-sync): futex-counting wrapper owns the raw mutex it instruments
     std::mutex inner;
     LockRank debugRank = LockRank::queue;
     const char *debugName = nullptr;
@@ -102,6 +104,7 @@ class TracedCondVar
   private:
     void waitImpl(std::unique_lock<TracedMutex> &lock, void *unused);
 
+    // mulint: allow(raw-sync): futex-counting wrapper owns the raw condvar it instruments
     std::condition_variable_any inner;
     /** Monotonic ns of the most recent notify, for ActiveExe. */
     std::atomic<int64_t> lastNotifyNs{0};

@@ -522,11 +522,12 @@ Channel::callSync(uint32_t method, std::string body,
 
     call(method, std::move(body), options,
          [cell](const Status &status, std::string_view payload) {
-             std::unique_lock<TracedMutex> lock(cell->mutex);
-             cell->status = status;
-             cell->payload.assign(payload.data(), payload.size());
-             cell->done = true;
-             lock.unlock();
+             {
+                 std::unique_lock<TracedMutex> lock(cell->mutex);
+                 cell->status = status;
+                 cell->payload.assign(payload.data(), payload.size());
+                 cell->done = true;
+             }
              cell->ready.notify_one();
          });
 

@@ -96,9 +96,10 @@ TimerService::timerMain()
             continue; // Cancelled while due.
         std::function<void()> fn = std::move(it->second);
         armed.erase(it);
-        lock.unlock();
-        fn(); // May re-arm timers; runs without the lock.
-        lock.lock();
+        {
+            MutexUnlock relock(lock);
+            fn(); // May re-arm timers; runs without the lock.
+        }
     }
 }
 

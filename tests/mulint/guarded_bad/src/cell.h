@@ -1,0 +1,10 @@
+// One guarded-by violation: a mutex member that no annotation names.
+class Cell
+{
+  public:
+    int read() const;
+
+  private:
+    mutable Mutex mutex{LockRank::unranked, "cell"};
+    int value = 0;
+};

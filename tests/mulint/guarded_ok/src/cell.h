@@ -1,0 +1,10 @@
+// The mutex is named by a GUARDED_BY annotation: clean.
+class Cell
+{
+  public:
+    int read() const;
+
+  private:
+    mutable Mutex mutex{LockRank::unranked, "cell"};
+    int value GUARDED_BY(mutex) = 0;
+};

@@ -1,0 +1,6 @@
+// Fixture rank table: alpha is the outer lock, beta the inner one.
+enum class LockRank : int {
+    unranked = 0,
+    alpha = 10,
+    beta = 20,
+};

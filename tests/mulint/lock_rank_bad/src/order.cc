@@ -1,0 +1,25 @@
+// Two lock-rank violations: one direct (nested acquisition out of
+// order in the same function) and one through a call edge.
+
+Mutex outerMutex{LockRank::beta, "beta"};
+Mutex innerMutex{LockRank::alpha, "alpha"};
+
+void
+directInversion()
+{
+    MutexLock first(outerMutex); // rank 20
+    MutexLock second(innerMutex); // rank 10 under 20: finding
+}
+
+void
+takeInner()
+{
+    MutexLock guard(innerMutex); // rank 10
+}
+
+void
+crossCallInversion()
+{
+    MutexLock guard(outerMutex); // rank 20
+    takeInner(); // transitively acquires rank 10: finding
+}

@@ -1,0 +1,22 @@
+// Same shape as lock_rank_bad but with the canonical increasing
+// order, plus a MutexUnlock window that drops back to no locks held.
+
+Mutex outerMutex{LockRank::alpha, "alpha"};
+Mutex innerMutex{LockRank::beta, "beta"};
+
+void
+takeInner()
+{
+    MutexLock guard(innerMutex); // rank 20
+}
+
+void
+orderedNesting()
+{
+    MutexLock guard(outerMutex); // rank 10
+    takeInner(); // acquires rank 20 on top of 10: fine
+    {
+        MutexUnlock relock(guard);
+        takeInner(); // nothing held inside the window: fine
+    }
+}

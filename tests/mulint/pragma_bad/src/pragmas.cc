@@ -1,0 +1,10 @@
+// Three bad-pragma violations, one of each kind.
+
+// mulint: allow
+int malformedPragma;
+
+// mulint: allow(not-a-rule): the rule name does not exist
+int unknownRule;
+
+// mulint: allow(raw-sync)
+int missingJustification;

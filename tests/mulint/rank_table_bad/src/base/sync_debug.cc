@@ -1,0 +1,12 @@
+// lockRankName() is missing the `beta` case.
+const char *
+lockRankName(LockRank rank)
+{
+    switch (rank) {
+    case LockRank::unranked:
+        return "unranked";
+    case LockRank::alpha:
+        return "alpha";
+    }
+    return "?";
+}

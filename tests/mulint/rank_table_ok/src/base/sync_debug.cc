@@ -1,0 +1,13 @@
+const char *
+lockRankName(LockRank rank)
+{
+    switch (rank) {
+    case LockRank::unranked:
+        return "unranked";
+    case LockRank::alpha:
+        return "alpha";
+    case LockRank::beta:
+        return "beta";
+    }
+    return "?";
+}

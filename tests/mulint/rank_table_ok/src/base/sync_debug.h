@@ -1,0 +1,5 @@
+enum class LockRank : int {
+    unranked = 0,
+    alpha = 10,
+    beta = 20,
+};

@@ -1,0 +1,10 @@
+// Three raw-sync violations: two raw std types and a naked unlock.
+
+std::mutex rawMutex;
+std::condition_variable rawCv;
+
+void
+nakedUnlock(MutexLock &lock)
+{
+    lock.unlock();
+}

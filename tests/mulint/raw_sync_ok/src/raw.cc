@@ -1,0 +1,14 @@
+// The wrapper types pass, and a pragma'd raw primitive is suppressed.
+
+Mutex wrappedMutex{LockRank::unranked, "fixture"};
+CondVar wrappedCv;
+
+// mulint: allow(raw-sync): fixture exercising a justified suppression
+std::mutex exemptedMutex;
+
+void
+scoped()
+{
+    MutexLock guard(wrappedMutex);
+    wrappedCv.notifyOne();
+}

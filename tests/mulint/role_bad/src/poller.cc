@@ -1,0 +1,18 @@
+// Two thread-role violations: a sleep reachable through a call edge
+// and a blocking queue pop directly in the poller loop.
+
+BlockingQueue<int> taskQueue;
+
+void
+helper()
+{
+    sleepFor(100); // Reached from the poller: finding.
+}
+
+void
+pollerMain()
+{
+    syncdbg::setCurrentThreadRole(ThreadRole::poller);
+    helper();
+    taskQueue.pop(); // Blocking pop on the poller thread: finding.
+}

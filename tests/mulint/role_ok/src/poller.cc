@@ -1,0 +1,20 @@
+// Clean poller: try-variants only, and the blocking worker claims its
+// own role so its sleeps are not attributed to the poller.
+
+BlockingQueue<int> taskQueue;
+
+void
+workerMain()
+{
+    syncdbg::setCurrentThreadRole(ThreadRole::worker);
+    taskQueue.pop(); // Fine: workers are allowed to block.
+    sleepFor(100);
+}
+
+void
+pollerMain()
+{
+    syncdbg::setCurrentThreadRole(ThreadRole::poller);
+    taskQueue.tryPop();
+    workerMain();
+}

@@ -1,0 +1,12 @@
+// Two unchecked-status violations: a dropped Status and a dropped
+// Result.
+
+Status doWork();
+Result<int> compute();
+
+void
+caller()
+{
+    doWork(); // Dropped Status: finding.
+    compute(); // Dropped Result: finding.
+}

@@ -1,0 +1,17 @@
+// Every Status/Result is consumed: clean.
+
+Status doWork();
+Result<int> compute();
+
+int
+caller()
+{
+    Status status = doWork();
+    if (!status.isOk())
+        return -1;
+    if (!doWork().isOk())
+        return -1;
+    (void)doWork(); // Explicitly discarded.
+    auto result = compute();
+    return result.isOk() ? 0 : -1;
+}

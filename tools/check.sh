@@ -6,6 +6,8 @@
 #   1. -Werror release build            (warning-clean tree)
 #      + bench/micro_rpc smoke -> BENCH_rpc.json (rpc bench trajectory)
 #      + bench/overload_storm smoke -> BENCH_overload.json (goodput)
+#      + tools/mulint over src/ (static lock-rank, raw-sync, thread-role,
+#        unchecked-status, rank-table, guarded-by; see DESIGN.md)
 #   2. MUSUITE_DEBUG_SYNC debug build   (lock-rank + thread-role checks)
 #   3. ThreadSanitizer                  (data races, lock-order inversions)
 #   4. AddressSanitizer + UBSan         (memory errors, undefined behavior)
@@ -100,6 +102,22 @@ if cmake --build build-check-werror --target overload_storm -j "$jobs" \
 else
     echo "BENCH SMOKE FAILED"
     failures+=("bench-smoke: overload_storm")
+fi
+
+# ---- stage 1d: mulint (static invariant lint) ----------------------------
+# Toolchain-independent analyzer built from tools/mulint by stage 1's
+# configuration; unlike stages 5-6 it needs no clang and always runs,
+# including under --quick. Unsuppressed findings fail the gate; see the
+# "Static analysis: mulint" section of DESIGN.md for the rule set and
+# the allow-pragma grammar.
+banner "mulint"
+if cmake --build build-check-werror --target mulint -j "$jobs" \
+        >>build-check-werror/build.log 2>&1 \
+        && build-check-werror/tools/mulint/mulint --root "$repo_root"; then
+    :
+else
+    echo "MULINT FAILED"
+    failures+=("mulint: findings")
 fi
 
 # ---- stage 2: debug-sync (lock-rank + role checks) -----------------------

@@ -1,0 +1,181 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace mulint {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &content)
+{
+    std::vector<Token> out;
+    const size_t n = content.size();
+    size_t i = 0;
+    int line = 1;
+    bool at_line_start = true; // Only whitespace seen since the last \n.
+
+    auto countLines = [&](size_t from, size_t to) {
+        for (size_t k = from; k < to; ++k) {
+            if (content[k] == '\n')
+                ++line;
+        }
+    };
+
+    while (i < n) {
+        const char c = content[i];
+
+        if (c == '\n') {
+            ++line;
+            ++i;
+            at_line_start = true;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+
+        // Preprocessor line: '#' first on its line; swallow
+        // backslash-continuations.
+        if (c == '#' && at_line_start) {
+            const int start_line = line;
+            size_t j = i;
+            while (j < n) {
+                if (content[j] == '\n') {
+                    // Continued if the last non-ws char before \n is a
+                    // backslash.
+                    size_t k = j;
+                    while (k > i &&
+                           (content[k - 1] == ' ' ||
+                            content[k - 1] == '\t' ||
+                            content[k - 1] == '\r'))
+                        --k;
+                    if (k > i && content[k - 1] == '\\') {
+                        ++j;
+                        continue;
+                    }
+                    break;
+                }
+                ++j;
+            }
+            countLines(i, j);
+            out.push_back({Tok::Pp, content.substr(i, j - i), start_line});
+            i = j;
+            at_line_start = false;
+            continue;
+        }
+        at_line_start = false;
+
+        // Comments.
+        if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+            size_t j = i;
+            while (j < n && content[j] != '\n')
+                ++j;
+            out.push_back({Tok::Comment, content.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+            const int start_line = line;
+            size_t j = i + 2;
+            while (j + 1 < n &&
+                   !(content[j] == '*' && content[j + 1] == '/'))
+                ++j;
+            j = (j + 1 < n) ? j + 2 : n;
+            countLines(i, j);
+            out.push_back(
+                {Tok::Comment, content.substr(i, j - i), start_line});
+            i = j;
+            continue;
+        }
+
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && content[i + 1] == '"') {
+            size_t j = i + 2;
+            std::string delim;
+            while (j < n && content[j] != '(')
+                delim += content[j++];
+            const std::string close = ")" + delim + "\"";
+            size_t end = content.find(close, j);
+            end = (end == std::string::npos) ? n : end + close.size();
+            const int start_line = line;
+            countLines(i, end);
+            out.push_back(
+                {Tok::Str, content.substr(i, end - i), start_line});
+            i = end;
+            continue;
+        }
+
+        // String / char literals with escapes.
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            const int start_line = line;
+            size_t j = i + 1;
+            while (j < n && content[j] != quote) {
+                if (content[j] == '\\' && j + 1 < n)
+                    ++j;
+                ++j;
+            }
+            j = (j < n) ? j + 1 : n;
+            countLines(i, j);
+            out.push_back({quote == '"' ? Tok::Str : Tok::Chr,
+                           content.substr(i, j - i), start_line});
+            i = j;
+            continue;
+        }
+
+        // Identifiers / keywords.
+        if (isIdentStart(c)) {
+            size_t j = i + 1;
+            while (j < n && isIdentChar(content[j]))
+                ++j;
+            out.push_back({Tok::Ident, content.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+
+        // Numbers (loose: includes suffixes, hex, digit separators).
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            size_t j = i + 1;
+            while (j < n && (isIdentChar(content[j]) ||
+                             content[j] == '\'' || content[j] == '.'))
+                ++j;
+            out.push_back({Tok::Number, content.substr(i, j - i), line});
+            i = j;
+            continue;
+        }
+
+        // Punctuation: keep "::" and "->" whole, split everything else
+        // into single characters (so ">>" closes two templates).
+        if (c == ':' && i + 1 < n && content[i + 1] == ':') {
+            out.push_back({Tok::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && content[i + 1] == '>') {
+            out.push_back({Tok::Punct, "->", line});
+            i += 2;
+            continue;
+        }
+        out.push_back({Tok::Punct, std::string(1, c), line});
+        ++i;
+    }
+    return out;
+}
+
+} // namespace mulint

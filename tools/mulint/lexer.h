@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal C++ lexer for mulint. Produces a flat token stream with line
+ * numbers; comments and preprocessor directives are kept as single
+ * tokens so rules can scan "code" tokens without seeing either, while
+ * the pragma scanner reads the comments.
+ *
+ * This is not a conforming C++ lexer — it only needs to be right about
+ * the token classes the rules match on (identifiers, `::`/`->`/`.`
+ * chains, brace/paren structure, string/char literals, comments).
+ */
+
+#ifndef MULINT_LEXER_H
+#define MULINT_LEXER_H
+
+#include <string>
+#include <vector>
+
+namespace mulint {
+
+enum class Tok {
+    Ident,   //!< identifier or keyword
+    Number,  //!< numeric literal (integers, floats, suffixes)
+    Str,     //!< string literal, including raw strings
+    Chr,     //!< character literal
+    Punct,   //!< punctuation; multi-char only for "::" and "->"
+    Comment, //!< // or /* */ comment, text included
+    Pp,      //!< whole preprocessor line (with continuations)
+};
+
+struct Token
+{
+    Tok kind;
+    std::string text;
+    int line; //!< 1-based line of the token's first character
+};
+
+/** Tokenize `content`. Never fails: unknown bytes become 1-char puncts. */
+std::vector<Token> lex(const std::string &content);
+
+} // namespace mulint
+
+#endif // MULINT_LEXER_H

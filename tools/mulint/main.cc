@@ -1,0 +1,73 @@
+/**
+ * @file
+ * mulint CLI. Exit status 0 = clean, 1 = findings, 2 = usage/IO error.
+ *
+ *   mulint [--root DIR] [--rule NAME]... [--list-rules]
+ *
+ * Findings print one per line as `path:line: [rule] message`, the
+ * format tools/check.sh and editors both understand.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mulint.h"
+
+int
+main(int argc, char **argv)
+{
+    std::string root = ".";
+    mulint::Options options;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--root") == 0 && i + 1 < argc) {
+            root = argv[++i];
+        } else if (std::strcmp(arg, "--rule") == 0 && i + 1 < argc) {
+            const std::string rule = argv[++i];
+            if (!mulint::ruleNames().count(rule)) {
+                std::fprintf(stderr, "mulint: unknown rule '%s'\n",
+                             rule.c_str());
+                return 2;
+            }
+            options.rules.insert(rule);
+        } else if (std::strcmp(arg, "--list-rules") == 0) {
+            for (const std::string &rule : mulint::ruleNames())
+                std::printf("%s\n", rule.c_str());
+            return 0;
+        } else if (std::strcmp(arg, "--help") == 0 ||
+                   std::strcmp(arg, "-h") == 0) {
+            std::printf(
+                "usage: mulint [--root DIR] [--rule NAME]... "
+                "[--list-rules]\n"
+                "Lints DIR/src/**/*.{h,cc} (plus DIR/DESIGN.md) for "
+                "murpc concurrency and\nstatus invariants. Suppress "
+                "individual findings with\n"
+                "  // mulint: allow(<rule>): <justification>\n");
+            return 0;
+        } else {
+            std::fprintf(stderr, "mulint: unknown argument '%s'\n",
+                         arg);
+            return 2;
+        }
+    }
+
+    std::string error;
+    const std::vector<mulint::Finding> findings =
+        mulint::analyzeTree(root, options, &error);
+    if (!error.empty()) {
+        std::fprintf(stderr, "mulint: %s\n", error.c_str());
+        return 2;
+    }
+    for (const mulint::Finding &f : findings)
+        std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                    f.rule.c_str(), f.message.c_str());
+    if (!findings.empty()) {
+        std::fprintf(stderr, "mulint: %zu finding%s\n", findings.size(),
+                     findings.size() == 1 ? "" : "s");
+        return 1;
+    }
+    return 0;
+}

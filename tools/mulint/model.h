@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Data model shared by mulint's parser and rules: per-file facts
+ * extracted from the token stream (pragmas, mutex declarations,
+ * annotation references, function extents) and the finding type.
+ *
+ * Everything here is an approximation built from lexical structure —
+ * mulint has no type information. The parser errs toward "unknown"
+ * (which rules skip) rather than guessing, so findings stay precise at
+ * the cost of some coverage; the fixture corpus in tests/mulint pins
+ * what each rule is expected to catch.
+ */
+
+#ifndef MULINT_MODEL_H
+#define MULINT_MODEL_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace mulint {
+
+/** One `// mulint: allow(<rule>): justification` comment. */
+struct Pragma
+{
+    int line = 0;
+    std::string rule;
+    bool justified = false; //!< Has a non-trivial justification text.
+    mutable bool used = false;
+};
+
+/** A Mutex / TracedMutex variable declaration. */
+struct MutexDecl
+{
+    std::string name;
+    std::string scope;    //!< Enclosing class name ("" at file scope).
+    bool member = false;  //!< Declared directly inside a class/struct.
+    std::string rankName; //!< LockRank enumerator ("" = type default).
+    bool traced = false;  //!< TracedMutex (defaults to LockRank::queue).
+    int line = 0;
+};
+
+/** An ordered lock acquisition observed inside one function. */
+struct LockEvent
+{
+    std::string mutexName; //!< Last identifier of the mutex expression.
+    std::string guardVar;  //!< RAII guard variable name ("" if none).
+    int line = 0;
+};
+
+/** A call site inside one function. */
+struct CallSite
+{
+    std::string callee; //!< Simple (unqualified) name.
+    bool memberCall = false; //!< Written as x.f(...) or x->f(...).
+    std::string receiver;    //!< Last identifier of the receiver chain.
+    int line = 0;
+    int heldRank = 0;        //!< Max known rank held at the call (0 = none).
+    std::string heldName;    //!< Mutex name for heldRank's acquisition.
+};
+
+/** One function (or lambda) definition's extracted facts. */
+struct FunctionInfo
+{
+    std::string name;  //!< Simple name; "<lambda>" for lambdas.
+    std::string scope; //!< Class qualifier when written Class::name.
+    int line = 0;
+    size_t fileIndex = 0; //!< Index into Tree::files.
+    size_t bodyBegin = 0; //!< Token index of the opening '{'.
+    size_t bodyEnd = 0;   //!< Token index one past the closing '}'.
+    std::string returnKind; //!< "status", "result", "other", or "".
+
+    // Filled by the body analysis pass:
+    std::vector<CallSite> calls;
+    std::set<int> directRanks;    //!< Rank values acquired in the body.
+    bool setsPollerRole = false;
+    bool setsAnyRole = false; //!< Claims any thread role (thread body).
+    /** Directly nested lambdas / local functions (indices into the
+     *  same file's functions); they run on the defining thread unless
+     *  they claim a role of their own. */
+    std::vector<size_t> nestedFns;
+};
+
+/** Facts for a single source file. */
+struct FileModel
+{
+    std::string path; //!< Path as given (absolute or root-relative).
+    std::string rel;  //!< Root-relative path for reporting/exemptions.
+    std::string stem; //!< rel without extension: module grouping key.
+    std::vector<Token> toks;
+    std::vector<size_t> code;      //!< Indices of non-comment/pp tokens.
+    std::vector<size_t> codeMatch; //!< Bracket matching over `code`.
+    std::vector<Pragma> pragmas;
+    std::vector<MutexDecl> mutexes;
+    std::set<std::string> annotationRefs; //!< Names inside GUARDED_BY etc.
+    std::set<std::string> blockingQueueVars;
+    std::vector<FunctionInfo> functions;
+    /** Class/namespace-scope declarations returning Status / Result. */
+    std::map<std::string, std::string> statusDeclNames;
+};
+
+struct Finding
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** One LockRank enumerator parsed from the sync_debug header. */
+struct RankEntry
+{
+    int value = 0;
+    int line = 0;
+};
+
+/** The whole analyzed tree plus cross-file derived tables. */
+struct Tree
+{
+    std::vector<FileModel> files;
+    std::map<std::string, RankEntry> ranks; //!< LockRank enum entries.
+    std::map<std::string, std::string> rankImplNames; //!< enum -> display.
+    std::string rankHeaderRel; //!< File the enum was parsed from.
+    std::string rankImplRel;   //!< File lockRankName() was parsed from.
+    int rankImplLine = 0;
+};
+
+/** Rule identifiers, also the pragma vocabulary. */
+inline const std::set<std::string> &
+ruleNames()
+{
+    static const std::set<std::string> names = {
+        "lock-rank",  "rank-table",  "raw-sync",  "guarded-by",
+        "thread-role", "unchecked-status", "bad-pragma",
+    };
+    return names;
+}
+
+} // namespace mulint
+
+#endif // MULINT_MODEL_H

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * mulint public API: parse a source tree into the model, run the rule
+ * set, return findings. Used by main.cc (the CLI wired into
+ * tools/check.sh) and by tests/mulint_test.cc (which runs the rules
+ * over the fixture corpus and over the repository's own src/).
+ *
+ * Rule identifiers (also the pragma vocabulary, see DESIGN.md):
+ *
+ *   lock-rank        static acquisition-order analysis over LockRank
+ *   rank-table       sync_debug.h enum vs sync_debug.cc names vs DESIGN.md
+ *   raw-sync         raw std primitives / naked .lock()/.unlock()
+ *   guarded-by       Mutex members never named in any annotation
+ *   thread-role      blocking calls reachable from poller-role threads
+ *   unchecked-status dropped base::Status / Result<T> return values
+ *   bad-pragma       malformed or unjustified allow pragmas
+ *
+ * Findings are suppressed by `// mulint: allow(<rule>): <justification>`
+ * on the finding's line or the line above; the justification text is
+ * mandatory (enforced by bad-pragma).
+ */
+
+#ifndef MULINT_MULINT_H
+#define MULINT_MULINT_H
+
+#include <string>
+#include <vector>
+
+#include "model.h"
+
+namespace mulint {
+
+struct Options
+{
+    /** Rules to run; empty = all. */
+    std::set<std::string> rules;
+};
+
+/** Pass 1: lex `content` and extract per-file facts. */
+FileModel parseFile(const std::string &rel, const std::string &content);
+
+/**
+ * Finish a Tree after all files are parsed: locate the LockRank enum
+ * and the lockRankName() switch, then run the per-function body
+ * analysis (lock simulation + call extraction). Intra-function
+ * lock-rank findings are appended to `findings`.
+ */
+void finalizeTree(Tree &tree, std::vector<Finding> &findings);
+
+/**
+ * Run the cross-file rules over a finalized tree. `designLines` holds
+ * DESIGN.md split into lines (empty = skip the doc half of rank-table).
+ * Appends to `findings`.
+ */
+void runRules(const Tree &tree,
+              const std::vector<std::string> &designLines,
+              const Options &options, std::vector<Finding> &findings);
+
+/**
+ * Remove findings covered by an allow pragma (same line or the line
+ * above, matching rule), then append bad-pragma findings and drop
+ * rules not enabled in `options`. Returns the surviving findings,
+ * sorted by (file, line, rule).
+ */
+std::vector<Finding> applyPragmas(const Tree &tree,
+                                  std::vector<Finding> findings,
+                                  const Options &options);
+
+/**
+ * One-call driver: scan the .h/.cc files under `root`/src plus
+ * `root`/DESIGN.md and
+ * return the surviving findings. On I/O failure returns empty and sets
+ * `error`.
+ */
+std::vector<Finding> analyzeTree(const std::string &root,
+                                 const Options &options,
+                                 std::string *error);
+
+} // namespace mulint
+
+#endif // MULINT_MULINT_H

@@ -1,0 +1,733 @@
+/**
+ * @file
+ * The mulint rule set over a finalized Tree, plus pragma application
+ * and the filesystem driver. Each rule is independent and only reads
+ * the model; suppression and rule selection happen centrally in
+ * applyPragmas so every rule stays pragma-suppressible by construction.
+ */
+
+#include "mulint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace mulint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Files allowed to touch raw primitives: the wrappers themselves and
+ *  the checker that must not re-enter them. */
+bool
+rawSyncExempt(const std::string &rel)
+{
+    return rel == "src/base/threading.h" ||
+           rel == "src/base/sync_debug.h" ||
+           rel == "src/base/sync_debug.cc";
+}
+
+struct Ctx
+{
+    const std::vector<Token> &toks;
+    const std::vector<size_t> &code;
+    const std::vector<size_t> &match;
+
+    const Token &
+    tok(size_t ci) const
+    {
+        return toks[code[ci]];
+    }
+
+    bool
+    isPunct(size_t ci, const char *s) const
+    {
+        return ci < code.size() && tok(ci).kind == Tok::Punct &&
+               tok(ci).text == s;
+    }
+
+    bool
+    isIdent(size_t ci) const
+    {
+        return ci < code.size() && tok(ci).kind == Tok::Ident;
+    }
+
+    bool
+    isIdent(size_t ci, const char *s) const
+    {
+        return isIdent(ci) && tok(ci).text == s;
+    }
+};
+
+Ctx
+ctxOf(const FileModel &fm)
+{
+    return Ctx{fm.toks, fm.code, fm.codeMatch};
+}
+
+/**
+ * Walk back over a member/scope chain (a.b->c::d) from the identifier
+ * at code index `pos`; returns the code index of the chain's first
+ * token. Gives up (returns SIZE_MAX) on constructs it cannot walk.
+ */
+size_t
+chainStart(const Ctx &c, size_t pos)
+{
+    while (pos > 0) {
+        const Token &prev = c.tok(pos - 1);
+        if (prev.kind != Tok::Punct ||
+            (prev.text != "." && prev.text != "->" &&
+             prev.text != "::"))
+            return pos;
+        if (pos < 2)
+            return SIZE_MAX;
+        const Token &before = c.tok(pos - 2);
+        if (before.kind == Tok::Ident) {
+            pos -= 2;
+            continue;
+        }
+        if (before.kind == Tok::Punct && before.text == ")" &&
+            c.match[pos - 2] != SIZE_MAX) {
+            // foo(...).bar(): jump over the call, then keep walking
+            // from the callee identifier.
+            size_t open = c.match[pos - 2];
+            if (open > 0 && c.isIdent(open - 1)) {
+                pos = open - 1;
+                continue;
+            }
+        }
+        return SIZE_MAX;
+    }
+    return pos;
+}
+
+/** Is the chain beginning at `start` the first thing in a statement? */
+bool
+atStatementStart(const Ctx &c, size_t start)
+{
+    if (start == 0)
+        return true;
+    const Token &prev = c.tok(start - 1);
+    if (prev.kind == Tok::Punct &&
+        (prev.text == ";" || prev.text == "{" || prev.text == "}"))
+        return true;
+    if (prev.kind == Tok::Ident &&
+        (prev.text == "else" || prev.text == "do"))
+        return true;
+    return false;
+}
+
+// --------------------------------------------------------------------
+// raw-sync
+// --------------------------------------------------------------------
+
+void
+ruleRawSync(const Tree &tree, std::vector<Finding> &findings)
+{
+    static const std::set<std::string> banned = {
+        "mutex",           "recursive_mutex",
+        "timed_mutex",     "shared_mutex",
+        "lock_guard",      "condition_variable",
+        "condition_variable_any",
+    };
+    for (const FileModel &fm : tree.files) {
+        if (rawSyncExempt(fm.rel))
+            continue;
+        Ctx c = ctxOf(fm);
+        for (size_t i = 0; i + 2 < fm.code.size(); ++i) {
+            if (c.isIdent(i, "std") && c.isPunct(i + 1, "::") &&
+                c.isIdent(i + 2) && banned.count(c.tok(i + 2).text)) {
+                findings.push_back(
+                    {fm.rel, c.tok(i).line, "raw-sync",
+                     "raw std::" + c.tok(i + 2).text +
+                         "; use the annotated wrappers in "
+                         "base/threading.h (Mutex/CondVar) or "
+                         "ostrace/sync.h (TracedMutex)"});
+                i += 2;
+            }
+        }
+        // Naked x.lock() / x.unlock() full statements.
+        for (size_t i = 0; i + 4 < fm.code.size(); ++i) {
+            if (!c.isIdent(i))
+                continue;
+            if (!(c.isPunct(i + 1, ".") || c.isPunct(i + 1, "->")))
+                continue;
+            if (!c.isIdent(i + 2) || (c.tok(i + 2).text != "lock" &&
+                                      c.tok(i + 2).text != "unlock"))
+                continue;
+            if (!c.isPunct(i + 3, "(") || !c.isPunct(i + 4, ")") ||
+                !c.isPunct(i + 5, ";"))
+                continue;
+            const size_t start = chainStart(c, i);
+            if (start == SIZE_MAX || !atStatementStart(c, start))
+                continue;
+            findings.push_back(
+                {fm.rel, c.tok(i + 2).line, "raw-sync",
+                 "naked ." + c.tok(i + 2).text +
+                     "() call; use MutexLock / MutexUnlock RAII so "
+                     "early returns cannot skip the pairing"});
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// guarded-by
+// --------------------------------------------------------------------
+
+void
+ruleGuardedBy(const Tree &tree, std::vector<Finding> &findings)
+{
+    // Annotation references are unioned per module: a header's
+    // GUARDED_BY can name a mutex the .cc declares and vice versa.
+    std::map<std::string, std::set<std::string>> refsByStem;
+    for (const FileModel &fm : tree.files)
+        refsByStem[fm.stem].insert(fm.annotationRefs.begin(),
+                                   fm.annotationRefs.end());
+    for (const FileModel &fm : tree.files) {
+        const std::set<std::string> &refs = refsByStem[fm.stem];
+        for (const MutexDecl &decl : fm.mutexes) {
+            if (!decl.member)
+                continue;
+            if (refs.count(decl.name))
+                continue;
+            const std::string where =
+                decl.scope.empty() ? "" : decl.scope + "::";
+            findings.push_back(
+                {fm.rel, decl.line, "guarded-by",
+                 "mutex member '" + where + decl.name +
+                     "' is never named in any GUARDED_BY/REQUIRES "
+                     "annotation; annotate the data it protects"});
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// unchecked-status
+// --------------------------------------------------------------------
+
+void
+ruleUncheckedStatus(const Tree &tree, std::vector<Finding> &findings)
+{
+    // Names with Status/Result evidence, minus names that also have a
+    // definition with a different (owning) return type.
+    std::set<std::string> returners;
+    std::set<std::string> conflicted;
+    for (const FileModel &fm : tree.files) {
+        for (const auto &[name, kind] : fm.statusDeclNames)
+            returners.insert(name);
+        for (const FunctionInfo &fn : fm.functions) {
+            if (fn.returnKind == "status" || fn.returnKind == "result")
+                returners.insert(fn.name);
+            else if (fn.returnKind == "other")
+                conflicted.insert(fn.name);
+        }
+    }
+    for (const std::string &name : conflicted)
+        returners.erase(name);
+    if (returners.empty())
+        return;
+
+    for (const FileModel &fm : tree.files) {
+        Ctx c = ctxOf(fm);
+        for (size_t i = 0; i + 1 < fm.code.size(); ++i) {
+            if (!c.isIdent(i) || !returners.count(c.tok(i).text))
+                continue;
+            if (!c.isPunct(i + 1, "("))
+                continue;
+            const size_t close = fm.codeMatch[i + 1];
+            if (close == SIZE_MAX || !c.isPunct(close + 1, ";"))
+                continue;
+            const size_t start = chainStart(c, i);
+            if (start == SIZE_MAX || !atStatementStart(c, start))
+                continue;
+            findings.push_back(
+                {fm.rel, c.tok(i).line, "unchecked-status",
+                 "return value of '" + c.tok(i).text +
+                     "' (Status/Result) is dropped; check it or "
+                     "cast to void with a reason"});
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Call graph shared by lock-rank (cross-call) and thread-role.
+// --------------------------------------------------------------------
+
+struct FnRef
+{
+    size_t file;
+    size_t fn;
+};
+
+struct CallGraph
+{
+    std::vector<FnRef> fns;
+    std::map<const FunctionInfo *, size_t> index;
+    std::map<std::string, std::vector<size_t>> byName;
+    // Resolved targets per call site, aligned with FunctionInfo::calls.
+    std::vector<std::vector<std::vector<size_t>>> resolved;
+    // Union of resolved targets per function (indices into fns).
+    std::vector<std::vector<size_t>> edges;
+
+    const FunctionInfo &
+    info(const Tree &tree, size_t i) const
+    {
+        return tree.files[fns[i].file].functions[fns[i].fn];
+    }
+};
+
+CallGraph
+buildCallGraph(const Tree &tree)
+{
+    CallGraph g;
+    for (size_t fi = 0; fi < tree.files.size(); ++fi) {
+        const FileModel &fm = tree.files[fi];
+        for (size_t ni = 0; ni < fm.functions.size(); ++ni) {
+            g.index[&fm.functions[ni]] = g.fns.size();
+            g.fns.push_back({fi, ni});
+            if (fm.functions[ni].name != "<lambda>")
+                g.byName[fm.functions[ni].name].push_back(
+                    g.fns.size() - 1);
+        }
+    }
+    g.resolved.resize(g.fns.size());
+    g.edges.resize(g.fns.size());
+    for (size_t i = 0; i < g.fns.size(); ++i) {
+        const FileModel &fm = tree.files[g.fns[i].file];
+        const FunctionInfo &fn = g.info(tree, i);
+        g.resolved[i].resize(fn.calls.size());
+        for (size_t ci = 0; ci < fn.calls.size(); ++ci) {
+            const CallSite &call = fn.calls[ci];
+            // x.f() / x->f(): without type information the receiver
+            // could be any container or handle, so resolving by bare
+            // name would wire `map.clear()` to a project `clear()`.
+            // Only free and implicit-this calls resolve.
+            if (call.memberCall)
+                continue;
+            auto it = g.byName.find(call.callee);
+            if (it == g.byName.end())
+                continue;
+            const std::vector<size_t> &candidates = it->second;
+            if (candidates.size() == 1) {
+                g.resolved[i][ci].push_back(candidates[0]);
+            } else {
+                // Ambiguous name: only trust same-module candidates.
+                for (size_t cand : candidates) {
+                    if (tree.files[g.fns[cand].file].stem == fm.stem)
+                        g.resolved[i][ci].push_back(cand);
+                }
+            }
+            for (size_t target : g.resolved[i][ci])
+                g.edges[i].push_back(target);
+        }
+        // Direct lambda nesting: the lambda runs on the defining
+        // thread unless it claims a role of its own.
+        for (size_t li : fn.nestedFns) {
+            const FunctionInfo &lam = fm.functions[li];
+            if (!lam.setsAnyRole)
+                g.edges[i].push_back(g.index.at(&lam));
+        }
+        std::sort(g.edges[i].begin(), g.edges[i].end());
+        g.edges[i].erase(
+            std::unique(g.edges[i].begin(), g.edges[i].end()),
+            g.edges[i].end());
+    }
+    return g;
+}
+
+// --------------------------------------------------------------------
+// lock-rank, cross-call half: calling into a function that (possibly
+// transitively) acquires a rank <= the max rank held at the call site.
+// --------------------------------------------------------------------
+
+void
+ruleLockRankCalls(const Tree &tree, const CallGraph &g,
+                  std::vector<Finding> &findings)
+{
+    std::map<int, std::string> valueToName;
+    for (const auto &[name, entry] : tree.ranks)
+        valueToName[entry.value] = name;
+
+    // Transitive acquired-rank sets, to fixpoint.
+    std::vector<std::set<int>> trans(g.fns.size());
+    for (size_t i = 0; i < g.fns.size(); ++i)
+        trans[i] = g.info(tree, i).directRanks;
+    bool changed = true;
+    int guard = 0;
+    while (changed && guard++ < 100) {
+        changed = false;
+        for (size_t i = 0; i < g.fns.size(); ++i) {
+            for (size_t e : g.edges[i]) {
+                for (int r : trans[e]) {
+                    if (trans[i].insert(r).second)
+                        changed = true;
+                }
+            }
+        }
+    }
+
+    for (size_t i = 0; i < g.fns.size(); ++i) {
+        const FileModel &fm = tree.files[g.fns[i].file];
+        const FunctionInfo &fn = g.info(tree, i);
+        std::set<std::pair<int, std::string>> reported;
+        for (size_t ci = 0; ci < fn.calls.size(); ++ci) {
+            const CallSite &call = fn.calls[ci];
+            if (call.heldRank <= 0)
+                continue;
+            for (size_t cand : g.resolved[i][ci]) {
+                if (trans[cand].empty())
+                    continue;
+                const int minAcq = *trans[cand].begin();
+                if (minAcq <= 0 || minAcq > call.heldRank)
+                    continue;
+                if (!reported.insert({call.line, call.callee}).second)
+                    continue;
+                std::string rankName = valueToName.count(minAcq)
+                                           ? valueToName[minAcq]
+                                           : "?";
+                findings.push_back(
+                    {fm.rel, call.line, "lock-rank",
+                     "call to '" + call.callee +
+                         "' may acquire rank " +
+                         std::to_string(minAcq) + " ('" + rankName +
+                         "') while holding '" + call.heldName +
+                         "' (rank " + std::to_string(call.heldRank) +
+                         ")"});
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// thread-role
+// --------------------------------------------------------------------
+
+void
+ruleThreadRole(const Tree &tree, const CallGraph &g,
+               std::vector<Finding> &findings)
+{
+    static const std::set<std::string> sleepCalls = {
+        "sleep_for", "sleepFor", "sleep", "usleep", "nanosleep",
+        "sleep_until",
+    };
+    static const std::set<std::string> queueBlocking = {
+        "pop", "popMany", "push", "pushAll",
+    };
+
+    std::map<std::string, std::set<std::string>> queueVarsByStem;
+    for (const FileModel &fm : tree.files)
+        queueVarsByStem[fm.stem].insert(fm.blockingQueueVars.begin(),
+                                        fm.blockingQueueVars.end());
+
+    // BFS from every poller root.
+    std::vector<std::string> via(g.fns.size());
+    std::vector<bool> visited(g.fns.size(), false);
+    std::vector<size_t> work;
+    for (size_t i = 0; i < g.fns.size(); ++i) {
+        if (g.info(tree, i).setsPollerRole) {
+            visited[i] = true;
+            via[i] = g.info(tree, i).name;
+            work.push_back(i);
+        }
+    }
+    while (!work.empty()) {
+        const size_t i = work.back();
+        work.pop_back();
+        for (size_t e : g.edges[i]) {
+            const FunctionInfo &callee = g.info(tree, e);
+            if (visited[e])
+                continue;
+            // A callee that claims a different role owns its thread.
+            if (callee.setsAnyRole && !callee.setsPollerRole)
+                continue;
+            visited[e] = true;
+            via[e] = via[i];
+            work.push_back(e);
+        }
+    }
+
+    for (size_t i = 0; i < g.fns.size(); ++i) {
+        if (!visited[i])
+            continue;
+        const FileModel &fm = tree.files[g.fns[i].file];
+        const FunctionInfo &fn = g.info(tree, i);
+        const std::set<std::string> &queues = queueVarsByStem[fm.stem];
+        for (const CallSite &call : fn.calls) {
+            bool blocking = false;
+            std::string what;
+            if (sleepCalls.count(call.callee)) {
+                blocking = true;
+                what = call.callee;
+            } else if (call.memberCall &&
+                       queueBlocking.count(call.callee) &&
+                       queues.count(call.receiver)) {
+                blocking = true;
+                what = call.receiver + "." + call.callee;
+            } else if (call.callee == "sendAll" ||
+                       call.callee == "recvAll") {
+                blocking = true;
+                what = call.callee;
+            }
+            if (!blocking)
+                continue;
+            findings.push_back(
+                {fm.rel, call.line, "thread-role",
+                 "blocking call '" + what +
+                     "' is reachable from poller-role thread '" +
+                     via[i] +
+                     "'; pollers must stay non-blocking (use "
+                     "try-variants or hand off to workers)"});
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// rank-table
+// --------------------------------------------------------------------
+
+void
+ruleRankTable(const Tree &tree,
+              const std::vector<std::string> &designLines,
+              std::vector<Finding> &findings)
+{
+    if (tree.ranks.empty())
+        return;
+
+    // Enum <-> lockRankName() switch.
+    if (!tree.rankImplNames.empty()) {
+        for (const auto &[name, entry] : tree.ranks) {
+            if (!tree.rankImplNames.count(name))
+                findings.push_back(
+                    {tree.rankImplRel, tree.rankImplLine, "rank-table",
+                     "lockRankName() has no case for LockRank::" +
+                         name + " (defined at " + tree.rankHeaderRel +
+                         ":" + std::to_string(entry.line) + ")"});
+        }
+        for (const auto &[name, display] : tree.rankImplNames) {
+            if (!tree.ranks.count(name))
+                findings.push_back(
+                    {tree.rankImplRel, tree.rankImplLine, "rank-table",
+                     "lockRankName() names LockRank::" + name +
+                         " which is not in the enum"});
+        }
+    }
+
+    // Enum <-> DESIGN.md table.
+    if (designLines.empty())
+        return;
+    int headerLine = 0;
+    std::map<std::string, std::pair<int, int>> doc; // name->(value,line)
+    for (size_t li = 0; li < designLines.size(); ++li) {
+        const std::string &line = designLines[li];
+        if (headerLine == 0) {
+            if (line.find("| rank ") != std::string::npos &&
+                line.find("| value ") != std::string::npos)
+                headerLine = int(li) + 1;
+            continue;
+        }
+        std::string trimmed = line;
+        size_t b = trimmed.find_first_not_of(" \t");
+        if (b == std::string::npos || trimmed[b] != '|')
+            break; // Table ended.
+        const size_t t1 = line.find('`');
+        const size_t t2 =
+            t1 == std::string::npos ? t1 : line.find('`', t1 + 1);
+        if (t2 == std::string::npos)
+            continue; // Separator row.
+        const std::string name = line.substr(t1 + 1, t2 - t1 - 1);
+        const size_t bar = line.find('|', t2);
+        if (bar == std::string::npos)
+            continue;
+        doc[name] = {std::atoi(line.c_str() + bar + 1), int(li) + 1};
+    }
+    if (headerLine == 0) {
+        findings.push_back(
+            {"DESIGN.md", 1, "rank-table",
+             "no '| rank | value |' table found in DESIGN.md, but "
+             "LockRank defines " +
+                 std::to_string(tree.ranks.size()) + " ranks"});
+        return;
+    }
+    for (const auto &[name, entry] : tree.ranks) {
+        if (name == "unranked")
+            continue;
+        auto it = doc.find(name);
+        if (it == doc.end()) {
+            findings.push_back(
+                {"DESIGN.md", headerLine, "rank-table",
+                 "rank '" + name + "' (value " +
+                     std::to_string(entry.value) +
+                     ") is missing from the DESIGN.md rank table"});
+            continue;
+        }
+        if (it->second.first != entry.value)
+            findings.push_back(
+                {"DESIGN.md", it->second.second, "rank-table",
+                 "rank '" + name + "' documented as " +
+                     std::to_string(it->second.first) + " but " +
+                     tree.rankHeaderRel + " says " +
+                     std::to_string(entry.value)});
+    }
+    for (const auto &[name, vl] : doc) {
+        if (!tree.ranks.count(name))
+            findings.push_back(
+                {"DESIGN.md", vl.second, "rank-table",
+                 "documented rank '" + name +
+                     "' does not exist in LockRank"});
+    }
+}
+
+} // namespace
+
+void
+runRules(const Tree &tree, const std::vector<std::string> &designLines,
+         const Options &options, std::vector<Finding> &findings)
+{
+    auto enabled = [&](const char *rule) {
+        return options.rules.empty() || options.rules.count(rule);
+    };
+    if (enabled("raw-sync"))
+        ruleRawSync(tree, findings);
+    if (enabled("guarded-by"))
+        ruleGuardedBy(tree, findings);
+    if (enabled("unchecked-status"))
+        ruleUncheckedStatus(tree, findings);
+    if (enabled("lock-rank") || enabled("thread-role")) {
+        const CallGraph g = buildCallGraph(tree);
+        if (enabled("lock-rank"))
+            ruleLockRankCalls(tree, g, findings);
+        if (enabled("thread-role"))
+            ruleThreadRole(tree, g, findings);
+    }
+    if (enabled("rank-table"))
+        ruleRankTable(tree, designLines, findings);
+}
+
+std::vector<Finding>
+applyPragmas(const Tree &tree, std::vector<Finding> findings,
+             const Options &options)
+{
+    std::map<std::string, const FileModel *> byRel;
+    for (const FileModel &fm : tree.files)
+        byRel[fm.rel] = &fm;
+
+    std::vector<Finding> kept;
+    for (Finding &f : findings) {
+        bool suppressed = false;
+        auto it = byRel.find(f.file);
+        if (it != byRel.end()) {
+            for (const Pragma &p : it->second->pragmas) {
+                if (p.rule == f.rule &&
+                    (p.line == f.line || p.line == f.line - 1)) {
+                    p.used = true;
+                    suppressed = true;
+                }
+            }
+        }
+        if (!suppressed)
+            kept.push_back(std::move(f));
+    }
+
+    for (const FileModel &fm : tree.files) {
+        for (const Pragma &p : fm.pragmas) {
+            if (p.rule.empty()) {
+                kept.push_back(
+                    {fm.rel, p.line, "bad-pragma",
+                     "malformed mulint pragma (expected '// mulint: "
+                     "allow(<rule>): <justification>')"});
+                continue;
+            }
+            if (!ruleNames().count(p.rule)) {
+                kept.push_back({fm.rel, p.line, "bad-pragma",
+                                "unknown mulint rule '" + p.rule +
+                                    "' in allow pragma"});
+                continue;
+            }
+            if (!p.justified)
+                kept.push_back(
+                    {fm.rel, p.line, "bad-pragma",
+                     "allow(" + p.rule +
+                         ") pragma is missing its justification; "
+                         "say why the exemption is sound"});
+        }
+    }
+
+    if (!options.rules.empty()) {
+        kept.erase(std::remove_if(kept.begin(), kept.end(),
+                                  [&](const Finding &f) {
+                                      return !options.rules.count(
+                                          f.rule);
+                                  }),
+                   kept.end());
+    }
+
+    std::sort(kept.begin(), kept.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.file, a.line, a.rule, a.message) <
+                         std::tie(b.file, b.line, b.rule, b.message);
+              });
+    kept.erase(std::unique(kept.begin(), kept.end(),
+                           [](const Finding &a, const Finding &b) {
+                               return a.file == b.file &&
+                                      a.line == b.line &&
+                                      a.rule == b.rule &&
+                                      a.message == b.message;
+                           }),
+               kept.end());
+    return kept;
+}
+
+std::vector<Finding>
+analyzeTree(const std::string &root, const Options &options,
+            std::string *error)
+{
+    const fs::path rootPath(root);
+    const fs::path srcPath = rootPath / "src";
+    if (!fs::is_directory(srcPath)) {
+        if (error)
+            *error = "no src/ directory under " + root;
+        return {};
+    }
+
+    std::vector<fs::path> paths;
+    for (auto it = fs::recursive_directory_iterator(srcPath);
+         it != fs::recursive_directory_iterator(); ++it) {
+        if (!it->is_regular_file())
+            continue;
+        const std::string ext = it->path().extension().string();
+        if (ext == ".h" || ext == ".cc")
+            paths.push_back(it->path());
+    }
+    std::sort(paths.begin(), paths.end());
+
+    Tree tree;
+    for (const fs::path &p : paths) {
+        std::ifstream in(p, std::ios::binary);
+        if (!in) {
+            if (error)
+                *error = "cannot read " + p.string();
+            return {};
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        const std::string rel =
+            fs::relative(p, rootPath).generic_string();
+        tree.files.push_back(parseFile(rel, buf.str()));
+    }
+
+    std::vector<Finding> findings;
+    finalizeTree(tree, findings);
+
+    std::vector<std::string> designLines;
+    std::ifstream design(rootPath / "DESIGN.md");
+    for (std::string line; std::getline(design, line);)
+        designLines.push_back(line);
+
+    runRules(tree, designLines, options, findings);
+    return applyPragmas(tree, std::move(findings), options);
+}
+
+} // namespace mulint
