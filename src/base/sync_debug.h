@@ -59,7 +59,7 @@ enum class LockRank : int {
     clientConn = 40,     //!< Client connection + pending table.
     serverConns = 45,    //!< Server per-shard connection table.
     queue = 50,          //!< Task queues and rendezvous cells.
-    timer = 60,          //!< Timer-service heap (rpc/timers).
+    timer = 60,          //!< Shared timer heap (base/clock RealClock).
     kvShard = 65,        //!< mucache shard (kv/mucache).
     frameOut = 70,       //!< Framed-connection outbound buffer.
     wirePool = 72,       //!< Wire-buffer recycling pool (serde/wire) —
@@ -86,7 +86,7 @@ enum class ThreadRole : uint8_t {
     poller,     //!< Server network/request-reception thread.
     worker,     //!< Server RPC-handler thread.
     completion, //!< Client leaf-response completion thread.
-    timer,      //!< Shared RPC timer thread.
+    timer,      //!< Shared timer thread (base/clock RealClock).
     loadgen,    //!< Load-generator issuing thread.
 };
 

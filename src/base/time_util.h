@@ -3,6 +3,12 @@
  * Clock helpers. All latency measurement in musuite uses the monotonic
  * clock expressed in integer nanoseconds, so arithmetic stays exact and
  * cheap on hot paths.
+ *
+ * These are the *raw* wall-clock primitives. Code on the Clock seam —
+ * everything under src/rpc/ and src/services/ — must not call them
+ * directly; it reads time from its bound musuite::Clock (base/clock.h)
+ * so the same logic runs under the simulated clock. tools/check.sh
+ * enforces this.
  */
 
 #ifndef MUSUITE_BASE_TIME_UTIL_H

@@ -5,6 +5,12 @@
  * (§V): a load generator, one mid-tier microservice, and a sharded
  * leaf microservice — four-way sharded for HDSearch / Set Algebra /
  * Recommend, 16-way with three replicas for Router.
+ *
+ * Deployments are the loopback-TCP binding of the Clock/transport
+ * seam: servers and clients here run threads and epoll, so they bind
+ * the real clock (construct deployments with no ambient-clock
+ * override). Deterministic whole-topology scenarios belong on the
+ * simulated binding instead (simkernel/sim_transport.h).
  */
 
 #ifndef MUSUITE_HARNESS_DEPLOYMENT_H

@@ -2,7 +2,10 @@
  * @file
  * The channel resilience layer: blocking wrappers, fault injection at
  * the request/response boundaries, and the per-call deadline / retry /
- * hedging state machine shared by every transport.
+ * hedging state machine shared by every transport. All time — now,
+ * deadlines, retry and hedge timers, injected delays — comes from the
+ * channel's bound Clock, so the machine runs identically on the real
+ * timer thread and on the simulated event loop.
  */
 
 #include "rpc/channel.h"
@@ -13,12 +16,12 @@
 #include <thread>
 #include <vector>
 
+#include "base/clock.h"
+#include "base/logging.h"
 #include "base/threading.h"
-#include "base/time_util.h"
 #include "ostrace/sync.h"
 #include "rpc/fault.h"
 #include "rpc/overload.h"
-#include "rpc/timers.h"
 #include "serde/wire.h"
 #include "stats/counters.h"
 
@@ -27,16 +30,22 @@ namespace rpc {
 
 namespace {
 
-/** splitmix64 over a global counter: cheap decorrelated jitter. */
+/** splitmix64 step: the mixer both jitter streams share. */
 uint64_t
-nextJitterBits()
+splitmix64(uint64_t z)
 {
-    static std::atomic<uint64_t> counter{0x9E3779B97F4A7C15ull};
-    uint64_t z = counter.fetch_add(0x9E3779B97F4A7C15ull,
-                                   std::memory_order_relaxed);
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
     return z ^ (z >> 31);
+}
+
+/** splitmix64 over a global counter: cheap decorrelated jitter. */
+uint64_t
+nextGlobalJitterBits()
+{
+    static std::atomic<uint64_t> counter{0x9E3779B97F4A7C15ull};
+    return splitmix64(counter.fetch_add(0x9E3779B97F4A7C15ull,
+                                        std::memory_order_relaxed));
 }
 
 bool
@@ -68,13 +77,20 @@ struct CallState : std::enable_shared_from_this<CallState>
     int64_t startNs = 0;
     int64_t totalDeadlineAt = 0; //!< 0 = none.
 
+    /**
+     * Per-call jitter stream state; 0 = draw from the global stream.
+     * Seeded from CallOptions::backoffJitterSeed so a simulated
+     * scenario replays its backoff schedule exactly.
+     */
+    std::atomic<uint64_t> jitterState{0};
+
     Mutex mutex{LockRank::call, "rpc.call"};
     bool done GUARDED_BY(mutex) = false;
     bool retryPending GUARDED_BY(mutex) = false;
     int attemptsIssued GUARDED_BY(mutex) = 0;
     int outstanding GUARDED_BY(mutex) = 0;
     Status lastError GUARDED_BY(mutex);
-    TimerService::TimerId hedgeTimer GUARDED_BY(mutex) = 0;
+    Clock::TimerId hedgeTimer GUARDED_BY(mutex) = 0;
 
     /**
      * Threads currently inside transportCall() for this call. The
@@ -90,10 +106,22 @@ struct CallState : std::enable_shared_from_this<CallState>
 
 void issueAttempt(const std::shared_ptr<CallState> &state);
 
+uint64_t
+nextJitterBits(CallState &state)
+{
+    uint64_t seeded = state.jitterState.load(std::memory_order_relaxed);
+    if (seeded == 0)
+        return nextGlobalJitterBits();
+    seeded += 0x9E3779B97F4A7C15ull;
+    state.jitterState.store(seeded, std::memory_order_relaxed);
+    return splitmix64(seeded);
+}
+
 /** Backoff for the k-th retry (k >= 1): capped doubling +/- jitter. */
 int64_t
-backoffDelayNs(const CallOptions &options, int retry_index)
+backoffDelayNs(CallState &state, int retry_index)
 {
+    const CallOptions &options = state.options;
     int64_t delay = options.backoffBaseNs;
     for (int i = 1; i < retry_index && delay < options.backoffMaxNs;
          ++i) {
@@ -102,7 +130,7 @@ backoffDelayNs(const CallOptions &options, int retry_index)
     delay = std::min(delay, options.backoffMaxNs);
     if (options.backoffJitter > 0) {
         const double unit =
-            double(nextJitterBits() >> 11) / double(1ull << 53);
+            double(nextJitterBits(state) >> 11) / double(1ull << 53);
         delay = int64_t(double(delay) *
                         (1.0 + options.backoffJitter * (2 * unit - 1)));
     }
@@ -113,7 +141,7 @@ void
 completeCall(const std::shared_ptr<CallState> &state,
              const Status &status, std::string_view payload)
 {
-    TimerService::TimerId hedge = 0;
+    Clock::TimerId hedge = 0;
     {
         MutexLock lock(state->mutex);
         // Quiesce: wait (microseconds) until no other thread is inside
@@ -136,7 +164,7 @@ completeCall(const std::shared_ptr<CallState> &state,
         state->hedgeTimer = 0;
     }
     if (hedge)
-        TimerService::global().cancel(hedge);
+        state->channel->clock().cancel(hedge);
     state->callback(status, payload);
 }
 
@@ -179,17 +207,19 @@ onAttemptDone(const std::shared_ptr<CallState> &state, int attempt,
                     .counter("overload.retry_throttled")
                     .add();
             } else {
-                retry_delay = backoffDelayNs(state->options,
-                                             state->attemptsIssued);
+                retry_delay =
+                    backoffDelayNs(*state, state->attemptsIssued);
                 // An explicit server pacing hint (RESOURCE_EXHAUSTED
                 // retry-after) acts as a floor under the backoff: the
                 // server knows its queue better than our exponential
-                // schedule does.
+                // schedule does. The hint is a *relative* duration, so
+                // it is meaningful whatever clock the server ran on.
                 retry_delay =
                     std::max(retry_delay, status.retryAfterNs());
                 const bool within_budget =
                     state->totalDeadlineAt == 0 ||
-                    nowNanos() + retry_delay < state->totalDeadlineAt;
+                    state->channel->clock().nowNanos() + retry_delay <
+                        state->totalDeadlineAt;
                 if (within_budget) {
                     state->retryPending = true;
                     schedule_retry = true;
@@ -207,7 +237,7 @@ onAttemptDone(const std::shared_ptr<CallState> &state, int attempt,
 
     if (schedule_retry) {
         globalCounters().counter("rpc.retry.scheduled").add();
-        TimerService::global().schedule(retry_delay, [state] {
+        state->channel->clock().schedule(retry_delay, [state] {
             assertOnTimerThread();
             {
                 MutexLock guard(state->mutex);
@@ -225,20 +255,56 @@ onAttemptDone(const std::shared_ptr<CallState> &state, int attempt,
 void
 issueAttempt(const std::shared_ptr<CallState> &state)
 {
-    int attempt;
+    int attempt = 0;
+    bool exhausted = false;
+    bool exhausted_complete = false;
+    Status exhausted_error;
     {
         MutexLock guard(state->mutex);
         if (state->done)
             return;
-        attempt = ++state->attemptsIssued;
-        state->outstanding++;
+        if (state->attemptsIssued >= state->options.maxAttempts) {
+            // A hedge timer and a scheduled retry race into here: the
+            // hedge checks the attempt budget, drops the lock, and a
+            // concurrently firing retry issues the last attempt first
+            // — issuing one more would overrun maxAttempts and amplify
+            // an overload with exactly the traffic the budget was
+            // meant to cap. But a bare no-op is not enough either: if
+            // the budgeted attempts have all already failed, the loser
+            // of the race is the only continuation the call has left,
+            // so it must complete the call instead of leaving it
+            // hanging forever.
+            exhausted = true;
+            if (state->outstanding == 0 && !state->retryPending) {
+                state->done = true;
+                exhausted_complete = true;
+                exhausted_error =
+                    state->lastError.isOk()
+                        ? Status(StatusCode::Unavailable,
+                                 "attempt budget exhausted")
+                        : state->lastError;
+            }
+        } else {
+            attempt = ++state->attemptsIssued;
+            state->outstanding++;
+        }
+    }
+    if (exhausted) {
+        globalCounters().counter("rpc.call.attempts_capped").add();
+        if (exhausted_complete)
+            completeCall(state, exhausted_error, {});
+        return;
     }
 
+    Clock &clock = state->channel->clock();
+
     // Effective per-attempt deadline: the attempt budget clamped by
-    // whatever remains of the whole-call budget.
+    // whatever remains of the whole-call budget (both instants come
+    // from the channel's clock, never mixed across domains).
     int64_t deadline_ns = state->options.deadlineNs;
     if (state->totalDeadlineAt != 0) {
-        const int64_t remaining = state->totalDeadlineAt - nowNanos();
+        const int64_t remaining =
+            state->totalDeadlineAt - clock.nowNanos();
         if (remaining <= 0) {
             onAttemptDone(state, attempt,
                           Status(StatusCode::DeadlineExceeded,
@@ -267,28 +333,33 @@ issueAttempt(const std::shared_ptr<CallState> &state)
             }
             const uint64_t id = timer_id->load();
             if (id)
-                TimerService::global().cancel(id);
+                state->channel->clock().cancel(id);
             onAttemptDone(state, attempt, status, payload);
         };
 
     if (deadline_ns > 0) {
-        const uint64_t id = TimerService::global().schedule(
+        const uint64_t id = clock.schedule(
             deadline_ns, [state, attempt, settled] {
                 if (settled->exchange(true))
                     return;
                 globalCounters()
                     .counter("rpc.call.deadline_expired")
                     .add();
-                onAttemptDone(state, attempt,
-                              Status(StatusCode::DeadlineExceeded,
-                                     "attempt deadline expired"),
-                              {});
+                const Status expired(StatusCode::DeadlineExceeded,
+                                     "attempt deadline expired");
+                // The attempt settles locally: the transport has gone
+                // silent past the deadline, and for a blackholed
+                // request its own outcome recorder never runs. Feed
+                // the breaker/throttle here or a blackholed half-open
+                // probe wedges the breaker (see recordAttemptOutcome).
+                state->channel->recordAttemptOutcome(expired);
+                onAttemptDone(state, attempt, expired, {});
             });
         timer_id->store(id);
         // The response may have settled before the timer was armed;
         // make sure an orphaned timer cannot linger until it fires.
         if (settled->load())
-            TimerService::global().cancel(id);
+            clock.cancel(id);
     }
 
     {
@@ -311,6 +382,39 @@ issueAttempt(const std::shared_ptr<CallState> &state)
 }
 
 } // namespace
+
+Channel::Channel() : boundClock(&currentClock()) {}
+
+void
+Channel::setCircuitBreaker(std::shared_ptr<CircuitBreaker> breaker_in)
+{
+    MUSUITE_CHECK(!breaker_in || &breaker_in->clock() == boundClock)
+        << "circuit breaker bound to a different clock than its "
+           "channel: cooldown instants would be compared across "
+           "clock domains";
+    breaker = std::move(breaker_in);
+}
+
+void
+Channel::recordAttemptOutcome(const Status &status)
+{
+    const StatusCode code = status.code();
+    const bool transport_failure =
+        code == StatusCode::Unavailable ||
+        code == StatusCode::DeadlineExceeded;
+    if (breaker) {
+        if (transport_failure)
+            breaker->recordFailure();
+        else
+            breaker->recordSuccess();
+    }
+    if (throttle) {
+        if (transport_failure || code == StatusCode::ResourceExhausted)
+            throttle->onFailure();
+        else
+            throttle->onSuccess();
+    }
+}
 
 void
 Channel::call(uint32_t method, std::string body, Callback callback)
@@ -345,27 +449,10 @@ Channel::attemptCall(uint32_t method, std::string body,
         // the breaker must stay closed or controlled shedding would
         // blind the client. Anything else is an application-level
         // answer from a healthy server.
-        callback = [breaker = breaker, throttle = throttle,
-                    inner = std::move(callback)](
+        callback = [this, inner = std::move(callback)](
                        const Status &status,
                        std::string_view payload) {
-            const StatusCode code = status.code();
-            const bool transport_failure =
-                code == StatusCode::Unavailable ||
-                code == StatusCode::DeadlineExceeded;
-            if (breaker) {
-                if (transport_failure)
-                    breaker->recordFailure();
-                else
-                    breaker->recordSuccess();
-            }
-            if (throttle) {
-                if (transport_failure ||
-                    code == StatusCode::ResourceExhausted)
-                    throttle->onFailure();
-                else
-                    throttle->onSuccess();
-            }
+            recordAttemptOutcome(status);
             inner(status, payload);
         };
     }
@@ -394,14 +481,18 @@ Channel::call(uint32_t method, std::string body,
     state->body = std::move(body);
     state->options = options;
     state->callback = std::move(callback);
-    state->startNs = nowNanos();
+    state->startNs = clock().nowNanos();
+    if (options.backoffJitterSeed != 0) {
+        state->jitterState.store(options.backoffJitterSeed,
+                                 std::memory_order_relaxed);
+    }
     if (options.totalDeadlineNs > 0)
         state->totalDeadlineAt = state->startNs + options.totalDeadlineNs;
 
     issueAttempt(state);
 
     if (options.hedgeDelayNs > 0 && options.maxAttempts >= 2) {
-        const uint64_t id = TimerService::global().schedule(
+        const uint64_t id = clock().schedule(
             options.hedgeDelayNs, [state] {
                 assertOnTimerThread();
                 {
@@ -434,7 +525,7 @@ Channel::call(uint32_t method, std::string body,
             }
         }
         if (fired_late)
-            TimerService::global().cancel(id);
+            clock().cancel(id);
     }
 }
 
@@ -457,8 +548,8 @@ Channel::injectedCall(uint32_t method, std::string body,
     }
 
     Callback inspected =
-        [fi, callback = std::move(callback)](const Status &status,
-                                             std::string_view payload) {
+        [this, fi, callback = std::move(callback)](
+            const Status &status, std::string_view payload) {
             const FaultDecision decision = fi->onResponse();
             switch (decision.kind) {
               case FaultDecision::Kind::Drop:
@@ -470,7 +561,7 @@ Channel::injectedCall(uint32_t method, std::string body,
                 std::string copy = acquireWireBuffer(payload.size());
                 if (!payload.empty())
                     copy.assign(payload.data(), payload.size());
-                TimerService::global().schedule(
+                clock().schedule(
                     decision.delayNs,
                     [callback, status, copy = std::move(copy)]() mutable {
                         callback(status, copy);
@@ -484,7 +575,7 @@ Channel::injectedCall(uint32_t method, std::string body,
         };
 
     if (request_decision.kind == FaultDecision::Kind::Delay) {
-        TimerService::global().schedule(
+        clock().schedule(
             request_decision.delayNs,
             [this, method, budget_ns, body = std::move(body),
              inspected = std::move(inspected)]() mutable {
@@ -509,7 +600,9 @@ Channel::callSync(uint32_t method, std::string body,
 {
     // One-shot rendezvous built on the traced primitives so that sync
     // calls contribute futex counts exactly like the real client-side
-    // blocking path would.
+    // blocking path would. Real-clock bindings only: under a SimClock
+    // nothing advances virtual time while this thread blocks, so a
+    // sim caller must pump the event loop instead (sim::simCallSync).
     struct Rendezvous
     {
         TracedMutex mutex;

@@ -23,11 +23,18 @@
  *    failing, so a saturated leaf is not hammered into the ground.
  *
  * THREADING CONTRACT: a callback may run on a completion thread, on
- * the shared timer thread, or *synchronously on the caller's own
- * thread inside call()* — e.g. when the transport fails inline
- * (connect refused) or a fault injector errors the request. Callers
- * must not hold locks across call() that the callback also takes, and
- * must not assume completion-thread context.
+ * the bound clock's timer-dispatch context (the shared timer thread
+ * under RealClock, the event-loop-pumping thread under SimClock), or
+ * *synchronously on the caller's own thread inside call()* — e.g.
+ * when the transport fails inline (connect refused) or a fault
+ * injector errors the request. Callers must not hold locks across
+ * call() that the callback also takes, and must not assume
+ * completion-thread context.
+ *
+ * CLOCK SEAM: every instant the resilience layer computes — attempt
+ * deadlines, total-deadline cutoffs, retry fire times, hedge arming —
+ * comes from the channel's bound Clock (base/clock.h), so the whole
+ * state machine runs unmodified under the simulated clock.
  */
 
 #ifndef MUSUITE_RPC_CHANNEL_H
@@ -43,6 +50,9 @@
 #include "base/status.h"
 
 namespace musuite {
+
+class Clock;
+
 namespace rpc {
 
 class FaultInjector;
@@ -87,6 +97,15 @@ struct CallOptions
      */
     int64_t hedgeDelayNs = 0;
 
+    /**
+     * Seed for the backoff jitter stream. 0 (the default) draws from a
+     * process-global decorrelated stream — fine for production, where
+     * cross-call decorrelation is the whole point of jitter. A nonzero
+     * seed gives this call its own splitmix64 stream so a simulated
+     * scenario replays its backoff schedule bit-for-bit run to run.
+     */
+    uint64_t backoffJitterSeed = 0;
+
     /** True if any feature beyond a bare transport call is enabled. */
     bool
     plain() const
@@ -106,7 +125,26 @@ class Channel
      */
     using Callback = std::function<void(const Status &, std::string_view)>;
 
+    /** Binds the ambient clock (base/clock.h) at construction. */
+    Channel();
+
     virtual ~Channel() = default;
+
+    /**
+     * The clock this channel reads time from and arms its deadline,
+     * retry, hedge, and fault-delay timers on. One call runs entirely
+     * in one clock domain: every absolute instant the resilience layer
+     * computes comes from this clock.
+     */
+    Clock &clock() const { return *boundClock; }
+
+    /**
+     * Rebind the channel to another clock. Not synchronized against
+     * in-flight calls: rebind before traffic, like setFaultInjector.
+     * Attached overload controllers must live in the same clock domain
+     * (setCircuitBreaker checks).
+     */
+    void bindClock(Clock &clock_in) { boundClock = &clock_in; }
 
     /**
      * Issue an asynchronous unary call with default options (single
@@ -163,12 +201,11 @@ class Channel
      * attempt through this channel. While the breaker refuses, calls
      * complete immediately with UNAVAILABLE and never reach the
      * transport. Install before traffic, like the fault injector.
+     * The breaker must be bound to the same Clock as the channel —
+     * its cooldown deadlines are compared against this channel's
+     * timeline — so mixing domains aborts.
      */
-    void
-    setCircuitBreaker(std::shared_ptr<CircuitBreaker> breaker_in)
-    {
-        breaker = std::move(breaker_in);
-    }
+    void setCircuitBreaker(std::shared_ptr<CircuitBreaker> breaker_in);
 
     CircuitBreaker *circuitBreaker() const { return breaker.get(); }
 
@@ -198,6 +235,21 @@ class Channel
      */
     void attemptCall(uint32_t method, std::string body,
                      int64_t budget_ns, Callback callback);
+
+    /**
+     * Feed one attempt outcome to the breaker/retry throttle without
+     * issuing a call. The retry layer uses this when an attempt
+     * settles *locally* — its deadline timer fires while the
+     * transport is still silent — because a blackholed attempt would
+     * otherwise never be recorded at all: a half-open probe that is
+     * blackholed would leave the breaker wedged (probe slot occupied
+     * forever, every later call rejected). The transport's own late
+     * outcome, if it ever arrives, is still recorded by attemptCall's
+     * wrapper; both events are evidence about server health and the
+     * state machines tolerate the duplicate (a late success against
+     * an open breaker is ignored by design).
+     */
+    void recordAttemptOutcome(const Status &status);
 
   protected:
     /**
@@ -229,6 +281,7 @@ class Channel
     std::shared_ptr<FaultInjector> injector;
     std::shared_ptr<CircuitBreaker> breaker;
     std::shared_ptr<RetryThrottle> throttle;
+    Clock *boundClock; //!< Never null; see clock().
 };
 
 /**

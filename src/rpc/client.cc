@@ -8,8 +8,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "base/clock.h"
 #include "base/logging.h"
-#include "base/time_util.h"
 #include "ostrace/syscalls.h"
 #include "stats/counters.h"
 
@@ -118,7 +118,7 @@ RpcClient::ensureConnected(ClientConn *conn)
         return true;
     // Reconnect backoff: while the hold-off runs, fail fast without a
     // dial so a dead server does not eat a connect storm.
-    const int64_t now = nowNanos();
+    const int64_t now = clock().nowNanos();
     if (now < conn->nextDialAllowedNs) {
         globalCounters().counter("rpc.client.dial_suppressed").add();
         return false;
@@ -257,7 +257,7 @@ RpcClient::transportCall(uint32_t method, std::string body,
             pending_call.callback = std::move(callback);
             if (options.defaultDeadlineNs > 0) {
                 pending_call.deadlineNs =
-                    nowNanos() + options.defaultDeadlineNs;
+                    clock().nowNanos() + options.defaultDeadlineNs;
             }
             conn->pending.emplace(request_id, std::move(pending_call));
         }
@@ -406,7 +406,7 @@ void
 RpcClient::sweepExpired(CompletionShard &shard)
 {
     assertOnCompletionThread();
-    const int64_t now = nowNanos();
+    const int64_t now = clock().nowNanos();
     std::vector<Callback> expired;
     for (ClientConn *conn : shard.conns) {
         MutexLock guard(conn->mutex);

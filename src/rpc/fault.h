@@ -9,7 +9,10 @@
  * (complete with an injected status), or delay. Decisions come either
  * from deterministic counter rules (fail the first N calls, drop every
  * Nth) for exact test scripts, or from a seeded RNG for statistical
- * fault storms — both replay identically run to run.
+ * fault storms — both replay identically run to run. Delay faults are
+ * executed on the owning channel's Clock (base/clock.h), so a fault
+ * schedule replayed under the simulated clock perturbs virtual time
+ * exactly as it perturbed wall time.
  *
  * Connection-level kills are transport-specific and live on
  * RpcClient::killConnections().

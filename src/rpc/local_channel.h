@@ -4,6 +4,11 @@
  * the calling thread. Used by unit tests and by the simkernel
  * calibration pass, which needs pure handler compute times with no
  * network or scheduling in the way.
+ *
+ * This is the in-process binding of the Clock/transport seam: it works
+ * under any Clock (the resilience layer's timers come from the bound
+ * clock either way). For a latency-modelling in-process transport on
+ * the simulated clock, see simkernel/sim_transport.h.
  */
 
 #ifndef MUSUITE_RPC_LOCAL_CHANNEL_H

@@ -7,8 +7,8 @@
 
 #include <algorithm>
 
+#include "base/clock.h"
 #include "base/logging.h"
-#include "base/time_util.h"
 #include "stats/counters.h"
 
 namespace musuite {
@@ -109,7 +109,9 @@ GradientAdmission::inflight() const
 // CircuitBreaker
 // ---------------------------------------------------------------------
 
-CircuitBreaker::CircuitBreaker(Options options_in) : options(options_in)
+CircuitBreaker::CircuitBreaker(Options options_in, Clock *clock_in)
+    : options(options_in),
+      boundClock(clock_in ? clock_in : &currentClock())
 {
     MUSUITE_CHECK(options.failureThreshold >= 1)
         << "breaker needs a positive failure threshold";
@@ -125,7 +127,7 @@ CircuitBreaker::allowRequest()
       case State::Closed:
         return true;
       case State::Open:
-        if (nowNanos() < reopenAtNs) {
+        if (boundClock->nowNanos() < reopenAtNs) {
             globalCounters().counter("overload.breaker_rejected").add();
             return false;
         }
@@ -179,7 +181,7 @@ CircuitBreaker::recordFailure()
       case State::Closed:
         if (++consecutiveFailures >= options.failureThreshold) {
             current = State::Open;
-            reopenAtNs = nowNanos() + options.openCooldownNs;
+            reopenAtNs = boundClock->nowNanos() + options.openCooldownNs;
             openedCount.fetch_add(1, std::memory_order_relaxed);
             globalCounters().counter("overload.breaker_opened").add();
         }
@@ -189,7 +191,7 @@ CircuitBreaker::recordFailure()
         current = State::Open;
         probesInFlight = 0;
         probeSuccesses = 0;
-        reopenAtNs = nowNanos() + options.openCooldownNs;
+        reopenAtNs = boundClock->nowNanos() + options.openCooldownNs;
         openedCount.fetch_add(1, std::memory_order_relaxed);
         globalCounters().counter("overload.breaker_opened").add();
         break;

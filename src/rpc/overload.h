@@ -54,6 +54,9 @@
 #include "base/threading.h"
 
 namespace musuite {
+
+class Clock;
+
 namespace rpc {
 
 /**
@@ -180,8 +183,18 @@ class CircuitBreaker
         uint32_t closeThreshold = 1;
     };
 
+    /**
+     * `clock` is the Clock the cooldown runs on — null binds the
+     * ambient clock (base/clock.h). A breaker attached to a channel
+     * must share the channel's clock; Channel::setCircuitBreaker
+     * checks, because an open-until instant pinned on one clock is
+     * meaningless against another clock's now.
+     */
     CircuitBreaker() : CircuitBreaker(Options()) {} // See GradientAdmission.
-    explicit CircuitBreaker(Options options);
+    explicit CircuitBreaker(Options options, Clock *clock = nullptr);
+
+    /** The clock cooldown deadlines are pinned to. */
+    Clock &clock() const { return *boundClock; }
 
     /**
      * True if the attempt may proceed. While open this fails fast
@@ -200,6 +213,7 @@ class CircuitBreaker
 
   private:
     const Options options;
+    Clock *boundClock; //!< Never null; see clock().
     mutable Mutex mutex{LockRank::overload, "rpc.breaker"};
     State current GUARDED_BY(mutex) = State::Closed;
     uint32_t consecutiveFailures GUARDED_BY(mutex) = 0;

@@ -9,8 +9,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/clock.h"
 #include "base/logging.h"
-#include "base/time_util.h"
 #include "ostrace/ostrace.h"
 #include "ostrace/syscalls.h"
 #include "serde/wire.h"
@@ -81,9 +81,10 @@ flushResponseBatch(ResponseBatch &batch)
 
 ServerCall::ServerCall(uint32_t method, std::string body,
                        uint64_t request_id, Responder responder,
-                       int64_t deadline_at_ns)
+                       int64_t deadline_at_ns, Clock *clock)
     : methodId(method), requestBody(std::move(body)), id(request_id),
-      arrivalNs(nowNanos()), deadlineAtNs(deadline_at_ns),
+      timeSource(clock ? clock : &currentClock()),
+      arrivalNs(timeSource->nowNanos()), deadlineAtNs(deadline_at_ns),
       responder(std::move(responder))
 {}
 
@@ -101,7 +102,7 @@ ServerCall::respond(StatusCode code, std::string_view payload)
         return;
     }
     // Net mid-tier latency: full server residence of this request.
-    const int64_t residence_ns = nowNanos() - arrivalNs;
+    const int64_t residence_ns = timeSource->nowNanos() - arrivalNs;
     recordOs(OsCategory::Net, residence_ns);
     // Close the admission loop with the residence sample — including
     // in-queue-expired requests, whose large samples are exactly what
@@ -116,7 +117,7 @@ ServerCall::remainingBudgetNs() const
 {
     if (deadlineAtNs == 0)
         return 0;
-    const int64_t remaining = deadlineAtNs - nowNanos();
+    const int64_t remaining = deadlineAtNs - timeSource->nowNanos();
     return remaining > 0 ? remaining : 1;
 }
 
@@ -165,7 +166,8 @@ struct Server::PollerShard
 };
 
 Server::Server(ServerOptions options_in)
-    : options(std::move(options_in)), taskQueue(options.queueCapacity)
+    : options(std::move(options_in)), boundClock(&currentClock()),
+      taskQueue(options.queueCapacity)
 {
     MUSUITE_CHECK(options.pollerThreads >= 1) << "need >= 1 poller";
     MUSUITE_CHECK(!options.dispatchToWorkers || options.workerThreads >= 1)
@@ -339,7 +341,7 @@ Server::workerMain(size_t)
             // running the handler would burn worker time to produce a
             // response nobody reads. Shed it instead.
             if (options.enforceQueueDeadline &&
-                task->expired(nowNanos())) {
+                task->expired(boundClock->nowNanos())) {
                 globalCounters()
                     .counter("overload.expired_in_queue")
                     .add();
@@ -421,7 +423,8 @@ Server::handleFrame(Conn *conn, std::string_view frame)
     // The wire budget is relative (clock domains differ across
     // hosts); pin it to this host's monotonic clock on arrival.
     const int64_t deadline_at =
-        header.budgetNs > 0 ? nowNanos() + header.budgetNs : 0;
+        header.budgetNs > 0 ? boundClock->nowNanos() + header.budgetNs
+                            : 0;
 
     std::string body = acquireWireBuffer(payload.size());
     if (!payload.empty())
@@ -429,7 +432,7 @@ Server::handleFrame(Conn *conn, std::string_view frame)
     auto call = std::make_shared<ServerCall>(method, std::move(body),
                                              request_id,
                                              std::move(responder),
-                                             deadline_at);
+                                             deadline_at, boundClock);
     call->setAdmission(options.admission);
 
     if (options.dispatchToWorkers) {
@@ -508,11 +511,11 @@ Server::invokeLocal(uint32_t method, std::string body,
 {
     static std::atomic<uint64_t> local_ids{1};
     const int64_t deadline_at =
-        budget_ns > 0 ? nowNanos() + budget_ns : 0;
+        budget_ns > 0 ? boundClock->nowNanos() + budget_ns : 0;
     auto call = std::make_shared<ServerCall>(method, std::move(body),
                                              local_ids.fetch_add(1),
                                              std::move(responder),
-                                             deadline_at);
+                                             deadline_at, boundClock);
     execute(call);
 }
 

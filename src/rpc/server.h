@@ -52,6 +52,9 @@
 #include "rpc/overload.h"
 
 namespace musuite {
+
+class Clock;
+
 namespace rpc {
 
 /** Threading-model knobs (paper §IV design + §VII ablations). */
@@ -101,8 +104,15 @@ class ServerCall
   public:
     using Responder = std::function<void(StatusCode, std::string_view)>;
 
+    /**
+     * `clock` is the Clock arrival/residence/budget instants are read
+     * from (null = the ambient clock). The wire budget is pinned to it
+     * on arrival, so a call's deadline arithmetic never crosses clock
+     * domains.
+     */
     ServerCall(uint32_t method, std::string body, uint64_t request_id,
-               Responder responder, int64_t deadline_at_ns = 0);
+               Responder responder, int64_t deadline_at_ns = 0,
+               Clock *clock = nullptr);
     ~ServerCall();
 
     uint32_t method() const { return methodId; }
@@ -172,6 +182,7 @@ class ServerCall
     uint32_t methodId;
     std::string requestBody;
     uint64_t id;
+    Clock *timeSource; //!< Never null.
     int64_t arrivalNs;
     int64_t deadlineAtNs;
     Responder responder;
@@ -185,8 +196,17 @@ using Handler = std::function<void(ServerCallPtr)>;
 class Server
 {
   public:
+    /** Binds the ambient clock (base/clock.h) at construction. */
     explicit Server(ServerOptions options = {});
     ~Server();
+
+    /**
+     * The clock request arrival, residence, and wire-budget pinning
+     * read from. A started (networked) server always runs on the real
+     * clock; the simulated bindings use an *unstarted* server driven
+     * through invokeLocal, constructed under a ScopedClock.
+     */
+    Clock &clock() const { return *boundClock; }
 
     Server(const Server &) = delete;
     Server &operator=(const Server &) = delete;
@@ -241,6 +261,7 @@ class Server
     void shedCall(const ServerCallPtr &call);
 
     ServerOptions options;
+    Clock *boundClock; //!< Never null; see clock().
     std::map<uint32_t, Handler> handlers;
 
     std::unique_ptr<TcpListener> listener;

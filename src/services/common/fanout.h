@@ -27,11 +27,17 @@
  *
  * THREADING CONTRACT: on_complete is invoked exactly once, on the
  * thread of whichever leg completes the fan-out — a completion
- * thread, the rpc timer thread, or *synchronously on the caller's own
- * thread* when every leg fails inline (e.g. connect failure on every
- * channel). Merge code must not hold locks across fanoutCall() that
- * on_complete also takes, and must not assume completion-thread
- * context.
+ * thread, the bound clock's timer-dispatch context, or *synchronously
+ * on the caller's own thread* when every leg fails inline (e.g.
+ * connect failure on every channel). Merge code must not hold locks
+ * across fanoutCall() that on_complete also takes, and must not
+ * assume completion-thread context.
+ *
+ * CLOCK SEAM: the fan-out itself never reads a clock — each leg's
+ * deadline/retry/hedge timers run on that leg's channel clock, and
+ * the inbound budget it clamps legs by is a relative duration, so a
+ * fan-out runs unmodified under the simulated clock (every leg
+ * channel must share one clock domain with the parent call).
  */
 
 #ifndef MUSUITE_SERVICES_COMMON_FANOUT_H

@@ -9,11 +9,11 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "base/logging.h"
 #include "base/rng.h"
+#include "simkernel/simclock.h"
 
 namespace musuite {
 namespace sim {
@@ -26,51 +26,28 @@ usToNs(double us)
     return int64_t(us * 1000.0);
 }
 
-/** Deterministic discrete-event engine. */
+/**
+ * The modelled pipeline's historical engine API, now a façade over
+ * SimClock: the one event loop shared with the murpc-on-sim binding
+ * (sim_transport.h), so both paths exercise identical ordering rules.
+ */
 class Engine
 {
   public:
-    int64_t now() const { return clock; }
+    int64_t now() { return clock.nowNanos(); }
 
     void
     schedule(int64_t delay_ns, std::function<void()> fn)
     {
         MUSUITE_CHECK(delay_ns >= 0) << "scheduling into the past";
-        events.push(Event{clock + delay_ns, nextSeq++, std::move(fn)});
+        clock.schedule(delay_ns, std::move(fn));
     }
 
     /** Run until the event queue drains. */
-    void
-    run()
-    {
-        while (!events.empty()) {
-            // Copy out: handlers may schedule new events.
-            Event event = events.top();
-            events.pop();
-            clock = event.time;
-            event.fn();
-        }
-    }
+    void run() { clock.runUntilIdle(); }
 
   private:
-    struct Event
-    {
-        int64_t time;
-        uint64_t seq;
-        std::function<void()> fn;
-
-        bool
-        operator>(const Event &other) const
-        {
-            return time > other.time ||
-                   (time == other.time && seq > other.seq);
-        }
-    };
-
-    int64_t clock = 0;
-    uint64_t nextSeq = 0;
-    std::priority_queue<Event, std::vector<Event>, std::greater<>>
-        events;
+    SimClock clock;
 };
 
 /** Shared mutable measurement state. */

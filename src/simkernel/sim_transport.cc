@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Implementation of the simulated transport.
+ */
+
+#include "simkernel/sim_transport.h"
+
+#include <memory>
+#include <utility>
+
+#include "base/logging.h"
+
+namespace musuite {
+namespace sim {
+
+SimChannel::SimChannel(SimClock &clock_in, rpc::Server &server_in,
+                       SimLink link_in, std::string name_in)
+    : sim(clock_in), server(server_in), link(link_in),
+      label(std::move(name_in))
+{
+    MUSUITE_CHECK(&server.clock() == &clock_in)
+        << "server '" << label
+        << "' not bound to this SimClock: construct it under "
+           "ScopedClock";
+    bindClock(clock_in);
+}
+
+void
+SimChannel::transportCall(uint32_t method, std::string body,
+                          Callback callback)
+{
+    transportCall(method, std::move(body), 0, std::move(callback));
+}
+
+void
+SimChannel::transportCall(uint32_t method, std::string body,
+                          int64_t budget_ns, Callback callback)
+{
+    sim.traceEvent(label + " send m=" + std::to_string(method));
+    sim.schedule(
+        link.requestLatencyNs,
+        [this, method, body = std::move(body), budget_ns,
+         callback = std::move(callback)]() mutable {
+            if (down) {
+                sim.traceEvent(label + " refused");
+                callback(Status(StatusCode::Unavailable,
+                                "sim link down"),
+                         {});
+                return;
+            }
+            sim.traceEvent(label + " deliver m=" +
+                           std::to_string(method));
+            server.invokeLocal(
+                method, std::move(body), budget_ns,
+                [this, callback = std::move(callback)](
+                    StatusCode code, std::string_view payload) {
+                    // The handler may respond asynchronously (e.g.
+                    // from a fan-out merge); whenever it does, the
+                    // response crosses the link from that instant.
+                    sim.schedule(
+                        link.responseLatencyNs,
+                        [this, callback, code,
+                         payload = std::string(payload)] {
+                            sim.traceEvent(
+                                label + " recv code=" +
+                                std::to_string(int(code)));
+                            if (code == StatusCode::Ok) {
+                                callback(Status::ok(), payload);
+                            } else {
+                                callback(Status(code, "remote error"),
+                                         payload);
+                            }
+                        });
+                });
+        });
+}
+
+Result<std::string>
+simCallSync(SimClock &clock, rpc::Channel &channel, uint32_t method,
+            std::string body, const rpc::CallOptions &options)
+{
+    struct Cell
+    {
+        bool done = false;
+        Status status;
+        std::string payload;
+    };
+    auto cell = std::make_shared<Cell>();
+    channel.call(method, std::move(body), options,
+                 [cell](const Status &status, std::string_view payload) {
+                     cell->status = status;
+                     cell->payload.assign(payload.data(),
+                                          payload.size());
+                     cell->done = true;
+                 });
+    clock.runUntil([cell] { return cell->done; });
+    if (!cell->done) {
+        return Status(StatusCode::Internal,
+                      "sim went idle before the call completed "
+                      "(lost timer or completion)");
+    }
+    if (!cell->status.isOk())
+        return cell->status;
+    return std::move(cell->payload);
+}
+
+} // namespace sim
+} // namespace musuite

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * SimChannel: the real murpc stack on the simulated clock.
+ *
+ * The channel delivers each attempt to an *unstarted* rpc::Server
+ * through invokeLocal() after a configurable one-way link latency, and
+ * delivers the response back after another; both hops are SimClock
+ * events, so a whole client -> mid-tier -> leaves topology — with real
+ * Channel retry/hedge/deadline machinery, real CircuitBreaker /
+ * RetryThrottle state machines, real FaultInjector schedules, and real
+ * fan-out merges — executes deterministically in virtual time. This is
+ * how the wall-clock resilience tests become exact replays and how the
+ * seed-sweep scenarios flush timing races (the FoundationDB-style
+ * methodology; see DESIGN.md "Deterministic clock seam").
+ *
+ * Everything bound to one SimClock must be driven from one thread
+ * (simclock.h contract). Servers must be constructed under a
+ * ScopedClock so they bind the sim clock — SimChannel checks.
+ */
+
+#ifndef MUSUITE_SIMKERNEL_SIM_TRANSPORT_H
+#define MUSUITE_SIMKERNEL_SIM_TRANSPORT_H
+
+#include <string>
+
+#include "rpc/channel.h"
+#include "rpc/server.h"
+#include "simkernel/simclock.h"
+
+namespace musuite {
+namespace sim {
+
+/** One-way latencies of a simulated link (virtual ns). */
+struct SimLink
+{
+    int64_t requestLatencyNs = 50'000;  //!< Client -> server.
+    int64_t responseLatencyNs = 50'000; //!< Server -> client.
+};
+
+/**
+ * A channel whose transport is invokeLocal() behind SimClock-scheduled
+ * link latencies. Wire budgets are relative durations, so the server
+ * pins them against the shared sim clock on (virtual) arrival exactly
+ * as a networked server pins them against the real clock.
+ */
+class SimChannel final : public rpc::Channel
+{
+  public:
+    /**
+     * The server and clock must outlive the channel; the server must
+     * be unstarted and bound to `clock_in` (construct it under
+     * ScopedClock). `name_in` labels this link's trace lines.
+     */
+    SimChannel(SimClock &clock_in, rpc::Server &server_in,
+               SimLink link_in = {}, std::string name_in = "sim");
+
+    /**
+     * Down links refuse delivery: requests fail UNAVAILABLE after the
+     * request latency (the round trip a real RST costs), responses in
+     * flight still arrive. Takes effect for attempts sent after the
+     * flip — deterministic with respect to virtual time.
+     */
+    void setDown(bool down_in) { down = down_in; }
+
+    bool isHealthy() const override { return !down; }
+
+  protected:
+    void transportCall(uint32_t method, std::string body,
+                       Callback callback) override;
+    void transportCall(uint32_t method, std::string body,
+                       int64_t budget_ns, Callback callback) override;
+
+  private:
+    SimClock &sim;
+    rpc::Server &server;
+    SimLink link;
+    std::string label;
+    bool down = false;
+};
+
+/**
+ * Blocking call under a SimClock: issues the call, then pumps the
+ * event loop until it completes. (Channel::callSync would deadlock —
+ * nothing advances virtual time while the caller blocks.) Returns
+ * INTERNAL if the loop goes idle with the call still pending, which
+ * in a deterministic world means a real bug: somebody lost a timer or
+ * a completion.
+ */
+Result<std::string> simCallSync(SimClock &clock, rpc::Channel &channel,
+                                uint32_t method, std::string body,
+                                const rpc::CallOptions &options = {});
+
+} // namespace sim
+} // namespace musuite
+
+#endif // MUSUITE_SIMKERNEL_SIM_TRANSPORT_H

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Implementation of the simulated clock.
+ */
+
+#include "simkernel/simclock.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace musuite {
+namespace sim {
+
+Clock::TimerId
+SimClock::schedule(int64_t delay_ns, std::function<void()> fn)
+{
+    const int64_t deadline =
+        virtualNow + std::max<int64_t>(0, delay_ns);
+    const TimerId id = nextId++;
+    queue.emplace(std::make_pair(deadline, id), std::move(fn));
+    byId.emplace(id, deadline);
+    traceLine("arm", id, deadline);
+    return id;
+}
+
+bool
+SimClock::cancel(TimerId id)
+{
+    auto it = byId.find(id);
+    if (it == byId.end())
+        return false;
+    queue.erase(std::make_pair(it->second, id));
+    byId.erase(it);
+    traceLine("cancel", id, virtualNow);
+    return true;
+}
+
+bool
+SimClock::runOne()
+{
+    if (queue.empty())
+        return false;
+    // Detach before running: the callback may schedule or cancel.
+    auto node = queue.extract(queue.begin());
+    const int64_t deadline = node.key().first;
+    const TimerId id = node.key().second;
+    byId.erase(id);
+    MUSUITE_CHECK(deadline >= virtualNow) << "sim time ran backwards";
+    virtualNow = deadline;
+    traceLine("fire", id, deadline);
+    node.mapped()();
+    return true;
+}
+
+size_t
+SimClock::runFor(int64_t duration_ns)
+{
+    MUSUITE_CHECK(duration_ns >= 0) << "negative sim advance";
+    const int64_t target = virtualNow + duration_ns;
+    size_t fired = 0;
+    while (!queue.empty() && queue.begin()->first.first <= target) {
+        runOne();
+        ++fired;
+    }
+    virtualNow = target;
+    return fired;
+}
+
+size_t
+SimClock::runUntilIdle(uint64_t max_events)
+{
+    size_t fired = 0;
+    while (runOne()) {
+        ++fired;
+        MUSUITE_CHECK(fired < max_events)
+            << "sim event cap hit: runaway self-rescheduling loop?";
+    }
+    return fired;
+}
+
+bool
+SimClock::runUntil(const std::function<bool()> &done,
+                   uint64_t max_events)
+{
+    size_t fired = 0;
+    while (!done()) {
+        if (!runOne())
+            return false;
+        ++fired;
+        MUSUITE_CHECK(fired < max_events)
+            << "sim event cap hit: runaway self-rescheduling loop?";
+    }
+    return true;
+}
+
+void
+SimClock::enableTrace()
+{
+    tracing = true;
+    traceLog.clear();
+}
+
+void
+SimClock::traceEvent(std::string_view label)
+{
+    if (!tracing)
+        return;
+    traceLog += "t=";
+    traceLog += std::to_string(virtualNow);
+    traceLog += ' ';
+    traceLog.append(label.data(), label.size());
+    traceLog += '\n';
+}
+
+void
+SimClock::traceLine(std::string_view what, TimerId id, int64_t at_ns)
+{
+    if (!tracing)
+        return;
+    traceLog += "t=";
+    traceLog += std::to_string(virtualNow);
+    traceLog += ' ';
+    traceLog.append(what.data(), what.size());
+    traceLog += " id=";
+    traceLog += std::to_string(id);
+    traceLog += " at=";
+    traceLog += std::to_string(at_ns);
+    traceLog += '\n';
+}
+
+} // namespace sim
+} // namespace musuite

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * SimClock: the simulated binding of the base/clock.h seam.
+ *
+ * Virtual time plus a deterministic event loop. schedule() enqueues an
+ * event at (now + delay); nothing ever waits on wall time. Events at
+ * equal virtual instants fire in arming order (a strictly increasing
+ * sequence breaks ties), so a seeded scenario replays byte-identically
+ * run after run — the property the sim-mode regression tests and the
+ * check.sh seed sweep assert.
+ *
+ * SINGLE-THREADED BY CONTRACT: a SimClock and every object bound to it
+ * (channels, unstarted servers, breakers) must be driven from one
+ * thread. That is what makes determinism cheap — no mutex, no ordering
+ * ambiguity. Real threads (started servers, RpcClient pollers) must
+ * never share a SimClock; Channel::setCircuitBreaker and the sim
+ * transport check clock domains to keep that from happening silently.
+ *
+ * Driving the loop:
+ *  - runOne() fires the single earliest event (advancing now to it);
+ *  - runFor(d) fires everything due within d, then pins now = start+d;
+ *  - runUntilIdle() drains the queue (with a runaway-event cap);
+ *  - runUntil(pred) drains until the predicate holds.
+ *
+ * The trace facility records one line per arm/fire/cancel plus
+ * caller-injected marks; two runs of the same seeded scenario must
+ * produce byte-identical traces.
+ */
+
+#ifndef MUSUITE_SIMKERNEL_SIMCLOCK_H
+#define MUSUITE_SIMKERNEL_SIMCLOCK_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "base/clock.h"
+
+namespace musuite {
+namespace sim {
+
+class SimClock final : public Clock
+{
+  public:
+    explicit SimClock(int64_t start_ns = 0) : virtualNow(start_ns) {}
+
+    SimClock(const SimClock &) = delete;
+    SimClock &operator=(const SimClock &) = delete;
+
+    int64_t nowNanos() override { return virtualNow; }
+
+    /** Negative delays clamp to zero (fire next, still in order). */
+    TimerId schedule(int64_t delay_ns, std::function<void()> fn) override;
+
+    bool cancel(TimerId id) override;
+
+    size_t pendingTimers() const override { return byId.size(); }
+
+    bool isSimulated() const override { return true; }
+
+    // --- driving the event loop -------------------------------------
+
+    /**
+     * Fire the earliest pending event, advancing virtual time to its
+     * deadline. Returns false (and moves no time) if the queue is
+     * empty.
+     */
+    bool runOne();
+
+    /**
+     * Fire every event due in the next `duration_ns`, then set now to
+     * exactly start + duration_ns (even if the queue emptied early).
+     * Returns the number of events fired.
+     */
+    size_t runFor(int64_t duration_ns);
+
+    /**
+     * Drain the queue. Fires at most `max_events` (a runaway-loop
+     * backstop — e.g. a retry loop rescheduling itself forever);
+     * hitting the cap aborts loudly rather than spinning silently.
+     * Returns the number of events fired.
+     */
+    size_t runUntilIdle(uint64_t max_events = 10'000'000);
+
+    /**
+     * Fire events until `done()` returns true. Returns true if the
+     * predicate was met, false if the queue went idle first.
+     */
+    bool runUntil(const std::function<bool()> &done,
+                  uint64_t max_events = 10'000'000);
+
+    // --- deterministic trace ----------------------------------------
+
+    /** Start recording; clears any previous trace. */
+    void enableTrace();
+
+    /** Append "t=<now> <label>" to the trace (no-op if not tracing). */
+    void traceEvent(std::string_view label);
+
+    const std::string &trace() const { return traceLog; }
+    std::string takeTrace() { return std::move(traceLog); }
+
+  private:
+    void traceLine(std::string_view what, TimerId id, int64_t at_ns);
+
+    int64_t virtualNow;
+    TimerId nextId = 1;
+    /** (deadline, id) -> callback; map order IS execution order. */
+    std::map<std::pair<int64_t, TimerId>, std::function<void()>> queue;
+    std::map<TimerId, int64_t> byId; //!< id -> deadline, for cancel().
+    bool tracing = false;
+    std::string traceLog;
+};
+
+} // namespace sim
+} // namespace musuite
+
+#endif // MUSUITE_SIMKERNEL_SIMCLOCK_H

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "base/clock.h"
 #include "base/threading.h"
 #include "base/time_util.h"
 #include "harness/deployment.h"
@@ -21,6 +22,8 @@
 #include "rpc/server.h"
 #include "services/common/fanout.h"
 #include "services/hdsearch/proto.h"
+#include "simkernel/sim_transport.h"
+#include "simkernel/simclock.h"
 
 namespace musuite {
 namespace {
@@ -101,22 +104,27 @@ TEST(FaultInjectionTest, RetryBudgetExhaustedReportsLastError)
 
 TEST(FaultInjectionTest, PerCallDeadlineExpiresBlackholedRequest)
 {
-    auto server = makeEchoServer();
-    RpcClient client(server->port());
+    // Sim-mode exact replay (was wall-clock with a [40ms, 5s] slack
+    // window): the blackholed attempt settles via its deadline timer
+    // at exactly t = 50ms of virtual time, and nothing stays armed.
+    sim::SimClock clock;
+    ScopedClock ambient(clock);
+    auto server = std::make_unique<Server>(ServerOptions{});
+    server->registerHandler(kBlackHole, [](ServerCallPtr) {
+        // Never responds; the call object is dropped.
+    });
+    sim::SimChannel channel(clock, *server, sim::SimLink{}, "leaf");
 
     CallOptions options;
     options.deadlineNs = 50'000'000; // 50 ms.
 
-    const int64_t start = nowNanos();
-    auto result = client.callSync(kBlackHole, "void", options);
-    const int64_t elapsed = nowNanos() - start;
-
+    auto result =
+        sim::simCallSync(clock, channel, kBlackHole, "void", options);
     ASSERT_FALSE(result.isOk());
     EXPECT_EQ(result.status().code(), StatusCode::DeadlineExceeded);
-    EXPECT_GE(elapsed, 40'000'000);
-    // Generous upper bound: sanitizer builds schedule threads much
-    // more slowly, and the only claim here is "promptly, not hung".
-    EXPECT_LT(elapsed, 5'000'000'000);
+    EXPECT_EQ(clock.nowNanos(), 50'000'000);
+    clock.runUntilIdle();
+    EXPECT_EQ(clock.pendingTimers(), 0u);
 }
 
 TEST(FaultInjectionTest, FanoutMergesPartialResultsAtLegDeadline)
@@ -163,29 +171,39 @@ TEST(FaultInjectionTest, FanoutMergesPartialResultsAtLegDeadline)
 
 TEST(FaultInjectionTest, HedgeWinsAgainstDelayedFirstAttempt)
 {
-    auto server = makeEchoServer();
-    RpcClient client(server->port());
+    // Sim-mode exact replay (was wall-clock asserting only
+    // "< 1s while the original was delayed 1.5s"): the hedge fires at
+    // t = 20ms and its round trip is one request plus one response
+    // link latency, so the call completes at exactly t = 20.1ms —
+    // virtual nanoseconds before the delayed original would have.
+    sim::SimClock clock;
+    ScopedClock ambient(clock);
+    auto server = std::make_unique<Server>(ServerOptions{});
+    server->registerHandler(kEcho, [](ServerCallPtr call) {
+        call->respondOk(call->body());
+    });
+    sim::SimChannel channel(clock, *server, sim::SimLink{}, "leaf");
 
     FaultSpec spec;
     spec.delayFirstN = 1;         // Only the first attempt is slow...
     spec.delayNs = 1'500'000'000; // ...by 1.5 s.
-    client.setFaultInjector(std::make_shared<FaultInjector>(spec));
+    channel.setFaultInjector(std::make_shared<FaultInjector>(spec));
 
     CallOptions options;
     options.maxAttempts = 2;
     options.hedgeDelayNs = 20'000'000; // Hedge after 20 ms.
 
-    const int64_t start = nowNanos();
-    auto result = client.callSync(kEcho, "tail", options);
-    const int64_t elapsed = nowNanos() - start;
-
+    auto result =
+        sim::simCallSync(clock, channel, kEcho, "tail", options);
     ASSERT_TRUE(result.isOk()) << result.status().message();
     EXPECT_EQ(result.value(), "tail");
-    // The hedge answered before the delayed original would have. The
-    // margin (1 s vs 1.5 s) absorbs sanitizer-grade scheduling jitter
-    // while still proving the hedge, not the original, completed the
-    // call.
-    EXPECT_LT(elapsed, 1'000'000'000);
+    EXPECT_EQ(clock.nowNanos(), 20'100'000);
+
+    // The delayed original surfaces at t = 1.5s+ as a counted late
+    // response; the world must then drain completely.
+    clock.runUntilIdle();
+    EXPECT_GE(clock.nowNanos(), 1'500'000'000);
+    EXPECT_EQ(clock.pendingTimers(), 0u);
 }
 
 // --------------------------------------------------------------------

@@ -20,6 +20,7 @@
 #include "rpc/fault.h"
 #include "rpc/overload.h"
 #include "rpc/server.h"
+#include "simkernel/simclock.h"
 #include "stats/counters.h"
 #include "stats/histogram.h"
 
@@ -72,14 +73,19 @@ TEST(CircuitBreakerTest, SuccessResetsTheFailureStreak)
     EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
 }
 
+// The cooldown tests run on a SimClock: the cooldown elapses by
+// advancing virtual time exactly, so each is a precise replay instead
+// of a sleep with slack.
+
 TEST(CircuitBreakerTest, HalfOpenProbeRecloses)
 {
-    CircuitBreaker breaker(fastBreaker(1, 5'000'000)); // 5 ms cooldown.
-    breaker.recordFailure();
+    sim::SimClock clock;
+    CircuitBreaker breaker(fastBreaker(1, 5'000'000), &clock);
+    breaker.recordFailure(); // Opens at t=0; cooldown ends at t=5ms.
     ASSERT_EQ(breaker.state(), CircuitBreaker::State::Open);
     EXPECT_FALSE(breaker.allowRequest()); // Cooldown still running.
 
-    sleepForNanos(10'000'000);
+    clock.runFor(5'000'000); // Exactly the cooldown boundary.
     EXPECT_TRUE(breaker.allowRequest()); // First probe passes...
     EXPECT_EQ(breaker.state(), CircuitBreaker::State::HalfOpen);
     EXPECT_FALSE(breaker.allowRequest()); // ...concurrent probe capped.
@@ -91,24 +97,30 @@ TEST(CircuitBreakerTest, HalfOpenProbeRecloses)
 
 TEST(CircuitBreakerTest, FailedProbeReopens)
 {
-    CircuitBreaker breaker(fastBreaker(1, 5'000'000));
+    sim::SimClock clock;
+    CircuitBreaker breaker(fastBreaker(1, 5'000'000), &clock);
     breaker.recordFailure();
-    sleepForNanos(10'000'000);
+    clock.runFor(5'000'000);
     ASSERT_TRUE(breaker.allowRequest());
-    breaker.recordFailure(); // The probe fails.
+    breaker.recordFailure(); // The probe fails at t=5ms.
     EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
     EXPECT_EQ(breaker.timesOpened(), 2u);
-    EXPECT_FALSE(breaker.allowRequest()); // Fresh cooldown.
+    EXPECT_FALSE(breaker.allowRequest()); // Fresh cooldown to t=10ms.
+    clock.runFor(4'999'999);
+    EXPECT_FALSE(breaker.allowRequest()); // One ns short: still open.
+    clock.runFor(1);
+    EXPECT_TRUE(breaker.allowRequest()); // Re-probes exactly on time.
 }
 
 TEST(CircuitBreakerTest, CloseThresholdNeedsMultipleProbeSuccesses)
 {
+    sim::SimClock clock;
     CircuitBreaker::Options options = fastBreaker(1, 5'000'000);
     options.halfOpenProbes = 2;
     options.closeThreshold = 2;
-    CircuitBreaker breaker(options);
+    CircuitBreaker breaker(options, &clock);
     breaker.recordFailure();
-    sleepForNanos(10'000'000);
+    clock.runFor(5'000'000);
     ASSERT_TRUE(breaker.allowRequest());
     breaker.recordSuccess(); // One of two required.
     EXPECT_EQ(breaker.state(), CircuitBreaker::State::HalfOpen);

@@ -1,0 +1,514 @@
+/**
+ * @file
+ * Deterministic-simulation tests for the clock seam: the real murpc
+ * resilience stack (channels, retries, hedges, deadlines, breakers,
+ * throttles, fault injection, fan-out) driven entirely by SimClock.
+ *
+ * Three families:
+ *  - pinned regressions for timing bugs the sim flushed out of the
+ *    wall-clock code (each names its bug and fails on the pre-fix
+ *    code),
+ *  - the determinism contract itself (same seed -> byte-identical
+ *    event trace; exercised over many seeds by the sweep, which
+ *    tools/check.sh also runs under 8 distinct MUSUITE_SIM_SEED
+ *    values),
+ *  - RealClock unit coverage for the heap-compaction and
+ *    teardown-scheduling fixes (the only wall-clock tests here; both
+ *    are time-bounded, not time-sensitive).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/clock.h"
+#include "base/rng.h"
+#include "rpc/channel.h"
+#include "rpc/fault.h"
+#include "rpc/overload.h"
+#include "rpc/server.h"
+#include "services/common/fanout.h"
+#include "simkernel/sim_transport.h"
+#include "simkernel/simclock.h"
+
+namespace musuite {
+namespace {
+
+using rpc::CallOptions;
+using rpc::CircuitBreaker;
+using rpc::FaultInjector;
+using rpc::FaultSpec;
+using rpc::RetryThrottle;
+using rpc::Server;
+using rpc::ServerCallPtr;
+using rpc::ServerOptions;
+using sim::SimChannel;
+using sim::SimClock;
+using sim::SimLink;
+using sim::simCallSync;
+
+constexpr int64_t kMs = 1'000'000;
+
+/** An unstarted server bound to the ambient (sim) clock. */
+std::unique_ptr<Server>
+makeSimServer(const char *name)
+{
+    ServerOptions options;
+    options.name = name;
+    return std::make_unique<Server>(options);
+}
+
+// ====================================================================
+// SimClock basics.
+// ====================================================================
+
+TEST(SimClockTest, FiresInDeadlineThenArmOrderAndCancels)
+{
+    SimClock clock;
+    std::string order;
+    clock.schedule(20, [&] { order += 'c'; });
+    clock.schedule(10, [&] { order += 'a'; });
+    const Clock::TimerId dead = clock.schedule(10, [&] { order += 'X'; });
+    clock.schedule(10, [&] { order += 'b'; });
+    EXPECT_TRUE(clock.cancel(dead));
+    EXPECT_FALSE(clock.cancel(dead));
+    EXPECT_EQ(clock.pendingTimers(), 3u);
+
+    EXPECT_EQ(clock.runFor(10), 2u);
+    EXPECT_EQ(order, "ab");
+    EXPECT_EQ(clock.nowNanos(), 10);
+
+    EXPECT_EQ(clock.runUntilIdle(), 1u);
+    EXPECT_EQ(order, "abc");
+    EXPECT_EQ(clock.nowNanos(), 20);
+    EXPECT_EQ(clock.pendingTimers(), 0u);
+}
+
+TEST(SimClockTest, RunForAdvancesTimeEvenWhenIdle)
+{
+    SimClock clock;
+    EXPECT_EQ(clock.runFor(5 * kMs), 0u);
+    EXPECT_EQ(clock.nowNanos(), 5 * kMs);
+}
+
+// ====================================================================
+// Pinned regression: a blackholed half-open probe must not wedge the
+// circuit breaker.
+//
+// Bug: an attempt that settles via its deadline timer (transport
+// silent — blackholed request) was never recorded with the breaker.
+// The half-open probe slot stayed occupied forever, so every later
+// call was rejected and the breaker could never re-probe a recovered
+// leaf. Fixed by recording the locally settled outcome
+// (Channel::recordAttemptOutcome) from the deadline timer.
+// ====================================================================
+
+TEST(SimReplayTest, BlackholedHalfOpenProbeDoesNotWedgeBreaker)
+{
+    SimClock clock;
+    ScopedClock ambient(clock);
+
+    auto server = makeSimServer("leaf");
+    server->registerHandler(1, [](ServerCallPtr call) {
+        call->respondOk(call->body());
+    });
+    SimChannel channel(clock, *server, SimLink{}, "leaf");
+
+    // Blackhole every request before it reaches the transport.
+    auto injector = std::make_shared<FaultInjector>(
+        FaultSpec{.dropEveryNth = 1});
+    channel.setFaultInjector(injector);
+
+    CircuitBreaker::Options breaker_options;
+    breaker_options.failureThreshold = 1;
+    breaker_options.openCooldownNs = 100 * kMs;
+    auto breaker =
+        std::make_shared<CircuitBreaker>(breaker_options, &clock);
+    channel.setCircuitBreaker(breaker);
+
+    CallOptions options;
+    options.deadlineNs = 50 * kMs;
+
+    // Call 1: blackholed, settles via the deadline timer at t=50ms.
+    // The local settlement must reach the breaker and open it.
+    auto result = simCallSync(clock, channel, 1, "x", options);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::DeadlineExceeded);
+    EXPECT_EQ(clock.nowNanos(), 50 * kMs);
+    EXPECT_EQ(injector->requestsSeen(), 1u);
+    EXPECT_EQ(breaker->state(), CircuitBreaker::State::Open);
+
+    // Past the cooldown: call 2 is the half-open probe. It is
+    // blackholed too, so only the deadline-timer recording path can
+    // resolve the probe.
+    clock.runFor(150 * kMs);
+    result = simCallSync(clock, channel, 1, "x", options);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::DeadlineExceeded);
+    EXPECT_EQ(injector->requestsSeen(), 2u);
+
+    // The failed probe must have re-opened the breaker (pre-fix it
+    // stayed HalfOpen with the probe slot leaked forever)...
+    EXPECT_EQ(breaker->state(), CircuitBreaker::State::Open);
+
+    // ...so a call inside the new cooldown is rejected fast without
+    // touching the transport...
+    result = simCallSync(clock, channel, 1, "x", options);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::Unavailable);
+    EXPECT_EQ(injector->requestsSeen(), 2u);
+
+    // ...and once the cooldown elapses the breaker probes again —
+    // the wedge is what this test pins against.
+    clock.runFor(150 * kMs);
+    result = simCallSync(clock, channel, 1, "x", options);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::DeadlineExceeded);
+    EXPECT_EQ(injector->requestsSeen(), 3u);
+    EXPECT_EQ(clock.pendingTimers(), 0u);
+}
+
+// ====================================================================
+// Pinned regression: a hedge racing a scheduled retry must neither
+// exceed maxAttempts nor strand the call.
+//
+// Bug: attempt 1 fails fast and schedules a retry; the hedge timer
+// then issues attempt 2, which also fails fast. When the retry timer
+// finally fires, the old code issued attempt 3 — one more than
+// maxAttempts=2, exactly the amplification the budget caps. (And the
+// naive fix — making the exhausted retry a no-op — left the call
+// pending forever, since that retry was its only continuation.)
+// ====================================================================
+
+TEST(SimReplayTest, HedgeRetryRaceCannotExceedAttemptBudget)
+{
+    SimClock clock;
+    ScopedClock ambient(clock);
+
+    auto server = makeSimServer("leaf");
+    server->registerHandler(1, [](ServerCallPtr call) {
+        call->respondOk(call->body());
+    });
+    SimChannel channel(clock, *server, SimLink{}, "leaf");
+
+    // Every attempt fails inline with UNAVAILABLE (retryable).
+    auto injector = std::make_shared<FaultInjector>(
+        FaultSpec{.errorFirstN = 10});
+    channel.setFaultInjector(injector);
+
+    CallOptions options;
+    options.maxAttempts = 2;
+    options.hedgeDelayNs = 10 * kMs;   // Fires before the retry...
+    options.backoffBaseNs = 20 * kMs;  // ...scheduled for t=20ms.
+    options.backoffJitter = 0.0;
+
+    // t=0: attempt 1 fails inline, retry armed for t=20ms.
+    // t=10ms: hedge issues attempt 2 (the budget's last), fails.
+    // t=20ms: the retry fires with the budget exhausted — it must
+    // complete the call with the last error, not issue attempt 3.
+    auto result = simCallSync(clock, channel, 1, "x", options);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::Unavailable);
+    EXPECT_EQ(clock.nowNanos(), 20 * kMs);
+    EXPECT_EQ(injector->requestsSeen(), 2u);
+    EXPECT_EQ(clock.pendingTimers(), 0u);
+}
+
+// ====================================================================
+// Clock-domain mixing is a construction-time error, not a silent
+// timing bug.
+// ====================================================================
+
+TEST(SimReplayDeathTest, BreakerOnForeignClockIsRejected)
+{
+    ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    SimClock clock;
+    ScopedClock ambient(clock);
+    auto server = makeSimServer("leaf");
+    SimChannel channel(clock, *server, SimLink{}, "leaf");
+    // Bound to the real clock: its cooldown instants would be compared
+    // against sim time.
+    auto breaker = std::make_shared<CircuitBreaker>(
+        CircuitBreaker::Options{}, &realClock());
+    EXPECT_DEATH(channel.setCircuitBreaker(breaker),
+                 "different clock");
+}
+
+// ====================================================================
+// The seeded fan-out + fault + overload scenario: a 3-deep tree
+// (client -> root -> 2 mids -> 2 leaves each) of real servers and
+// channels with per-leg resilience, seeded fault schedules, breakers
+// and throttles — all in virtual time.
+// ====================================================================
+
+constexpr uint32_t kLeafMethod = 1;
+constexpr uint32_t kMidMethod = 2;
+constexpr uint32_t kRootMethod = 3;
+
+struct ScenarioResult
+{
+    std::string trace;
+    uint32_t okCalls = 0;
+    uint32_t failedCalls = 0;
+    uint64_t leafRequests = 0;
+    size_t leakedTimers = 0;
+};
+
+ScenarioResult
+runFanoutFaultScenario(uint64_t seed)
+{
+    SimClock clock;
+    ScopedClock ambient(clock);
+    clock.enableTrace();
+
+    // --- leaves: deterministic seeded compute time per request ------
+    std::vector<std::unique_ptr<Server>> leaves;
+    for (int i = 0; i < 4; ++i) {
+        auto leaf = makeSimServer("leaf");
+        auto rng = std::make_shared<Rng>(seed * 100 + uint64_t(i));
+        leaf->registerHandler(
+            kLeafMethod, [&clock, rng](ServerCallPtr call) {
+                const int64_t compute =
+                    200'000 + int64_t(rng->nextBounded(3'000'000));
+                clock.schedule(compute, [call] {
+                    call->respondOk(call->body());
+                });
+            });
+        leaves.push_back(std::move(leaf));
+    }
+
+    // --- mid tier: 2 servers, each fanning out to 2 leaves ----------
+    std::vector<std::unique_ptr<Server>> mids;
+    std::vector<std::shared_ptr<SimChannel>> leafChannels;
+    std::vector<std::shared_ptr<FaultInjector>> injectors;
+    auto throttle = std::make_shared<RetryThrottle>();
+    for (int m = 0; m < 2; ++m) {
+        auto mid = makeSimServer("mid");
+        auto legs = std::make_shared<std::vector<rpc::Channel *>>();
+        for (int l = 0; l < 2; ++l) {
+            const int leaf_index = m * 2 + l;
+            auto channel = std::make_shared<SimChannel>(
+                clock, *leaves[size_t(leaf_index)],
+                SimLink{/*requestLatencyNs=*/40'000,
+                        /*responseLatencyNs=*/40'000},
+                "m" + std::to_string(m) + ".leaf" +
+                    std::to_string(leaf_index));
+            FaultSpec faults;
+            faults.errorProb = 0.10;
+            faults.dropRequestProb = 0.08;
+            faults.delayRequestProb = 0.15;
+            faults.delayNs = 12 * kMs;
+            faults.seed = seed * 31 + uint64_t(leaf_index);
+            auto injector = std::make_shared<FaultInjector>(faults);
+            channel->setFaultInjector(injector);
+            injectors.push_back(injector);
+
+            CircuitBreaker::Options breaker_options;
+            breaker_options.failureThreshold = 3;
+            breaker_options.openCooldownNs = 40 * kMs;
+            channel->setCircuitBreaker(std::make_shared<CircuitBreaker>(
+                breaker_options, &clock));
+            channel->setRetryThrottle(throttle);
+
+            legs->push_back(channel.get());
+            leafChannels.push_back(std::move(channel));
+        }
+        mid->registerHandler(
+            kMidMethod, [legs, seed](ServerCallPtr call) {
+                std::vector<FanoutRequest> requests;
+                for (size_t l = 0; l < legs->size(); ++l) {
+                    requests.push_back(FanoutRequest{
+                        (*legs)[l], call->body(), uint32_t(l)});
+                }
+                FanoutPolicy policy;
+                policy.leg.deadlineNs = 25 * kMs;
+                policy.leg.maxAttempts = 2;
+                policy.leg.backoffBaseNs = 5 * kMs;
+                policy.leg.backoffJitter = 0.2;
+                policy.leg.backoffJitterSeed = seed * 977 + 1;
+                policy.leg.hedgeDelayNs = 15 * kMs;
+                policy.quorumFraction = 0.5;
+                fanoutCall(kLeafMethod, std::move(requests),
+                           policy.resolve(legs->size(),
+                                          call->remainingBudgetNs()),
+                           [call](FanoutOutcome outcome) {
+                               if (outcome.okLegs == 0) {
+                                   call->respond(
+                                       StatusCode::Unavailable, {});
+                                   return;
+                               }
+                               call->respondOk(
+                                   outcome.degraded ? "partial"
+                                                    : "full");
+                           });
+            });
+        mids.push_back(std::move(mid));
+    }
+
+    // --- root: fans out to both mids --------------------------------
+    auto root = makeSimServer("root");
+    std::vector<std::shared_ptr<SimChannel>> midChannels;
+    auto mid_legs = std::make_shared<std::vector<rpc::Channel *>>();
+    for (int m = 0; m < 2; ++m) {
+        auto channel = std::make_shared<SimChannel>(
+            clock, *mids[size_t(m)],
+            SimLink{/*requestLatencyNs=*/60'000,
+                    /*responseLatencyNs=*/60'000},
+            "root.m" + std::to_string(m));
+        mid_legs->push_back(channel.get());
+        midChannels.push_back(std::move(channel));
+    }
+    root->registerHandler(
+        kRootMethod, [mid_legs, seed](ServerCallPtr call) {
+            std::vector<FanoutRequest> requests;
+            for (size_t m = 0; m < mid_legs->size(); ++m) {
+                requests.push_back(FanoutRequest{
+                    (*mid_legs)[m], call->body(), uint32_t(m)});
+            }
+            FanoutPolicy policy;
+            policy.leg.deadlineNs = 70 * kMs;
+            policy.leg.maxAttempts = 2;
+            policy.leg.backoffBaseNs = 8 * kMs;
+            policy.leg.backoffJitter = 0.2;
+            policy.leg.backoffJitterSeed = seed * 977 + 2;
+            fanoutCall(kMidMethod, std::move(requests),
+                       policy.resolve(mid_legs->size(),
+                                      call->remainingBudgetNs()),
+                       [call](FanoutOutcome outcome) {
+                           if (outcome.okLegs == 0) {
+                               call->respond(StatusCode::Unavailable,
+                                             {});
+                               return;
+                           }
+                           call->respondOk("root");
+                       });
+        });
+
+    SimChannel client(clock, *root,
+                      SimLink{/*requestLatencyNs=*/80'000,
+                              /*responseLatencyNs=*/80'000},
+                      "client.root");
+
+    // --- drive: 24 staggered client calls ---------------------------
+    ScenarioResult result;
+    constexpr int kCalls = 24;
+    auto completions = std::make_shared<std::atomic<int>>(0);
+    for (int i = 0; i < kCalls; ++i) {
+        clock.schedule(int64_t(i) * 6 * kMs, [&clock, &client, &result,
+                                              completions, seed, i] {
+            CallOptions options;
+            options.totalDeadlineNs = 250 * kMs;
+            options.deadlineNs = 120 * kMs;
+            options.maxAttempts = 2;
+            options.backoffBaseNs = 10 * kMs;
+            options.backoffJitter = 0.2;
+            options.backoffJitterSeed =
+                seed * 977 + 100 + uint64_t(i);
+            client.call(
+                kRootMethod, "q" + std::to_string(i), options,
+                [&clock, &result, completions,
+                 i](const Status &status, std::string_view) {
+                    clock.traceEvent(
+                        "call " + std::to_string(i) + " done code=" +
+                        std::to_string(int(status.code())));
+                    if (status.isOk())
+                        result.okCalls++;
+                    else
+                        result.failedCalls++;
+                    completions->fetch_add(1);
+                });
+        });
+    }
+
+    clock.runUntilIdle();
+    EXPECT_EQ(completions->load(), kCalls)
+        << "lost completions at seed " << seed;
+    result.leakedTimers = clock.pendingTimers();
+    for (const auto &injector : injectors)
+        result.leafRequests += injector->requestsSeen();
+    result.trace = clock.takeTrace();
+    return result;
+}
+
+TEST(SimReplayTest, DeterministicScenarioReplaysByteIdentically)
+{
+    const ScenarioResult first = runFanoutFaultScenario(42);
+    const ScenarioResult second = runFanoutFaultScenario(42);
+    ASSERT_FALSE(first.trace.empty());
+    EXPECT_EQ(first.trace, second.trace)
+        << "same seed must replay byte-identically";
+    EXPECT_EQ(first.okCalls, second.okCalls);
+    EXPECT_EQ(first.failedCalls, second.failedCalls);
+    EXPECT_EQ(first.leafRequests, second.leafRequests);
+}
+
+TEST(SimReplayTest, SeedSweepHoldsInvariants)
+{
+    std::vector<uint64_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+    if (const char *env = std::getenv("MUSUITE_SIM_SEED"))
+        seeds.push_back(uint64_t(std::strtoull(env, nullptr, 10)));
+    for (uint64_t seed : seeds) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const ScenarioResult result = runFanoutFaultScenario(seed);
+        // Every call completes exactly once (checked inside), nothing
+        // stays armed after the world drains, and the fault storm
+        // still lets some traffic through while the resilience layer
+        // caps amplification: at most client attempts x mid legs x
+        // leaf attempts per leg.
+        EXPECT_EQ(result.okCalls + result.failedCalls, 24u);
+        EXPECT_EQ(result.leakedTimers, 0u);
+        EXPECT_GT(result.okCalls, 0u);
+        EXPECT_LE(result.leafRequests, 24u * 2 * 2 * 2 * 2);
+    }
+}
+
+// ====================================================================
+// RealClock: the satellite fixes (wall-clock but time-bounded).
+// ====================================================================
+
+TEST(RealClockTest, CancelCompactsTheTimerHeap)
+{
+    RealClock clock;
+    std::vector<Clock::TimerId> ids;
+    // Far-future timers: nothing fires during the test.
+    for (int i = 0; i < 1000; ++i) {
+        ids.push_back(clock.schedule(3'600'000'000'000, [] {}));
+    }
+    EXPECT_EQ(clock.pendingTimers(), 1000u);
+    for (Clock::TimerId id : ids)
+        EXPECT_TRUE(clock.cancel(id));
+    EXPECT_EQ(clock.pendingTimers(), 0u);
+    // Pre-fix the heap kept all 1000 dead entries until they surfaced
+    // (an hour away); compaction must have dropped them.
+    EXPECT_LT(clock.timerHeapSize(), 64u);
+}
+
+TEST(RealClockTest, CallbackScheduledDuringTeardownStillRuns)
+{
+    // A callback that arms another timer while the clock is being
+    // destroyed: pre-fix the second callback was armed on a timer
+    // thread that had already been told to exit and silently never
+    // ran. Post-fix a stopping clock runs it inline.
+    std::atomic<bool> chained{false};
+    {
+        RealClock clock;
+        clock.schedule(1'000'000, [&clock, &chained] {
+            // Give the destructor time to begin (it joins us, so it
+            // cannot finish first); generous margin, not a race.
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            clock.schedule(0, [&chained] { chained = true; });
+        });
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        // Destructor runs here while the callback above is sleeping.
+    }
+    EXPECT_TRUE(chained.load());
+}
+
+} // namespace
+} // namespace musuite

@@ -8,6 +8,8 @@
 #      + bench/overload_storm smoke -> BENCH_overload.json (goodput)
 #      + tools/mulint over src/ (static lock-rank, raw-sync, thread-role,
 #        unchecked-status, rank-table, guarded-by; see DESIGN.md)
+#      + clock-seam grep (no raw nowNanos() in src/rpc, src/services)
+#      + deterministic sim replay suite under 8 distinct seeds
 #   2. MUSUITE_DEBUG_SYNC debug build   (lock-rank + thread-role checks)
 #   3. ThreadSanitizer                  (data races, lock-order inversions)
 #   4. AddressSanitizer + UBSan         (memory errors, undefined behavior)
@@ -118,6 +120,41 @@ if cmake --build build-check-werror --target mulint -j "$jobs" \
 else
     echo "MULINT FAILED"
     failures+=("mulint: findings")
+fi
+
+# ---- stage 1e: clock-seam narrow waist -----------------------------------
+# Code under src/rpc/ and src/services/ must read time from its bound
+# musuite::Clock (channel->clock().nowNanos(), boundClock->nowNanos()),
+# never from the raw wall-clock free function — a direct call would
+# silently break the simulated binding's determinism (see DESIGN.md
+# "Deterministic clock seam"). Member calls are fine; bare or
+# namespace-qualified nowNanos( is not.
+banner "clock-seam grep (no raw nowNanos in rpc/services)"
+if grep -rnE '(^|[^.>A-Za-z_])nowNanos\(' src/rpc src/services; then
+    echo "RAW nowNanos() FOUND (bind a Clock instead)"
+    failures+=("clock-seam: raw nowNanos")
+fi
+
+# ---- stage 1f: deterministic sim suite under 8 seeds ---------------------
+# The sim-mode replay suite (pinned timing-bug regressions, the
+# byte-identical-trace contract, and the fanout+fault+overload scenario
+# invariants) under 8 distinct seeds via MUSUITE_SIM_SEED, which adds
+# each seed to the sweep's fixed set. Fast (virtual time), so it runs
+# under --quick too.
+banner "deterministic sim suite: 8 seeds"
+if cmake --build build-check-werror --target sim_replay_test -j "$jobs" \
+        >>build-check-werror/build.log 2>&1; then
+    for seed in 101 202 303 404 505 606 707 808; do
+        if ! MUSUITE_SIM_SEED="$seed" \
+                build-check-werror/tests/sim_replay_test \
+                --gtest_brief=1; then
+            echo "SIM SUITE FAILED AT SEED $seed"
+            failures+=("sim-seeds: seed $seed")
+        fi
+    done
+else
+    echo "SIM SUITE BUILD FAILED"
+    failures+=("sim-seeds: build")
 fi
 
 # ---- stage 2: debug-sync (lock-rank + role checks) -----------------------
