@@ -273,6 +273,7 @@ inline void
 fanoutCall(uint32_t method, std::vector<FanoutRequest> requests,
            std::function<void(std::vector<LeafResult>)> on_complete)
 {
+    // mulint: allow(budget-clamp): compatibility shim with no inbound call context; FanoutOptions{} means no per-leg deadline to clamp
     fanoutCall(method, std::move(requests), FanoutOptions{},
                [on_complete = std::move(on_complete)](
                    FanoutOutcome outcome) {

@@ -1,0 +1,23 @@
+// Two budget-clamp violations: a FanoutPolicy resolved without the
+// inbound budget, and a fan-out issued without resolving at all.
+
+struct FanoutPolicy
+{
+    int resolve(int legs);
+    int resolve(int legs, long budgetNs);
+};
+
+void fanoutCall(int method, int requests, int options);
+
+void
+handleUnclamped(FanoutPolicy &policy, int reqs)
+{
+    int options = policy.resolve(reqs); // No budget argument: finding.
+    fanoutCall(1, reqs, options);
+}
+
+void
+handleNoResolve(int reqs)
+{
+    fanoutCall(2, reqs, 0); // Never resolves a policy: finding.
+}

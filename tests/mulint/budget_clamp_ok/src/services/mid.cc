@@ -1,0 +1,17 @@
+// Clamped fan-out: the policy resolves against the server call's
+// remaining budget before the legs go out.
+
+struct FanoutPolicy
+{
+    int resolve(int legs, long budgetNs);
+};
+
+void fanoutCall(int method, int requests, int options);
+long remainingBudgetNs();
+
+void
+handle(FanoutPolicy &policy, int reqs)
+{
+    int options = policy.resolve(reqs, remainingBudgetNs());
+    fanoutCall(1, reqs, options);
+}

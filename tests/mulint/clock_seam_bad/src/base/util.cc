@@ -1,0 +1,10 @@
+// Outside the clock-seam domain: the raw read here is legal, but its
+// reachability from src/rpc must still be reported at the caller.
+
+long nowNanos();
+
+long
+stampNow()
+{
+    return nowNanos();
+}

@@ -1,0 +1,50 @@
+// Every shape of raw time on the clock seam: a direct free-function
+// read, a std::chrono clock read, a transitive reach through a base/
+// helper, a CondVar timed wait, and a blocking callback registered on
+// the clock.
+
+struct CondVar
+{
+    void waitFor(long ns);
+};
+
+struct Engine
+{
+    void schedule(void (*cb)(), long delay);
+};
+
+long nowNanos();
+long stampNow();
+void sleepFor(long ns);
+
+CondVar wakeup;
+
+long
+deadline()
+{
+    return nowNanos() + 1000; // Direct raw read: finding.
+}
+
+long
+chronoRead()
+{
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long
+stamp()
+{
+    return stampNow(); // Reaches nowNanos through base/util.cc: finding.
+}
+
+void
+waitABit()
+{
+    wakeup.waitFor(100); // Timed wait elapses on the wall: finding.
+}
+
+void
+armTimer(Engine &eng)
+{
+    eng.schedule([] { sleepFor(5); }, 100); // Blocking callback: finding.
+}

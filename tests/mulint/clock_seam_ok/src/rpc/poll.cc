@@ -1,0 +1,23 @@
+// The sanctioned forms: all time flows through the bound Clock's
+// member calls, and the scheduled callback stays non-blocking.
+
+struct Clock
+{
+    long nowNanos();
+    void schedule(void (*cb)(), long delay);
+};
+
+Clock &clock();
+void tick();
+
+long
+deadline()
+{
+    return clock().nowNanos() + 1000; // Member call: sanctioned.
+}
+
+void
+armTimer()
+{
+    clock().schedule([] { tick(); }, 100); // Non-blocking callback.
+}

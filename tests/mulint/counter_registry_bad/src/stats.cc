@@ -1,0 +1,11 @@
+// Counter emissions that disagree with the fixture DESIGN.md table in
+// every way the rule distinguishes; see that table for the pairings.
+
+void
+touch(Registry &reg)
+{
+    reg.counter("app.requests").add();
+    reg.counter("app.claimed_tested").add();
+    reg.counter("app.actually_tested").add();
+    reg.counter("app.unlisted").add(); // Finding: not in the table.
+}

@@ -1,0 +1,8 @@
+// Fixture test layer: references one counter name so the registry
+// rule sees test coverage the table denies.
+
+void
+checkCounters(Registry &reg)
+{
+    expectNonZero(reg.counter("app.actually_tested").value());
+}

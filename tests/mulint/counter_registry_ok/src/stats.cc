@@ -1,0 +1,8 @@
+// Emissions consistent with the fixture DESIGN.md counter table.
+
+void
+touch(Registry &reg)
+{
+    reg.counter("app.requests").add();
+    reg.counter("app.sends").add();
+}

@@ -1,0 +1,8 @@
+// Fixture test layer: covers exactly the counter the table marks
+// tested.
+
+void
+checkCounters(Registry &reg)
+{
+    expectNonZero(reg.counter("app.requests").value());
+}

@@ -1,0 +1,40 @@
+// Three lock-across-blocking violations: a direct sleep under the
+// lock, a callee that transitively blocks under the lock, and a timer
+// registration under the lock.
+
+struct Engine
+{
+    void schedule(void (*cb)(), long delay);
+};
+
+void sleepFor(long ns);
+
+Mutex stateMutex{LockRank::state, "state"};
+BlockingQueue<int> jobs;
+
+void
+drainOne()
+{
+    jobs.pop();
+}
+
+void
+sleepUnderLock()
+{
+    MutexLock guard(stateMutex);
+    sleepFor(100); // Finding: direct sleep while holding the lock.
+}
+
+void
+drainUnderLock()
+{
+    MutexLock guard(stateMutex);
+    drainOne(); // Finding: blocks through drainOne -> jobs.pop.
+}
+
+void
+armUnderLock(Engine &eng)
+{
+    MutexLock guard(stateMutex);
+    eng.schedule([] {}, 50); // Finding: registration under the lock.
+}

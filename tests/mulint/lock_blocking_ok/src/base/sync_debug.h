@@ -1,0 +1,5 @@
+// Fixture rank table: a single ranked lock is enough.
+enum class LockRank : int {
+    unranked = 0,
+    state = 10,
+};

@@ -1,0 +1,24 @@
+// Clean counterparts: blocking happens after the lock is released,
+// and a CondVar wait under the lock is exempt (waiting releases it).
+
+void sleepFor(long ns);
+
+Mutex stateMutex{LockRank::state, "state"};
+BlockingQueue<int> jobs;
+CondVar readyCv;
+
+void
+drainOutsideLock()
+{
+    {
+        MutexLock guard(stateMutex);
+    }
+    jobs.pop(); // Lock already released: clean.
+}
+
+void
+waitUnderLock()
+{
+    MutexLock guard(stateMutex);
+    readyCv.waitFor(100); // CondVar waits release the lock: exempt.
+}

@@ -7,6 +7,7 @@
  * which is what tools/check.sh enforces on every commit.
  */
 
+#include <chrono>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -14,7 +15,9 @@
 
 #include <gtest/gtest.h>
 
+#include "callgraph.h"
 #include "mulint.h"
+#include "summary.h"
 
 namespace {
 
@@ -148,6 +151,275 @@ TEST(MulintFixtures, PragmaBad)
               std::string::npos);
 }
 
+TEST(MulintFixtures, ClockSeamBad)
+{
+    const auto findings = lintFixture("clock_seam_bad", "clock-seam");
+    ASSERT_EQ(findings.size(), 5u);
+    // Direct free-function read.
+    EXPECT_EQ(findings[0].line, 25);
+    EXPECT_NE(findings[0].message.find("raw time source 'nowNanos'"),
+              std::string::npos);
+    // std::chrono clock read.
+    EXPECT_EQ(findings[1].line, 31);
+    EXPECT_NE(findings[1].message.find(
+                  "'std::chrono::steady_clock::now'"),
+              std::string::npos);
+    // Transitive reach through base/util.cc, witness chain cited.
+    EXPECT_EQ(findings[2].line, 37);
+    EXPECT_NE(findings[2].message.find("stampNow -> nowNanos"),
+              std::string::npos);
+    // CondVar timed wait.
+    EXPECT_EQ(findings[3].line, 43);
+    EXPECT_NE(findings[3].message.find("'wakeup.waitFor'"),
+              std::string::npos);
+    // Blocking callback registered on the clock.
+    EXPECT_EQ(findings[4].line, 49);
+    EXPECT_NE(findings[4].message.find(
+                  "callback scheduled on the clock blocks (sleepFor)"),
+              std::string::npos);
+}
+
+TEST(MulintFixtures, ClockSeamOk)
+{
+    // Member-call time reads and a non-blocking scheduled callback.
+    EXPECT_TRUE(lintFixture("clock_seam_ok", "clock-seam").empty());
+}
+
+TEST(MulintFixtures, BudgetClampBad)
+{
+    const auto findings =
+        lintFixture("budget_clamp_bad", "budget-clamp");
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_EQ(findings[0].line, 15);
+    EXPECT_NE(findings[0].message.find("without the inbound budget"),
+              std::string::npos);
+    EXPECT_EQ(findings[1].line, 22);
+    EXPECT_NE(findings[1].message.find(
+                  "fanoutCall without resolving FanoutOptions"),
+              std::string::npos);
+}
+
+TEST(MulintFixtures, BudgetClampOk)
+{
+    EXPECT_TRUE(
+        lintFixture("budget_clamp_ok", "budget-clamp").empty());
+}
+
+TEST(MulintFixtures, LockBlockingBad)
+{
+    const auto findings =
+        lintFixture("lock_blocking_bad", "lock-across-blocking");
+    ASSERT_EQ(findings.size(), 3u);
+    EXPECT_EQ(findings[0].line, 25);
+    EXPECT_NE(findings[0].message.find(
+                  "blocking call 'sleepFor' while holding "
+                  "'stateMutex'"),
+              std::string::npos);
+    EXPECT_EQ(findings[1].line, 32);
+    EXPECT_NE(findings[1].message.find("drainOne -> jobs.pop"),
+              std::string::npos);
+    EXPECT_EQ(findings[2].line, 39);
+    EXPECT_NE(findings[2].message.find(
+                  "'schedule' called while holding 'stateMutex'"),
+              std::string::npos);
+}
+
+TEST(MulintFixtures, LockBlockingOk)
+{
+    // Blocking after release, and CondVar waits (which release the
+    // lock) under it.
+    EXPECT_TRUE(
+        lintFixture("lock_blocking_ok", "lock-across-blocking")
+            .empty());
+}
+
+TEST(MulintFixtures, CounterRegistryBad)
+{
+    const auto findings =
+        lintFixture("counter_registry_bad", "counter-registry");
+    ASSERT_EQ(findings.size(), 5u);
+    // Sorted by (file, line): the four DESIGN.md rows first.
+    EXPECT_NE(findings[0].message.find(
+                  "documented as emitted in 'src/other.cc'"),
+              std::string::npos);
+    EXPECT_NE(findings[1].message.find(
+                  "documented as tested but no test references it"),
+              std::string::npos);
+    EXPECT_NE(findings[2].message.find(
+                  "referenced by tests (tests/stats_test.cc)"),
+              std::string::npos);
+    EXPECT_NE(findings[3].message.find(
+                  "'app.ghost' is never emitted"),
+              std::string::npos);
+    EXPECT_EQ(findings[4].file, "src/stats.cc");
+    EXPECT_NE(findings[4].message.find(
+                  "missing from the DESIGN.md counter table"),
+              std::string::npos);
+}
+
+TEST(MulintFixtures, CounterRegistryOk)
+{
+    EXPECT_TRUE(
+        lintFixture("counter_registry_ok", "counter-registry")
+            .empty());
+}
+
+TEST(MulintFixtures, StalePragmaBad)
+{
+    // Full rule set: the pragma's rule (raw-sync) runs, absorbs
+    // nothing, so the pragma itself is the only finding.
+    const auto findings = lintFixture("stale_pragma_bad", "");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "stale-pragma");
+    EXPECT_EQ(findings[0].line, 8);
+    EXPECT_NE(findings[0].message.find("suppresses no finding"),
+              std::string::npos);
+
+    // With raw-sync filtered out the pragma cannot be judged stale —
+    // its rule never ran, so "unused" proves nothing.
+    EXPECT_TRUE(
+        lintFixture("stale_pragma_bad", "stale-pragma").empty());
+}
+
+TEST(MulintFixtures, StalePragmaOk)
+{
+    // The pragma absorbs a live raw-sync finding, so nothing fires.
+    EXPECT_TRUE(lintFixture("stale_pragma_ok", "").empty());
+}
+
+// keepSuppressed (the --json mode's backing flag) must retain absorbed
+// findings, flagged, without changing what the default mode reports.
+TEST(MulintOptions, KeepSuppressedRetainsAbsorbedFindings)
+{
+    mulint::Options options;
+    options.keepSuppressed = true;
+    std::string error;
+    const auto findings = mulint::analyzeTree(
+        std::string(MULINT_FIXTURES_DIR) + "/stale_pragma_ok", options,
+        &error);
+    EXPECT_EQ(error, "");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "raw-sync");
+    EXPECT_TRUE(findings[0].suppressed);
+}
+
+// --------------------------------------------------------------------
+// Call-graph and summary unit tests, over in-memory trees.
+// --------------------------------------------------------------------
+
+mulint::Tree
+treeOf(const std::vector<std::pair<std::string, std::string>> &files)
+{
+    mulint::Tree tree;
+    for (const auto &[rel, text] : files)
+        tree.files.push_back(mulint::parseFile(rel, text));
+    std::vector<Finding> sink;
+    mulint::finalizeTree(tree, sink);
+    return tree;
+}
+
+size_t
+fnIndex(const mulint::Tree &tree, const mulint::CallGraph &g,
+        const std::string &name)
+{
+    for (size_t i = 0; i < g.fns.size(); ++i) {
+        if (g.info(tree, i).name == name)
+            return i;
+    }
+    ADD_FAILURE() << "no function named " << name;
+    return 0;
+}
+
+TEST(MulintCallGraph, SummariesPropagateAcrossHeaderImplSplit)
+{
+    const mulint::Tree tree = treeOf({
+        {"src/util.cc", "void sleepFor(long ns);\n"
+                        "void low() { sleepFor(1); }\n"},
+        {"src/util.h", "void low();\n"
+                       "inline void mid() { low(); }\n"},
+        {"src/app.cc", "void mid();\n"
+                       "void top() { mid(); }\n"},
+    });
+    const mulint::CallGraph g = mulint::buildCallGraph(tree);
+    const mulint::Summaries summaries =
+        mulint::computeSummaries(tree, g);
+
+    // Declarations are not definitions: each name resolves uniquely
+    // to its one body, so the blocking fact flows cc -> h -> cc.
+    const size_t top = fnIndex(tree, g, "top");
+    EXPECT_TRUE(summaries.byFn[fnIndex(tree, g, "low")].blocks);
+    EXPECT_TRUE(summaries.byFn[fnIndex(tree, g, "mid")].blocks);
+    EXPECT_TRUE(summaries.byFn[top].blocks);
+    EXPECT_EQ(
+        mulint::witnessChain(tree, g, summaries, top, /*time=*/false),
+        "mid -> low -> sleepFor");
+}
+
+TEST(MulintCallGraph, IndirectCallsContributeNoEdges)
+{
+    const mulint::Tree tree = treeOf({
+        {"src/a.cc",
+         "void sleepFor(long ns);\n"
+         "void blocker() { sleepFor(1); }\n"
+         "void invoke(void (*fn)()) { fn(); }\n"
+         "void run(std::function<void()> cb) { cb(); }\n"},
+    });
+    const mulint::CallGraph g = mulint::buildCallGraph(tree);
+    const mulint::Summaries summaries =
+        mulint::computeSummaries(tree, g);
+
+    // A call through a pointer/std::function variable matches no
+    // definition, so even with a blocking function in the same file
+    // the callers' summaries stay clean (conservative: no edge, no
+    // guess).
+    const size_t invoke = fnIndex(tree, g, "invoke");
+    const size_t run = fnIndex(tree, g, "run");
+    EXPECT_TRUE(summaries.byFn[fnIndex(tree, g, "blocker")].blocks);
+    EXPECT_TRUE(g.edges[invoke].empty());
+    EXPECT_TRUE(g.edges[run].empty());
+    EXPECT_FALSE(summaries.byFn[invoke].blocks);
+    EXPECT_FALSE(summaries.byFn[run].blocks);
+}
+
+TEST(MulintCallGraph, AmbiguousNamesResolveSameModuleOnly)
+{
+    const mulint::Tree tree = treeOf({
+        {"src/a.cc", "void sleepFor(long ns);\n"
+                     "void init() { sleepFor(1); }\n"
+                     "void useA() { init(); }\n"},
+        {"src/b.cc", "void init() {}\n"
+                     "void useB() { init(); }\n"},
+    });
+    const mulint::CallGraph g = mulint::buildCallGraph(tree);
+    const mulint::Summaries summaries =
+        mulint::computeSummaries(tree, g);
+
+    EXPECT_TRUE(summaries.byFn[fnIndex(tree, g, "useA")].blocks);
+    EXPECT_FALSE(summaries.byFn[fnIndex(tree, g, "useB")].blocks);
+}
+
+TEST(MulintCallGraph, RecursionReachesFixpoint)
+{
+    const mulint::Tree tree = treeOf({
+        {"src/r.cc", "void sleepFor(long ns);\n"
+                     "void pong();\n"
+                     "void ping() { pong(); }\n"
+                     "void pong() { ping(); sleepFor(2); }\n"},
+    });
+    const mulint::CallGraph g = mulint::buildCallGraph(tree);
+    const mulint::Summaries summaries =
+        mulint::computeSummaries(tree, g);
+
+    // Mutual recursion: the fixpoint terminates and both directions
+    // carry the fact; the witness walk stops at the cycle.
+    const size_t ping = fnIndex(tree, g, "ping");
+    EXPECT_TRUE(summaries.byFn[ping].blocks);
+    EXPECT_TRUE(summaries.byFn[fnIndex(tree, g, "pong")].blocks);
+    EXPECT_EQ(
+        mulint::witnessChain(tree, g, summaries, ping, /*time=*/false),
+        "pong -> sleepFor");
+}
+
 // Dogfooding: the repository's own tree must lint clean with every
 // rule enabled. A regression here means either a real invariant
 // violation was introduced or an exemption lost its pragma.
@@ -160,6 +432,26 @@ TEST(MulintDogfood, HeadIsClean)
     for (const Finding &f : findings)
         ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule
                       << "] " << f.message;
+}
+
+// The analyzer is wired into every check.sh run, so its cost must stay
+// trivial. The bound is deliberately loose (sanitizer builds run this
+// test too); a healthy tree analyzes in tens of milliseconds, so
+// tripping it means something pathological (a runaway fixpoint, an
+// accidental re-parse loop) crept in.
+TEST(MulintDogfood, FullTreeAnalysisStaysFast)
+{
+    const auto start = std::chrono::steady_clock::now();
+    std::string error;
+    (void)mulint::analyzeTree(MULINT_REPO_ROOT, mulint::Options{},
+                              &error);
+    EXPECT_EQ(error, "");
+    const auto ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_LT(ms, 60000) << "full-tree mulint analysis took " << ms
+                         << " ms";
 }
 
 // The parser must see through the tree's real-world constructs: if it

@@ -7,8 +7,10 @@
 #      + bench/micro_rpc smoke -> BENCH_rpc.json (rpc bench trajectory)
 #      + bench/overload_storm smoke -> BENCH_overload.json (goodput)
 #      + tools/mulint over src/ (static lock-rank, raw-sync, thread-role,
-#        unchecked-status, rank-table, guarded-by; see DESIGN.md)
-#      + clock-seam grep (no raw nowNanos() in src/rpc, src/services)
+#        unchecked-status, rank-table, guarded-by, plus the
+#        interprocedural clock-seam, budget-clamp, lock-across-blocking,
+#        counter-registry and stale-pragma rules; see DESIGN.md) with a
+#        runtime budget, archiving mulint_findings.json
 #      + deterministic sim replay suite under 8 distinct seeds
 #   2. MUSUITE_DEBUG_SYNC debug build   (lock-rank + thread-role checks)
 #   3. ThreadSanitizer                  (data races, lock-order inversions)
@@ -111,31 +113,25 @@ fi
 # configuration; unlike stages 5-6 it needs no clang and always runs,
 # including under --quick. Unsuppressed findings fail the gate; see the
 # "Static analysis: mulint" section of DESIGN.md for the rule set and
-# the allow-pragma grammar.
+# the allow-pragma grammar. The interprocedural clock-seam rule
+# subsumes the raw-nowNanos grep this stage used to be paired with —
+# it also catches transitive reaches and std::chrono reads the grep
+# never saw. --json archives every finding (suppressed ones included)
+# for audit; --budget-ms pins the analyzer's always-on cost so it can
+# never quietly grow into the slow stage of the gate.
 banner "mulint"
 if cmake --build build-check-werror --target mulint -j "$jobs" \
         >>build-check-werror/build.log 2>&1 \
-        && build-check-werror/tools/mulint/mulint --root "$repo_root"; then
+        && build-check-werror/tools/mulint/mulint --root "$repo_root" \
+            --json build-check-werror/mulint_findings.json \
+            --budget-ms 5000; then
     :
 else
     echo "MULINT FAILED"
     failures+=("mulint: findings")
 fi
 
-# ---- stage 1e: clock-seam narrow waist -----------------------------------
-# Code under src/rpc/ and src/services/ must read time from its bound
-# musuite::Clock (channel->clock().nowNanos(), boundClock->nowNanos()),
-# never from the raw wall-clock free function — a direct call would
-# silently break the simulated binding's determinism (see DESIGN.md
-# "Deterministic clock seam"). Member calls are fine; bare or
-# namespace-qualified nowNanos( is not.
-banner "clock-seam grep (no raw nowNanos in rpc/services)"
-if grep -rnE '(^|[^.>A-Za-z_])nowNanos\(' src/rpc src/services; then
-    echo "RAW nowNanos() FOUND (bind a Clock instead)"
-    failures+=("clock-seam: raw nowNanos")
-fi
-
-# ---- stage 1f: deterministic sim suite under 8 seeds ---------------------
+# ---- stage 1e: deterministic sim suite under 8 seeds ---------------------
 # The sim-mode replay suite (pinned timing-bug regressions, the
 # byte-identical-trace contract, and the fanout+fault+overload scenario
 # invariants) under 8 distinct seeds via MUSUITE_SIM_SEED, which adds

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Call-graph construction. See callgraph.h for the resolution rules;
+ * this is pure mechanism, shared by every interprocedural rule so they
+ * all see the same program shape.
+ */
+
+#include "callgraph.h"
+
+#include <algorithm>
+
+namespace mulint {
+
+CallGraph
+buildCallGraph(const Tree &tree)
+{
+    CallGraph g;
+    for (size_t fi = 0; fi < tree.files.size(); ++fi) {
+        const FileModel &fm = tree.files[fi];
+        for (size_t ni = 0; ni < fm.functions.size(); ++ni) {
+            g.index[&fm.functions[ni]] = g.fns.size();
+            g.fns.push_back({fi, ni});
+            if (fm.functions[ni].name != "<lambda>")
+                g.byName[fm.functions[ni].name].push_back(
+                    g.fns.size() - 1);
+        }
+    }
+    g.resolved.resize(g.fns.size());
+    g.edges.resize(g.fns.size());
+    for (size_t i = 0; i < g.fns.size(); ++i) {
+        const FileModel &fm = tree.files[g.fns[i].file];
+        const FunctionInfo &fn = g.info(tree, i);
+        g.resolved[i].resize(fn.calls.size());
+        for (size_t ci = 0; ci < fn.calls.size(); ++ci) {
+            const CallSite &call = fn.calls[ci];
+            // x.f() / x->f(): without type information the receiver
+            // could be any container or handle, so resolving by bare
+            // name would wire `map.clear()` to a project `clear()`.
+            // Only free and implicit-this calls resolve.
+            if (call.memberCall)
+                continue;
+            auto it = g.byName.find(call.callee);
+            if (it == g.byName.end())
+                continue;
+            const std::vector<size_t> &candidates = it->second;
+            if (candidates.size() == 1) {
+                g.resolved[i][ci].push_back(candidates[0]);
+            } else {
+                // Ambiguous name: only trust same-module candidates.
+                for (size_t cand : candidates) {
+                    if (tree.files[g.fns[cand].file].stem == fm.stem)
+                        g.resolved[i][ci].push_back(cand);
+                }
+            }
+            for (size_t target : g.resolved[i][ci])
+                g.edges[i].push_back(target);
+        }
+        // Direct lambda nesting: the lambda runs on the defining
+        // thread unless it claims a role of its own.
+        for (size_t li : fn.nestedFns) {
+            const FunctionInfo &lam = fm.functions[li];
+            if (!lam.setsAnyRole)
+                g.edges[i].push_back(g.index.at(&lam));
+        }
+        std::sort(g.edges[i].begin(), g.edges[i].end());
+        g.edges[i].erase(
+            std::unique(g.edges[i].begin(), g.edges[i].end()),
+            g.edges[i].end());
+    }
+    return g;
+}
+
+} // namespace mulint

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Whole-program call graph over every function the parser extracted.
+ *
+ * Resolution is deliberately conservative — mulint has no types:
+ *
+ *  - Free and implicit-this calls resolve by simple name. A name with
+ *    several definitions resolves only to same-module (file-stem)
+ *    candidates, so `init()` in one service cannot alias another's.
+ *  - Member calls (x.f(), x->f()) never resolve: the receiver could be
+ *    any container or handle, and a wrong edge would poison every
+ *    summary built on top. Rules that care about member calls match
+ *    them lexically at the call site instead (see summary.h).
+ *  - Calls through function pointers / std::function variables look
+ *    like free calls of the *variable's* name, which matches no
+ *    definition, so they contribute no edge: summaries do not
+ *    propagate through indirect calls (precision over recall — the
+ *    dynamic stages backstop recall).
+ *  - A lambda is edged from its defining function (it runs on the
+ *    definer's thread) unless it claims a thread role of its own.
+ *
+ * The graph is the substrate for the summary fixpoint (summary.h) and
+ * for the cross-call halves of lock-rank, thread-role, clock-seam and
+ * lock-across-blocking.
+ */
+
+#ifndef MULINT_CALLGRAPH_H
+#define MULINT_CALLGRAPH_H
+
+#include "model.h"
+
+namespace mulint {
+
+/** (file index, function index) locator for one function. */
+struct FnRef
+{
+    size_t file;
+    size_t fn;
+};
+
+struct CallGraph
+{
+    std::vector<FnRef> fns;
+    std::map<const FunctionInfo *, size_t> index;
+    std::map<std::string, std::vector<size_t>> byName;
+    /** Resolved targets per call site, aligned with FunctionInfo::calls. */
+    std::vector<std::vector<std::vector<size_t>>> resolved;
+    /** Union of resolved targets per function (indices into fns),
+     *  including non-role-claiming nested lambdas. Sorted, unique. */
+    std::vector<std::vector<size_t>> edges;
+
+    const FunctionInfo &
+    info(const Tree &tree, size_t i) const
+    {
+        return tree.files[fns[i].file].functions[fns[i].fn];
+    }
+};
+
+CallGraph buildCallGraph(const Tree &tree);
+
+} // namespace mulint
+
+#endif // MULINT_CALLGRAPH_H

@@ -60,6 +60,8 @@ struct CallSite
     int line = 0;
     int heldRank = 0;        //!< Max known rank held at the call (0 = none).
     std::string heldName;    //!< Mutex name for heldRank's acquisition.
+    size_t argOpen = SIZE_MAX; //!< Code index of '(' (SIZE_MAX: unknown).
+    int argCount = 0;          //!< Top-level comma count + 1; 0 if empty.
 };
 
 /** One function (or lambda) definition's extracted facts. */
@@ -97,9 +99,12 @@ struct FileModel
     std::vector<MutexDecl> mutexes;
     std::set<std::string> annotationRefs; //!< Names inside GUARDED_BY etc.
     std::set<std::string> blockingQueueVars;
+    std::set<std::string> condVarVars; //!< CondVar variable declarations.
     std::vector<FunctionInfo> functions;
     /** Class/namespace-scope declarations returning Status / Result. */
     std::map<std::string, std::string> statusDeclNames;
+    /** counter("name") emission sites: (counter name, line). */
+    std::vector<std::pair<std::string, int>> counterSites;
 };
 
 struct Finding
@@ -108,6 +113,10 @@ struct Finding
     int line = 0;
     std::string rule;
     std::string message;
+    /** Absorbed by an allow pragma. Only present in the output when
+     *  Options::keepSuppressed is set (the --json mode); the human
+     *  mode drops suppressed findings entirely. */
+    bool suppressed = false;
 };
 
 /** One LockRank enumerator parsed from the sync_debug header. */
@@ -126,6 +135,13 @@ struct Tree
     std::string rankHeaderRel; //!< File the enum was parsed from.
     std::string rankImplRel;   //!< File lockRankName() was parsed from.
     int rankImplLine = 0;
+    /**
+     * String literals appearing in the test sources (tests/ *.cc, flat
+     * — the fixture corpus underneath is not scanned): literal text ->
+     * first (test file rel, line) mentioning it. counter-registry uses
+     * this as "a test references this counter name" evidence.
+     */
+    std::map<std::string, std::pair<std::string, int>> testLiterals;
 };
 
 /** Rule identifiers, also the pragma vocabulary. */
@@ -133,8 +149,10 @@ inline const std::set<std::string> &
 ruleNames()
 {
     static const std::set<std::string> names = {
-        "lock-rank",  "rank-table",  "raw-sync",  "guarded-by",
-        "thread-role", "unchecked-status", "bad-pragma",
+        "lock-rank",   "rank-table",       "raw-sync",
+        "guarded-by",  "thread-role",      "unchecked-status",
+        "bad-pragma",  "clock-seam",       "budget-clamp",
+        "lock-across-blocking", "counter-registry", "stale-pragma",
     };
     return names;
 }

@@ -14,6 +14,16 @@
  *   thread-role      blocking calls reachable from poller-role threads
  *   unchecked-status dropped base::Status / Result<T> return values
  *   bad-pragma       malformed or unjustified allow pragmas
+ *   clock-seam       raw time sources reachable from rpc/services/simkernel
+ *   budget-clamp     fan-outs that skip the inbound-deadline budget clamp
+ *   lock-across-blocking  locks held across (transitively) blocking calls
+ *   counter-registry counter names: src emission vs DESIGN.md vs tests
+ *   stale-pragma     allow pragmas that no longer suppress anything
+ *
+ * The last five are interprocedural: they run over a whole-program call
+ * graph (callgraph.h) with per-function summaries propagated to a
+ * fixpoint (summary.h), so a finding can cite a transitive witness
+ * chain like "handle -> pollOnce -> nowNanos".
  *
  * Findings are suppressed by `// mulint: allow(<rule>): <justification>`
  * on the finding's line or the line above; the justification text is
@@ -34,6 +44,11 @@ struct Options
 {
     /** Rules to run; empty = all. */
     std::set<std::string> rules;
+    /** Keep pragma-suppressed findings in the result with
+     *  Finding::suppressed set, instead of dropping them. The --json
+     *  mode uses this so suppressions stay auditable; the exit-code
+     *  path must count only unsuppressed findings. */
+    bool keepSuppressed = false;
 };
 
 /** Pass 1: lex `content` and extract per-file facts. */

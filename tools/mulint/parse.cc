@@ -545,6 +545,38 @@ parseFile(const std::string &rel, const std::string &content)
             }
         }
 
+        // CondVar variable declarations: "CondVar name {|(|;".
+        // Tracked so the summary classifiers can recognize timed waits
+        // (cv.waitFor) as wall-clock reads without type information.
+        if (t.text == "CondVar" && c.isIdent(i + 1) &&
+            (c.isPunct(i + 2, "{") || c.isPunct(i + 2, "(") ||
+             c.isPunct(i + 2, ";"))) {
+            bool declContext = true;
+            if (i > 0 && c.isIdent(i - 1)) {
+                const std::string &prev = c.tok(i - 1).text;
+                if (prev == "class" || prev == "struct" ||
+                    prev == "friend" || prev == "typename" ||
+                    prev == "using")
+                    declContext = false;
+            }
+            if (declContext) {
+                fm.condVarVars.insert(c.tok(i + 1).text);
+                i += 1;
+                continue;
+            }
+        }
+
+        // counter("name") emission sites, for counter-registry.
+        if (t.text == "counter" && c.isPunct(i + 1, "(") &&
+            i + 2 < code.size() && c.tok(i + 2).kind == Tok::Str) {
+            std::string name = c.tok(i + 2).text;
+            if (name.size() >= 2 && name.front() == '"')
+                name = name.substr(1, name.size() - 2);
+            if (!name.empty())
+                fm.counterSites.emplace_back(name, t.line);
+            // Fall through: the body walk still records the call site.
+        }
+
         // BlockingQueue variable declarations.
         if (t.text == "BlockingQueue" && c.isPunct(i + 1, "<")) {
             int depth = 1;
@@ -1004,6 +1036,24 @@ analyzeBody(FileModel &fm, FunctionInfo &fn,
             CallSite call;
             call.callee = t.text;
             call.line = t.line;
+            call.argOpen = i + 1;
+            const size_t argClose = fm.codeMatch[i + 1];
+            if (argClose != SIZE_MAX && argClose > i + 2) {
+                // Top-level commas; bracketed sub-expressions (nested
+                // calls, lambdas, init lists) are skipped wholesale.
+                int commas = 0;
+                for (size_t j = i + 2; j < argClose; ++j) {
+                    if ((c.isPunct(j, "(") || c.isPunct(j, "{") ||
+                         c.isPunct(j, "[")) &&
+                        fm.codeMatch[j] != SIZE_MAX) {
+                        j = fm.codeMatch[j];
+                        continue;
+                    }
+                    if (c.isPunct(j, ","))
+                        ++commas;
+                }
+                call.argCount = commas + 1;
+            }
             if (i > cb &&
                 (c.isPunct(i - 1, ".") || c.isPunct(i - 1, "->"))) {
                 call.memberCall = true;

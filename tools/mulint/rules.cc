@@ -14,6 +14,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "callgraph.h"
+#include "summary.h"
+
 namespace mulint {
 
 namespace {
@@ -28,6 +31,19 @@ rawSyncExempt(const std::string &rel)
     return rel == "src/base/threading.h" ||
            rel == "src/base/sync_debug.h" ||
            rel == "src/base/sync_debug.cc";
+}
+
+/**
+ * The clock-seam domain: code that must run identically under the
+ * simulated clock, so every time read and timer must go through its
+ * bound musuite::Clock (DESIGN.md "Deterministic clock seam").
+ */
+bool
+onClockSeam(const std::string &rel)
+{
+    return rel.rfind("src/rpc/", 0) == 0 ||
+           rel.rfind("src/services/", 0) == 0 ||
+           rel.rfind("src/simkernel/", 0) == 0;
 }
 
 struct Ctx
@@ -253,121 +269,18 @@ ruleUncheckedStatus(const Tree &tree, std::vector<Finding> &findings)
 }
 
 // --------------------------------------------------------------------
-// Call graph shared by lock-rank (cross-call) and thread-role.
-// --------------------------------------------------------------------
-
-struct FnRef
-{
-    size_t file;
-    size_t fn;
-};
-
-struct CallGraph
-{
-    std::vector<FnRef> fns;
-    std::map<const FunctionInfo *, size_t> index;
-    std::map<std::string, std::vector<size_t>> byName;
-    // Resolved targets per call site, aligned with FunctionInfo::calls.
-    std::vector<std::vector<std::vector<size_t>>> resolved;
-    // Union of resolved targets per function (indices into fns).
-    std::vector<std::vector<size_t>> edges;
-
-    const FunctionInfo &
-    info(const Tree &tree, size_t i) const
-    {
-        return tree.files[fns[i].file].functions[fns[i].fn];
-    }
-};
-
-CallGraph
-buildCallGraph(const Tree &tree)
-{
-    CallGraph g;
-    for (size_t fi = 0; fi < tree.files.size(); ++fi) {
-        const FileModel &fm = tree.files[fi];
-        for (size_t ni = 0; ni < fm.functions.size(); ++ni) {
-            g.index[&fm.functions[ni]] = g.fns.size();
-            g.fns.push_back({fi, ni});
-            if (fm.functions[ni].name != "<lambda>")
-                g.byName[fm.functions[ni].name].push_back(
-                    g.fns.size() - 1);
-        }
-    }
-    g.resolved.resize(g.fns.size());
-    g.edges.resize(g.fns.size());
-    for (size_t i = 0; i < g.fns.size(); ++i) {
-        const FileModel &fm = tree.files[g.fns[i].file];
-        const FunctionInfo &fn = g.info(tree, i);
-        g.resolved[i].resize(fn.calls.size());
-        for (size_t ci = 0; ci < fn.calls.size(); ++ci) {
-            const CallSite &call = fn.calls[ci];
-            // x.f() / x->f(): without type information the receiver
-            // could be any container or handle, so resolving by bare
-            // name would wire `map.clear()` to a project `clear()`.
-            // Only free and implicit-this calls resolve.
-            if (call.memberCall)
-                continue;
-            auto it = g.byName.find(call.callee);
-            if (it == g.byName.end())
-                continue;
-            const std::vector<size_t> &candidates = it->second;
-            if (candidates.size() == 1) {
-                g.resolved[i][ci].push_back(candidates[0]);
-            } else {
-                // Ambiguous name: only trust same-module candidates.
-                for (size_t cand : candidates) {
-                    if (tree.files[g.fns[cand].file].stem == fm.stem)
-                        g.resolved[i][ci].push_back(cand);
-                }
-            }
-            for (size_t target : g.resolved[i][ci])
-                g.edges[i].push_back(target);
-        }
-        // Direct lambda nesting: the lambda runs on the defining
-        // thread unless it claims a role of its own.
-        for (size_t li : fn.nestedFns) {
-            const FunctionInfo &lam = fm.functions[li];
-            if (!lam.setsAnyRole)
-                g.edges[i].push_back(g.index.at(&lam));
-        }
-        std::sort(g.edges[i].begin(), g.edges[i].end());
-        g.edges[i].erase(
-            std::unique(g.edges[i].begin(), g.edges[i].end()),
-            g.edges[i].end());
-    }
-    return g;
-}
-
-// --------------------------------------------------------------------
 // lock-rank, cross-call half: calling into a function that (possibly
 // transitively) acquires a rank <= the max rank held at the call site.
 // --------------------------------------------------------------------
 
 void
 ruleLockRankCalls(const Tree &tree, const CallGraph &g,
+                  const Summaries &summaries,
                   std::vector<Finding> &findings)
 {
     std::map<int, std::string> valueToName;
     for (const auto &[name, entry] : tree.ranks)
         valueToName[entry.value] = name;
-
-    // Transitive acquired-rank sets, to fixpoint.
-    std::vector<std::set<int>> trans(g.fns.size());
-    for (size_t i = 0; i < g.fns.size(); ++i)
-        trans[i] = g.info(tree, i).directRanks;
-    bool changed = true;
-    int guard = 0;
-    while (changed && guard++ < 100) {
-        changed = false;
-        for (size_t i = 0; i < g.fns.size(); ++i) {
-            for (size_t e : g.edges[i]) {
-                for (int r : trans[e]) {
-                    if (trans[i].insert(r).second)
-                        changed = true;
-                }
-            }
-        }
-    }
 
     for (size_t i = 0; i < g.fns.size(); ++i) {
         const FileModel &fm = tree.files[g.fns[i].file];
@@ -378,9 +291,10 @@ ruleLockRankCalls(const Tree &tree, const CallGraph &g,
             if (call.heldRank <= 0)
                 continue;
             for (size_t cand : g.resolved[i][ci]) {
-                if (trans[cand].empty())
+                const std::set<int> &acq = summaries.byFn[cand].ranks;
+                if (acq.empty())
                     continue;
-                const int minAcq = *trans[cand].begin();
+                const int minAcq = *acq.begin();
                 if (minAcq <= 0 || minAcq > call.heldRank)
                     continue;
                 if (!reported.insert({call.line, call.callee}).second)
@@ -481,6 +395,327 @@ ruleThreadRole(const Tree &tree, const CallGraph &g,
                      "'; pollers must stay non-blocking (use "
                      "try-variants or hand off to workers)"});
         }
+    }
+}
+
+// --------------------------------------------------------------------
+// clock-seam: code in src/rpc, src/services and src/simkernel must get
+// all of its time through its bound musuite::Clock. Three shapes:
+// direct raw-time call sites, calls into functions whose summary says
+// they transitively reach a raw time source, and blocking callbacks
+// registered on the clock via schedule().
+// --------------------------------------------------------------------
+
+void
+ruleClockSeam(const Tree &tree, const CallGraph &g,
+              const Summaries &summaries, std::vector<Finding> &findings)
+{
+    const ModuleSets sets = collectModuleSets(tree);
+
+    for (size_t i = 0; i < g.fns.size(); ++i) {
+        const FileModel &fm = tree.files[g.fns[i].file];
+        if (!onClockSeam(fm.rel))
+            continue;
+        const FunctionInfo &fn = g.info(tree, i);
+        const std::set<std::string> &cvs = sets.condVars(fm.stem);
+        std::set<std::pair<int, std::string>> reported;
+        for (size_t ci = 0; ci < fn.calls.size(); ++ci) {
+            const CallSite &call = fn.calls[ci];
+            std::string what;
+            if (callIsRawTime(call, cvs, &what)) {
+                if (reported.insert({call.line, what}).second)
+                    findings.push_back(
+                        {fm.rel, call.line, "clock-seam",
+                         "raw time source '" + what +
+                             "' on the clock seam; go through the "
+                             "bound musuite::Clock (clock().nowNanos() "
+                             "/ clock().schedule())"});
+                continue;
+            }
+            for (size_t cand : g.resolved[i][ci]) {
+                if (!summaries.byFn[cand].touchesRealTime)
+                    continue;
+                const std::string chain =
+                    call.callee + " -> " +
+                    witnessChain(tree, g, summaries, cand, true);
+                if (reported.insert({call.line, call.callee}).second)
+                    findings.push_back(
+                        {fm.rel, call.line, "clock-seam",
+                         "call to '" + call.callee +
+                             "' reaches a raw time source (" + chain +
+                             ") on the clock seam; thread the bound "
+                             "musuite::Clock through instead"});
+                break;
+            }
+            // schedule(cb, ...) with a lambda callback that blocks:
+            // timer callbacks run on the clock's dispatch thread and
+            // must return promptly under both Real and Sim clocks.
+            if (callIsScheduleRegistration(call) &&
+                call.argOpen != SIZE_MAX &&
+                fm.codeMatch[call.argOpen] != SIZE_MAX) {
+                const size_t open = fm.code[call.argOpen];
+                const size_t close =
+                    fm.code[fm.codeMatch[call.argOpen]];
+                for (size_t li : fn.nestedFns) {
+                    const FunctionInfo &lam = fm.functions[li];
+                    if (lam.bodyBegin <= open || lam.bodyBegin >= close)
+                        continue;
+                    const size_t lg = g.index.at(&lam);
+                    if (!summaries.byFn[lg].blocks)
+                        continue;
+                    const std::string witness = witnessChain(
+                        tree, g, summaries, lg, /*time=*/false);
+                    if (reported.insert({call.line, "schedule"}).second)
+                        findings.push_back(
+                            {fm.rel, call.line, "clock-seam",
+                             "callback scheduled on the clock blocks "
+                             "(" +
+                                 witness +
+                                 "); timer callbacks run on the "
+                                 "clock's dispatch thread and must "
+                                 "not block"});
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// budget-clamp: fan-out call sites in src/services must resolve their
+// FanoutOptions against the inbound deadline budget, so leg deadlines
+// clamp to the parent deadline instead of silently outliving it.
+// --------------------------------------------------------------------
+
+void
+ruleBudgetClamp(const Tree &tree, std::vector<Finding> &findings)
+{
+    for (const FileModel &fm : tree.files) {
+        if (fm.rel.rfind("src/services/", 0) != 0)
+            continue;
+        for (const FunctionInfo &fn : fm.functions) {
+            bool hasMemberResolve = false;
+            for (const CallSite &call : fn.calls) {
+                if (call.memberCall && call.callee == "resolve")
+                    hasMemberResolve = true;
+            }
+            std::set<int> reported;
+            for (const CallSite &call : fn.calls) {
+                if (call.memberCall && call.callee == "resolve" &&
+                    call.argCount == 1) {
+                    if (reported.insert(call.line).second)
+                        findings.push_back(
+                            {fm.rel, call.line, "budget-clamp",
+                             "FanoutPolicy::resolve() called without "
+                             "the inbound budget; pass the server "
+                             "call's remainingBudgetNs() so leg "
+                             "deadlines clamp to the parent deadline"});
+                }
+                if (!call.memberCall && call.callee == "fanoutCall" &&
+                    !hasMemberResolve) {
+                    if (reported.insert(call.line).second)
+                        findings.push_back(
+                            {fm.rel, call.line, "budget-clamp",
+                             "fanoutCall without resolving "
+                             "FanoutOptions against the inbound "
+                             "deadline budget; call FanoutPolicy::"
+                             "resolve(legs, remainingBudgetNs()) "
+                             "first"});
+                }
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// lock-across-blocking: a lock held across a call that may block (or
+// across a Clock::schedule registration) stalls every other thread
+// contending for that lock for the full blocking duration.
+// --------------------------------------------------------------------
+
+void
+ruleLockAcrossBlocking(const Tree &tree, const CallGraph &g,
+                       const Summaries &summaries,
+                       std::vector<Finding> &findings)
+{
+    const ModuleSets sets = collectModuleSets(tree);
+
+    for (size_t i = 0; i < g.fns.size(); ++i) {
+        const FileModel &fm = tree.files[g.fns[i].file];
+        if (rawSyncExempt(fm.rel))
+            continue;
+        const FunctionInfo &fn = g.info(tree, i);
+        const std::set<std::string> &queues = sets.queues(fm.stem);
+        std::set<std::pair<int, std::string>> reported;
+        for (size_t ci = 0; ci < fn.calls.size(); ++ci) {
+            const CallSite &call = fn.calls[ci];
+            if (call.heldRank <= 0)
+                continue;
+            std::string what;
+            if (callIsBlocking(call, queues, &what)) {
+                if (reported.insert({call.line, what}).second)
+                    findings.push_back(
+                        {fm.rel, call.line, "lock-across-blocking",
+                         "blocking call '" + what +
+                             "' while holding '" + call.heldName +
+                             "' (rank " +
+                             std::to_string(call.heldRank) +
+                             "); release the lock before blocking"});
+                continue;
+            }
+            if (callIsScheduleRegistration(call)) {
+                if (reported.insert({call.line, "schedule"}).second)
+                    findings.push_back(
+                        {fm.rel, call.line, "lock-across-blocking",
+                         "'schedule' called while holding '" +
+                             call.heldName + "' (rank " +
+                             std::to_string(call.heldRank) +
+                             "); register timers outside the lock to "
+                             "avoid lock-order cycles with the timer "
+                             "thread"});
+                continue;
+            }
+            for (size_t cand : g.resolved[i][ci]) {
+                if (!summaries.byFn[cand].blocks)
+                    continue;
+                const std::string chain =
+                    call.callee + " -> " +
+                    witnessChain(tree, g, summaries, cand,
+                                 /*time=*/false);
+                if (reported.insert({call.line, call.callee}).second)
+                    findings.push_back(
+                        {fm.rel, call.line, "lock-across-blocking",
+                         "call to '" + call.callee +
+                             "' may block (" + chain +
+                             ") while holding '" + call.heldName +
+                             "' (rank " +
+                             std::to_string(call.heldRank) +
+                             "); release the lock first"});
+                break;
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// counter-registry: three-way consistency between counter("...")
+// emission sites in src/, the DESIGN.md counter table, and the counter
+// names test sources reference.
+// --------------------------------------------------------------------
+
+struct CounterRow
+{
+    std::string emittedIn;
+    bool tested = false;
+    int line = 0;
+};
+
+void
+ruleCounterRegistry(const Tree &tree,
+                    const std::vector<std::string> &designLines,
+                    std::vector<Finding> &findings)
+{
+    // Emission sites per counter name.
+    std::map<std::string, std::vector<std::pair<std::string, int>>>
+        emitted;
+    for (const FileModel &fm : tree.files) {
+        for (const auto &[name, line] : fm.counterSites)
+            emitted[name].push_back({fm.rel, line});
+    }
+
+    // DESIGN.md table: "| counter | emitted in | tested |".
+    int headerLine = 0;
+    std::map<std::string, CounterRow> doc;
+    for (size_t li = 0; li < designLines.size(); ++li) {
+        const std::string &line = designLines[li];
+        if (headerLine == 0) {
+            if (line.find("| counter ") != std::string::npos &&
+                line.find("| tested ") != std::string::npos)
+                headerLine = int(li) + 1;
+            continue;
+        }
+        std::string trimmed = line;
+        size_t b = trimmed.find_first_not_of(" \t");
+        if (b == std::string::npos || trimmed[b] != '|')
+            break; // Table ended.
+        const size_t t1 = line.find('`');
+        const size_t t2 =
+            t1 == std::string::npos ? t1 : line.find('`', t1 + 1);
+        if (t2 == std::string::npos)
+            continue; // Separator row.
+        const std::string name = line.substr(t1 + 1, t2 - t1 - 1);
+        const size_t bar1 = line.find('|', t2);
+        if (bar1 == std::string::npos)
+            continue;
+        const size_t bar2 = line.find('|', bar1 + 1);
+        CounterRow row;
+        row.line = int(li) + 1;
+        if (bar2 != std::string::npos) {
+            std::string where =
+                line.substr(bar1 + 1, bar2 - bar1 - 1);
+            const size_t wb = where.find_first_not_of(" \t`");
+            const size_t we = where.find_last_not_of(" \t`");
+            if (wb != std::string::npos)
+                row.emittedIn = where.substr(wb, we - wb + 1);
+            row.tested =
+                line.find("yes", bar2) != std::string::npos;
+        }
+        doc[name] = row;
+    }
+
+    if (emitted.empty() && doc.empty())
+        return;
+    if (headerLine == 0) {
+        if (!emitted.empty() && !designLines.empty())
+            findings.push_back(
+                {"DESIGN.md", 1, "counter-registry",
+                 "no '| counter | emitted in | tested |' table found "
+                 "in DESIGN.md, but src/ emits " +
+                     std::to_string(emitted.size()) +
+                     " distinct counters"});
+        return;
+    }
+
+    for (const auto &[name, sites] : emitted) {
+        auto it = doc.find(name);
+        if (it == doc.end()) {
+            findings.push_back(
+                {sites[0].first, sites[0].second, "counter-registry",
+                 "counter '" + name +
+                     "' is emitted here but missing from the "
+                     "DESIGN.md counter table"});
+            continue;
+        }
+        const CounterRow &row = it->second;
+        bool pathMatches = row.emittedIn.empty();
+        for (const auto &[rel, line] : sites)
+            pathMatches = pathMatches || rel == row.emittedIn;
+        if (!pathMatches)
+            findings.push_back(
+                {"DESIGN.md", row.line, "counter-registry",
+                 "counter '" + name + "' documented as emitted in '" +
+                     row.emittedIn + "' but it is emitted in '" +
+                     sites[0].first + "'"});
+        const auto tl = tree.testLiterals.find(name);
+        if (row.tested && tl == tree.testLiterals.end())
+            findings.push_back(
+                {"DESIGN.md", row.line, "counter-registry",
+                 "counter '" + name +
+                     "' is documented as tested but no test "
+                     "references it"});
+        if (!row.tested && tl != tree.testLiterals.end())
+            findings.push_back(
+                {"DESIGN.md", row.line, "counter-registry",
+                 "counter '" + name + "' is referenced by tests (" +
+                     tl->second.first +
+                     ") but documented as untested; flip its tested "
+                     "column"});
+    }
+    for (const auto &[name, row] : doc) {
+        if (!emitted.count(name))
+            findings.push_back(
+                {"DESIGN.md", row.line, "counter-registry",
+                 "documented counter '" + name +
+                     "' is never emitted in src/"});
     }
 }
 
@@ -595,13 +830,23 @@ runRules(const Tree &tree, const std::vector<std::string> &designLines,
         ruleGuardedBy(tree, findings);
     if (enabled("unchecked-status"))
         ruleUncheckedStatus(tree, findings);
-    if (enabled("lock-rank") || enabled("thread-role")) {
+    if (enabled("lock-rank") || enabled("thread-role") ||
+        enabled("clock-seam") || enabled("lock-across-blocking")) {
         const CallGraph g = buildCallGraph(tree);
+        const Summaries summaries = computeSummaries(tree, g);
         if (enabled("lock-rank"))
-            ruleLockRankCalls(tree, g, findings);
+            ruleLockRankCalls(tree, g, summaries, findings);
         if (enabled("thread-role"))
             ruleThreadRole(tree, g, findings);
+        if (enabled("clock-seam"))
+            ruleClockSeam(tree, g, summaries, findings);
+        if (enabled("lock-across-blocking"))
+            ruleLockAcrossBlocking(tree, g, summaries, findings);
     }
+    if (enabled("budget-clamp"))
+        ruleBudgetClamp(tree, findings);
+    if (enabled("counter-registry"))
+        ruleCounterRegistry(tree, designLines, findings);
     if (enabled("rank-table"))
         ruleRankTable(tree, designLines, findings);
 }
@@ -627,10 +872,17 @@ applyPragmas(const Tree &tree, std::vector<Finding> findings,
                 }
             }
         }
-        if (!suppressed)
+        if (!suppressed) {
             kept.push_back(std::move(f));
+        } else if (options.keepSuppressed) {
+            f.suppressed = true;
+            kept.push_back(std::move(f));
+        }
     }
 
+    const auto ruleEnabled = [&](const std::string &rule) {
+        return options.rules.empty() || options.rules.count(rule);
+    };
     for (const FileModel &fm : tree.files) {
         for (const Pragma &p : fm.pragmas) {
             if (p.rule.empty()) {
@@ -646,12 +898,23 @@ applyPragmas(const Tree &tree, std::vector<Finding> findings,
                                     "' in allow pragma"});
                 continue;
             }
-            if (!p.justified)
+            if (!p.justified) {
                 kept.push_back(
                     {fm.rel, p.line, "bad-pragma",
                      "allow(" + p.rule +
                          ") pragma is missing its justification; "
                          "say why the exemption is sound"});
+                continue;
+            }
+            // A well-formed pragma whose rule ran but that absorbed
+            // nothing is itself a finding: the exemption it documents
+            // no longer exists, so the justification text is stale.
+            if (!p.used && ruleEnabled(p.rule))
+                kept.push_back(
+                    {fm.rel, p.line, "stale-pragma",
+                     "allow(" + p.rule +
+                         ") pragma suppresses no finding; the "
+                         "exemption is stale — remove the pragma"});
         }
     }
 
@@ -720,6 +983,38 @@ analyzeTree(const std::string &root, const Options &options,
 
     std::vector<Finding> findings;
     finalizeTree(tree, findings);
+
+    // Test-reference evidence for counter-registry: string literals in
+    // the flat tests/*.cc layer (the fixture corpus underneath stays
+    // out — its literals describe fixtures, not this tree).
+    const fs::path testsPath = rootPath / "tests";
+    if (fs::is_directory(testsPath)) {
+        std::vector<fs::path> testPaths;
+        for (const auto &entry : fs::directory_iterator(testsPath)) {
+            if (entry.is_regular_file() &&
+                entry.path().extension() == ".cc")
+                testPaths.push_back(entry.path());
+        }
+        std::sort(testPaths.begin(), testPaths.end());
+        for (const fs::path &p : testPaths) {
+            std::ifstream in(p, std::ios::binary);
+            if (!in)
+                continue;
+            std::ostringstream buf;
+            buf << in.rdbuf();
+            const std::string rel =
+                fs::relative(p, rootPath).generic_string();
+            for (const Token &t : lex(buf.str())) {
+                if (t.kind != Tok::Str || t.text.size() < 3 ||
+                    t.text.front() != '"')
+                    continue;
+                const std::string name =
+                    t.text.substr(1, t.text.size() - 2);
+                tree.testLiterals.emplace(name,
+                                          std::make_pair(rel, t.line));
+            }
+        }
+    }
 
     std::vector<std::string> designLines;
     std::ifstream design(rootPath / "DESIGN.md");
