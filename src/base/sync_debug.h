@@ -49,6 +49,9 @@ enum class LockRank : int {
     unranked = 0,        //!< No ordering contract (tests, ad-hoc locks).
     loadgen = 10,        //!< Load-generator completion state.
     harness = 15,        //!< Experiment-harness shared RNG.
+    graphNode = 18,      //!< Graph-node queue model (services/graph)
+                         //!< — taken before fanout: a node admits
+                         //!< under its own lock, then fans out.
     fanout = 20,         //!< Fan-out merge state (services/common).
     call = 30,           //!< Per-call retry/hedge state (rpc/channel).
     overload = 32,       //!< Breaker / retry-throttle state (rpc/overload)

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Implementation of the load-shape scenario library.
+ */
+
+#include "loadgen/scenario.h"
+
+#include <cmath>
+
+#include "base/logging.h"
+#include "base/rng.h"
+
+namespace musuite {
+namespace loadgen {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+} // namespace
+
+LoadShape
+LoadShape::constant(double qps)
+{
+    LoadShape shape;
+    shape.kind = Kind::Constant;
+    shape.baseQps = qps;
+    shape.peakQps = qps;
+    return shape;
+}
+
+LoadShape
+LoadShape::diurnal(double base_qps, double peak_qps,
+                   int64_t period_ns)
+{
+    LoadShape shape;
+    shape.kind = Kind::Diurnal;
+    shape.baseQps = base_qps;
+    shape.peakQps = peak_qps;
+    shape.periodNs = period_ns;
+    return shape;
+}
+
+LoadShape
+LoadShape::flashCrowd(double base_qps, double spike_qps,
+                      int64_t start_ns, int64_t duration_ns)
+{
+    LoadShape shape;
+    shape.kind = Kind::FlashCrowd;
+    shape.baseQps = base_qps;
+    shape.peakQps = spike_qps;
+    shape.burstStartNs = start_ns;
+    shape.burstDurationNs = duration_ns;
+    return shape;
+}
+
+double
+LoadShape::qpsAt(int64_t t_ns) const
+{
+    switch (kind) {
+    case Kind::Constant:
+        return baseQps;
+    case Kind::Diurnal: {
+        if (periodNs <= 0)
+            return baseQps;
+        const double phase =
+            kTwoPi * double(t_ns % periodNs) / double(periodNs);
+        // Trough at t=0, crest half a period in.
+        return baseQps +
+               (peakQps - baseQps) * 0.5 * (1.0 - std::cos(phase));
+    }
+    case Kind::FlashCrowd:
+        return (t_ns >= burstStartNs &&
+                t_ns < burstStartNs + burstDurationNs)
+                   ? peakQps
+                   : baseQps;
+    }
+    return baseQps;
+}
+
+double
+LoadShape::maxQps() const
+{
+    return peakQps > baseQps ? peakQps : baseQps;
+}
+
+std::vector<int64_t>
+arrivalSchedule(const LoadShape &shape, int64_t duration_ns,
+                uint64_t seed)
+{
+    MUSUITE_CHECK(duration_ns > 0) << "empty schedule horizon";
+    const double peak = shape.maxQps();
+    std::vector<int64_t> arrivals;
+    if (peak <= 0.0)
+        return arrivals;
+    arrivals.reserve(size_t(peak * double(duration_ns) * 1e-9) + 16);
+
+    // Lewis-Shedler thinning: draw a homogeneous Poisson process at
+    // the envelope rate, keep each point with probability
+    // qpsAt(t)/peak. Both draws come from one seeded stream, so the
+    // schedule is a pure function of (shape, duration, seed).
+    Rng rng(seed);
+    const double rate_per_ns = peak * 1e-9;
+    double t = 0.0;
+    while (true) {
+        t += rng.nextExponential(rate_per_ns);
+        if (t >= double(duration_ns))
+            break;
+        const double keep = shape.qpsAt(int64_t(t)) / peak;
+        if (keep >= 1.0 || rng.nextBool(keep))
+            arrivals.push_back(int64_t(t));
+    }
+    return arrivals;
+}
+
+} // namespace loadgen
+} // namespace musuite

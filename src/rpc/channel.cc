@@ -237,6 +237,13 @@ onAttemptDone(const std::shared_ptr<CallState> &state, int attempt,
 
     if (schedule_retry) {
         globalCounters().counter("rpc.retry.scheduled").add();
+        // A shed response that lost its pacing hint somewhere along a
+        // multi-hop chain makes us retry on our own (shorter) backoff
+        // schedule — the retry-amplification signature. With hints
+        // propagated end-to-end this stays at zero.
+        if (status.code() == StatusCode::ResourceExhausted &&
+            status.retryAfterNs() == 0)
+            globalCounters().counter("rpc.call.retry_amplified").add();
         state->channel->clock().schedule(retry_delay, [state] {
             assertOnTimerThread();
             {

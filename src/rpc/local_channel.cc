@@ -22,11 +22,18 @@ LocalChannel::transportCall(uint32_t method, std::string body,
     server.invokeLocal(
         method, std::move(body), budget_ns,
         [callback = std::move(callback)](StatusCode code,
-                                         std::string_view payload) {
+                                         std::string_view payload,
+                                         int64_t retry_after_ns) {
             if (code == StatusCode::Ok) {
                 callback(Status::ok(), payload);
             } else {
-                callback(Status(code, "remote error"), payload);
+                Status status(code, "remote error");
+                // Surface the server's pacing hint exactly like the
+                // TCP client maps the response header's budget slot.
+                if (code == StatusCode::ResourceExhausted &&
+                    retry_after_ns > 0)
+                    status.setRetryAfterNs(retry_after_ns);
+                callback(status, payload);
             }
         });
 }

@@ -96,6 +96,13 @@ ServerCall::~ServerCall()
 void
 ServerCall::respond(StatusCode code, std::string_view payload)
 {
+    respond(code, payload, 0);
+}
+
+void
+ServerCall::respond(StatusCode code, std::string_view payload,
+                    int64_t retry_after_ns)
+{
     bool expected = false;
     if (!completed.compare_exchange_strong(expected, true)) {
         MUSUITE_WARN() << "duplicate respond() for request " << id;
@@ -109,7 +116,7 @@ ServerCall::respond(StatusCode code, std::string_view payload)
     // an adaptive limiter must see to shrink its window.
     if (admission)
         admission->onAdmittedComplete(residence_ns);
-    responder(code, payload);
+    responder(code, payload, retry_after_ns);
 }
 
 int64_t
@@ -373,7 +380,8 @@ Server::handleFrame(Conn *conn, std::string_view frame)
     const uint32_t method = header.method;
     const int64_t default_retry_after = options.rejectRetryAfterNs;
     auto responder = [wfc, request_id, method, default_retry_after](
-                         StatusCode code, std::string_view body) {
+                         StatusCode code, std::string_view body,
+                         int64_t retry_after_ns) {
         auto fc = wfc.lock();
         if (!fc || fc->isDead())
             return; // Client went away; response is moot.
@@ -383,8 +391,12 @@ Server::handleFrame(Conn *conn, std::string_view frame)
         response_header.method = method;
         response_header.requestId = request_id;
         // A shed response tells the client when retrying might work.
+        // Prefer the handler's hint (a downstream shedder's pacing)
+        // over this server's local default.
         if (code == StatusCode::ResourceExhausted)
-            response_header.budgetNs = default_retry_after;
+            response_header.budgetNs = retry_after_ns > 0
+                                           ? retry_after_ns
+                                           : default_retry_after;
         std::string frame = encodeFrame(response_header, body);
         // Inside a drain loop, defer to the thread's batch so all
         // responses sharing a connection leave in one flush; async

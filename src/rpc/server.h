@@ -102,7 +102,16 @@ struct ServerOptions
 class ServerCall
 {
   public:
-    using Responder = std::function<void(StatusCode, std::string_view)>;
+    /**
+     * Completion sink. `retry_after_ns` is a pacing hint attached to
+     * RESOURCE_EXHAUSTED responses (0 = none): the wire responder
+     * copies it into the response header's budget slot and transports
+     * surface it as `Status::retryAfterNs()`, so a shedding *leaf*'s
+     * hint survives mid-tier hops instead of being re-minted at each
+     * one (retry-amplification fix).
+     */
+    using Responder =
+        std::function<void(StatusCode, std::string_view, int64_t)>;
 
     /**
      * `clock` is the Clock arrival/residence/budget instants are read
@@ -171,6 +180,16 @@ class ServerCall
      * and an async completion are benign.
      */
     void respond(StatusCode code, std::string_view payload);
+
+    /**
+     * Variant carrying an explicit retry-after pacing hint upstream;
+     * meaningful with RESOURCE_EXHAUSTED (ignored for other codes by
+     * the wire encoder). Mid-tiers that fail because a downstream shed
+     * must forward the downstream's hint here rather than let the
+     * server re-mint a default.
+     */
+    void respond(StatusCode code, std::string_view payload,
+                 int64_t retry_after_ns);
 
     void
     respondOk(std::string_view payload)

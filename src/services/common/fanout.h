@@ -53,6 +53,7 @@
 #include "base/logging.h"
 #include "base/threading.h"
 #include "rpc/channel.h"
+#include "rpc/server.h"
 #include "stats/counters.h"
 
 namespace musuite {
@@ -127,6 +128,22 @@ struct FanoutPolicy
         return options;
     }
 
+    /** Clamp a call's deadlines to an inbound budget: a downstream
+     *  attempt is never promised longer than the end-to-end caller
+     *  will wait. 0 budget = no inbound deadline, no clamping. */
+    static void
+    clampToBudget(rpc::CallOptions &options, int64_t inbound_budget_ns)
+    {
+        if (inbound_budget_ns <= 0)
+            return;
+        auto clamp = [inbound_budget_ns](int64_t &deadline_ns) {
+            if (deadline_ns == 0 || deadline_ns > inbound_budget_ns)
+                deadline_ns = inbound_budget_ns;
+        };
+        clamp(options.deadlineNs);
+        clamp(options.totalDeadlineNs);
+    }
+
     /**
      * Deadline-propagating variant: clamp every leg's deadlines to the
      * budget the mid-tier's own caller has left (ServerCall::
@@ -134,23 +151,104 @@ struct FanoutPolicy
      * is never given longer than the end-to-end caller will wait, so
      * work the client has abandoned is not re-queued downstream, and
      * legs with no deadline of their own inherit the inbound one.
+     *
+     * Pass `remainingBudgetNs()` read at the *call site*, not a value
+     * captured at admission: the remaining budget shrinks by local
+     * queueing + service time, and each hop of a deep DAG must forward
+     * only what is actually left (the depth-3 re-promise bug).
      */
     FanoutOptions
     resolve(size_t legs, int64_t inbound_budget_ns) const
     {
         FanoutOptions options = resolve(legs);
-        if (inbound_budget_ns > 0) {
-            auto clamp = [inbound_budget_ns](int64_t &deadline_ns) {
-                if (deadline_ns == 0 ||
-                    deadline_ns > inbound_budget_ns)
-                    deadline_ns = inbound_budget_ns;
-            };
-            clamp(options.leg.deadlineNs);
-            clamp(options.leg.totalDeadlineNs);
-        }
+        clampToBudget(options.leg, inbound_budget_ns);
+        return options;
+    }
+
+    /**
+     * Budget-clamped options for a *single* downstream call outside a
+     * fanoutCall (e.g. the router's sequential failover walk). Same
+     * clamp as resolve(legs, budget); mulint's budget-clamp rule
+     * accepts either as evidence that a services call site propagates
+     * its inbound deadline.
+     */
+    rpc::CallOptions
+    legOptions(int64_t inbound_budget_ns) const
+    {
+        rpc::CallOptions options = leg;
+        clampToBudget(options, inbound_budget_ns);
         return options;
     }
 };
+
+/**
+ * Fail a call immediately when its inbound budget has already run out,
+ * before any downstream RPC is issued. Returns true (and responds
+ * DEADLINE_EXCEEDED) if the call was completed here. Every mid-tier
+ * handler calls this first: forwarding an expired budget's 1ns
+ * sentinel downstream just burns a full round of leaf work to produce
+ * an answer the root stopped waiting for (the depth-3 in-queue-expiry
+ * symptom).
+ */
+inline bool
+failFastIfExpired(const rpc::ServerCallPtr &call)
+{
+    if (call->deadlineNanos() == 0 || call->remainingBudgetNs() > 1)
+        return false;
+    globalCounters().counter("fanout.expired_before_fanout").add();
+    call->respond(StatusCode::DeadlineExceeded, "");
+    return true;
+}
+
+/**
+ * The status a mid-tier should report upstream when a fan-out (or
+ * failover walk) produced no usable result. Shed responses dominate:
+ * if any leg was RESOURCE_EXHAUSTED, return RESOURCE_EXHAUSTED
+ * carrying the *maximum* retry-after hint seen, so the root's backoff
+ * is paced by the most-loaded downstream instead of hammering it
+ * (retry amplification). Otherwise deadline expiry dominates plain
+ * unavailability.
+ */
+inline Status
+dominantFailure(const std::vector<LeafResult> &results,
+                const std::string &message)
+{
+    bool saw_exhausted = false;
+    bool saw_deadline = false;
+    int64_t max_retry_after = 0;
+    for (const LeafResult &result : results) {
+        if (result.status.isOk())
+            continue;
+        switch (result.status.code()) {
+        case StatusCode::ResourceExhausted:
+            saw_exhausted = true;
+            max_retry_after = std::max(max_retry_after,
+                                       result.status.retryAfterNs());
+            break;
+        case StatusCode::DeadlineExceeded:
+            saw_deadline = true;
+            break;
+        default:
+            break;
+        }
+    }
+    if (saw_exhausted) {
+        Status status(StatusCode::ResourceExhausted, message);
+        status.setRetryAfterNs(max_retry_after);
+        return status;
+    }
+    if (saw_deadline)
+        return Status(StatusCode::DeadlineExceeded, message);
+    return Status(StatusCode::Unavailable, message);
+}
+
+/** Complete a ServerCall with a failure Status, forwarding its
+ *  retry-after hint into the response header's budget slot. */
+inline void
+respondFailure(const rpc::ServerCallPtr &call, const Status &status)
+{
+    call->respond(status.code(), "", status.retryAfterNs());
+}
 
 /**
  * Issue all requests asynchronously; invoke on_complete exactly once
@@ -203,6 +301,7 @@ fanoutCall(uint32_t method, std::vector<FanoutRequest> requests,
 
     for (size_t i = 0; i < requests.size(); ++i) {
         FanoutRequest &request = requests[i];
+        // mulint: allow(budget-clamp): legs carry the caller-resolved FanoutOptions; clamping happened in the mid-tier's resolve()/legOptions() call
         request.channel->call(
             method, std::move(request.body), options.leg,
             [state, i](const Status &status, std::string_view payload) {

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Implementation of the graph-service node.
+ */
+
+#include "services/graph/node.h"
+
+#include <algorithm>
+
+#include "base/clock.h"
+#include "base/logging.h"
+#include "services/graph/proto.h"
+#include "stats/counters.h"
+
+namespace musuite {
+namespace graph {
+
+GraphNode::GraphNode(
+    Clock &clock_in,
+    std::vector<std::shared_ptr<rpc::Channel>> downstream_in,
+    NodeOptions options_in)
+    : clock(clock_in), downstream(std::move(downstream_in)),
+      options(std::move(options_in)),
+      workerFreeAtNs(std::max<uint32_t>(1, options.workers), 0),
+      rng(options.seed)
+{
+    MUSUITE_CHECK(options.computeNs >= 0) << "negative compute time";
+}
+
+void
+GraphNode::registerWith(rpc::Server &server)
+{
+    server.registerHandler(kProcess, [this](rpc::ServerCallPtr call) {
+        handle(std::move(call));
+    });
+}
+
+void
+GraphNode::handle(rpc::ServerCallPtr call)
+{
+    if (failFastIfExpired(call))
+        return;
+    GraphRequest request;
+    if (!decodeMessage(call->body(), request)) {
+        call->respond(StatusCode::InvalidArgument,
+                      "bad graph request");
+        return;
+    }
+    served.fetch_add(1, std::memory_order_relaxed);
+
+    // Admission + queue model: claim the earliest-free worker slot,
+    // or shed when compute occupancy is at capacity. The retry-after
+    // hint is the real drain time — when a slot frees up plus one
+    // service time — so upstream backoff is paced by actual load.
+    bool admitted = true;
+    int64_t finish_delay_ns = 0;
+    int64_t retry_after_ns = 0;
+    {
+        MutexLock guard(mutex);
+        const int64_t now_ns = clock.nowNanos();
+        auto slot = std::min_element(workerFreeAtNs.begin(),
+                                     workerFreeAtNs.end());
+        if (options.queueCapacity != 0 &&
+            inflight >= options.workers + options.queueCapacity) {
+            admitted = false;
+            retry_after_ns = std::max<int64_t>(*slot - now_ns, 0) +
+                             options.computeNs;
+        } else {
+            const int64_t start_ns = std::max(now_ns, *slot);
+            *slot = start_ns + options.computeNs;
+            finish_delay_ns = *slot - now_ns;
+            ++inflight;
+        }
+    }
+    if (!admitted) {
+        shed.fetch_add(1, std::memory_order_relaxed);
+        globalCounters().counter("graph.node.shed").add();
+        call->respond(StatusCode::ResourceExhausted, "",
+                      retry_after_ns);
+        return;
+    }
+
+    const uint64_t work_id = request.workId;
+    clock.schedule(finish_delay_ns,
+                   [this, call = std::move(call), work_id] {
+                       onComputeDone(call, work_id);
+                   });
+}
+
+void
+GraphNode::onComputeDone(rpc::ServerCallPtr call, uint64_t work_id)
+{
+    bool cache_hit = false;
+    {
+        MutexLock guard(mutex);
+        MUSUITE_CHECK(inflight > 0) << "compute/inflight mismatch";
+        --inflight;
+        cache_hit = options.cacheHitRatio > 0.0 &&
+                    rng.nextBool(options.cacheHitRatio);
+    }
+
+    // The budget ran out while this request queued or computed: the
+    // root has stopped waiting, so don't burn downstream work on it.
+    if (call->deadlineNanos() != 0 && call->remainingBudgetNs() <= 1) {
+        globalCounters().counter("graph.node.expired").add();
+        call->respond(StatusCode::DeadlineExceeded, "");
+        return;
+    }
+
+    if (cache_hit || downstream.empty()) {
+        if (cache_hit)
+            globalCounters().counter("graph.node.cache_hit").add();
+        GraphReply reply;
+        reply.workId = work_id;
+        reply.nodesVisited = 1;
+        reply.cacheHit = cache_hit;
+        call->respondOk(encodeMessage(reply));
+        return;
+    }
+    fanoutDownstream(call, work_id);
+}
+
+void
+GraphNode::fanoutDownstream(rpc::ServerCallPtr call, uint64_t work_id)
+{
+    GraphRequest forward;
+    forward.workId = work_id;
+
+    std::vector<FanoutRequest> requests;
+    requests.reserve(downstream.size());
+    for (size_t i = 0; i < downstream.size(); ++i) {
+        FanoutRequest request;
+        request.channel = downstream[i].get();
+        request.body = encodeMessage(forward);
+        request.tag = uint32_t(i);
+        requests.push_back(std::move(request));
+    }
+
+    // The budget is re-read *here*, after queue wait + compute: each
+    // hop forwards only what is actually left of the root deadline
+    // (budget-decrement rule; mulint budget-clamp enforces the
+    // two-argument resolve at every services/graph fan-out).
+    const FanoutOptions fanout_options = options.fanout.resolve(
+        requests.size(), call->remainingBudgetNs());
+    fanoutCall(
+        kProcess, std::move(requests), fanout_options,
+        [this, call, work_id](FanoutOutcome outcome) {
+            if (outcome.okLegs == 0) {
+                // Total downstream failure: the dominant leg status
+                // goes upstream with the max retry-after preserved.
+                respondFailure(call,
+                               dominantFailure(outcome.results,
+                                               "graph fan-out failed"));
+                return;
+            }
+            GraphReply merged;
+            merged.workId = work_id;
+            merged.nodesVisited = 1; // Self.
+            bool downstream_degraded = false;
+            for (const LeafResult &result : outcome.results) {
+                if (!result.status.isOk())
+                    continue;
+                GraphReply reply;
+                if (decodeMessage(result.payload, reply)) {
+                    merged.nodesVisited += reply.nodesVisited;
+                    // OR the whole subtree's degraded flag through
+                    // (multi-hop propagation fix).
+                    downstream_degraded |= reply.degraded;
+                }
+            }
+            merged.degraded = outcome.degraded || downstream_degraded;
+            if (merged.degraded)
+                degraded.fetch_add(1, std::memory_order_relaxed);
+            call->respondOk(encodeMessage(merged));
+        });
+}
+
+} // namespace graph
+} // namespace musuite

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Graph-service wire messages and method ids.
+ *
+ * The graph mid-tier is topology-generic: every node — front-end,
+ * interior mid-tier, leaf — speaks the same kProcess method with the
+ * same request/reply shapes, so a request DAG of any depth is just
+ * nodes wired to nodes through Channels. The reply aggregates how
+ * many nodes the request actually visited and whether any hop merged
+ * a partial (degraded) result, which is what the deep-DAG propagation
+ * tests assert on.
+ */
+
+#ifndef MUSUITE_SERVICES_GRAPH_PROTO_H
+#define MUSUITE_SERVICES_GRAPH_PROTO_H
+
+#include <cstdint>
+
+#include "serde/wire.h"
+
+namespace musuite {
+namespace graph {
+
+/** Method ids on every graph node. */
+enum Method : uint32_t {
+    kProcess = 1, //!< The single request-DAG entry point.
+};
+
+struct GraphRequest
+{
+    /** Caller-assigned id carried verbatim through the DAG. */
+    uint64_t workId = 0;
+
+    void
+    encode(WireWriter &out) const
+    {
+        out.putVarint(workId);
+    }
+
+    bool
+    decode(WireReader &in)
+    {
+        workId = in.getVarint();
+        return in.ok();
+    }
+};
+
+struct GraphReply
+{
+    uint64_t workId = 0;
+    /** Nodes that ran compute for this request (self + downstream). */
+    uint32_t nodesVisited = 0;
+    /** True if this node — or any node below it — merged a partial
+     *  result or answered degraded (OR-ed through every hop). */
+    bool degraded = false;
+    /** True iff this node answered from its cache (no downstream). */
+    bool cacheHit = false;
+
+    void
+    encode(WireWriter &out) const
+    {
+        out.putVarint(workId);
+        out.putVarint(nodesVisited);
+        out.putBool(degraded);
+        out.putBool(cacheHit);
+    }
+
+    bool
+    decode(WireReader &in)
+    {
+        workId = in.getVarint();
+        nodesVisited = uint32_t(in.getVarint());
+        degraded = in.remaining() > 0 ? in.getBool() : false;
+        cacheHit = in.remaining() > 0 ? in.getBool() : false;
+        return in.ok();
+    }
+};
+
+} // namespace graph
+} // namespace musuite
+
+#endif // MUSUITE_SERVICES_GRAPH_PROTO_H

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The named scenario library (see scenario.h).
+ */
+
+#include "services/graph/scenario.h"
+
+namespace musuite {
+namespace graph {
+
+size_t
+GraphScenario::tierWidth(size_t depth) const
+{
+    if (depth > stages.size())
+        return 0;
+    size_t width = 1;
+    for (size_t i = 0; i < depth; ++i)
+        width *= stages[i].fanout;
+    return width;
+}
+
+size_t
+GraphScenario::nodeCount() const
+{
+    size_t total = 1; // Root.
+    size_t width = 1;
+    for (const StageSpec &stage : stages) {
+        width *= stage.fanout;
+        total += width;
+    }
+    return total;
+}
+
+namespace {
+
+/** The shared 3-deep skeleton: root -> 3 mids -> 9 mids -> 27 leaves
+ *  collapses budgets/faults differently per scenario but keeps the
+ *  same shape so results are comparable. */
+GraphScenario
+baseDag(uint64_t seed, std::string name)
+{
+    GraphScenario scenario;
+    scenario.name = std::move(name);
+    scenario.seed = seed;
+    scenario.stages.resize(3);
+
+    // Tier 1: aggregation mid-tiers close to the root.
+    scenario.stages[0].fanout = 3;
+    scenario.stages[0].computeNs = 80'000;
+    scenario.stages[0].workers = 4;
+    scenario.stages[0].queueCapacity = 64;
+    scenario.stages[0].link = {40'000, 10'000, 0.0, 0};
+    scenario.stages[0].quorumFraction = 1.0;
+    scenario.stages[0].legDeadlineNs = 30'000'000;
+    scenario.stages[0].legTotalDeadlineNs = 60'000'000;
+
+    // Tier 2: interior mid-tiers.
+    scenario.stages[1].fanout = 3;
+    scenario.stages[1].computeNs = 60'000;
+    scenario.stages[1].workers = 4;
+    scenario.stages[1].queueCapacity = 48;
+    scenario.stages[1].link = {30'000, 8'000, 0.0, 0};
+    scenario.stages[1].quorumFraction = 1.0;
+    scenario.stages[1].legDeadlineNs = 20'000'000;
+    scenario.stages[1].legTotalDeadlineNs = 40'000'000;
+
+    // Tier 3: leaves.
+    scenario.stages[2].fanout = 3;
+    scenario.stages[2].computeNs = 120'000;
+    scenario.stages[2].workers = 2;
+    scenario.stages[2].queueCapacity = 32;
+    scenario.stages[2].link = {25'000, 6'000, 0.0, 0};
+    scenario.stages[2].quorumFraction = 1.0;
+    scenario.stages[2].legDeadlineNs = 10'000'000;
+    scenario.stages[2].legTotalDeadlineNs = 20'000'000;
+    return scenario;
+}
+
+} // namespace
+
+GraphScenario
+steadyDag(uint64_t seed)
+{
+    return baseDag(seed, "steady");
+}
+
+GraphScenario
+brownoutDag(uint64_t seed)
+{
+    GraphScenario scenario = baseDag(seed, "brownout");
+    // One slow leaf per group: every leaf fan-out sees child 0 pay a
+    // large injected delay on most requests, so quorum completion and
+    // degraded propagation carry the tier.
+    StageSpec &leaves = scenario.stages[2];
+    leaves.fault.delayRequestProb = 0.9;
+    leaves.fault.delayNs = 15'000'000; // Past the 10ms leg deadline.
+    leaves.fault.onlyChild = 0;
+    leaves.quorumFraction = 0.5; // Complete on 2/3 once one fails.
+    // Tail-heavy leaf links even for the healthy children.
+    leaves.link.tailProb = 0.05;
+    leaves.link.tailNs = 2'000'000;
+    return scenario;
+}
+
+GraphScenario
+retryStormDag(uint64_t seed)
+{
+    GraphScenario scenario = baseDag(seed, "retry_storm");
+    // Tiny leaf service capacity: offered load past the leaf tier's
+    // capacity sheds with RESOURCE_EXHAUSTED + retry-after, and the
+    // parents retry — the scenario that flushes lost pacing hints.
+    StageSpec &leaves = scenario.stages[2];
+    leaves.workers = 1;
+    leaves.queueCapacity = 2;
+    leaves.computeNs = 400'000;
+    // Parents retry shed legs; their backoff must be floored by the
+    // propagated retry-after, not their own 1ms schedule.
+    scenario.stages[1].maxAttempts = 2;
+    scenario.stages[2].maxAttempts = 2;
+    return scenario;
+}
+
+} // namespace graph
+} // namespace musuite

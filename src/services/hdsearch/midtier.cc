@@ -33,6 +33,8 @@ MidTier::registerWith(rpc::Server &server)
 void
 MidTier::handle(rpc::ServerCallPtr call)
 {
+    if (failFastIfExpired(call))
+        return;
     NNQuery query;
     if (!decodeMessage(call->body(), query) || query.k == 0) {
         call->respond(StatusCode::InvalidArgument, "bad NN query");
@@ -86,8 +88,18 @@ MidTier::handle(rpc::ServerCallPtr call)
     fanoutCall(kLeafDistance, std::move(requests), fanout_options,
                [this, call, k,
                 tags = std::move(tags)](FanoutOutcome outcome) {
+                   if (outcome.okLegs == 0) {
+                       // No shard contributed: report the dominant
+                       // failure (keeping a shedder's retry-after)
+                       // rather than an empty OK.
+                       respondFailure(
+                           call, dominantFailure(outcome.results,
+                                                 "no shard answered"));
+                       return;
+                   }
                    std::vector<std::vector<Neighbor>> lists;
                    lists.reserve(outcome.results.size());
+                   bool downstream_degraded = false;
                    for (size_t i = 0; i < outcome.results.size(); ++i) {
                        if (!outcome.results[i].status.isOk())
                            continue; // Degraded: merge what arrived.
@@ -96,6 +108,9 @@ MidTier::handle(rpc::ServerCallPtr call)
                                           leaf_response)) {
                            continue;
                        }
+                       // OR through a downstream mid-tier's degraded
+                       // flag (multi-hop propagation).
+                       downstream_degraded |= leaf_response.degraded;
                        std::vector<Neighbor> list;
                        list.reserve(leaf_response.pointIds.size());
                        for (size_t j = 0;
@@ -116,8 +131,9 @@ MidTier::handle(rpc::ServerCallPtr call)
                        response.pointIds.push_back(neighbor.id);
                        response.distances.push_back(neighbor.distance);
                    }
-                   response.degraded = outcome.degraded;
-                   if (outcome.degraded)
+                   response.degraded =
+                       outcome.degraded || downstream_degraded;
+                   if (response.degraded)
                        degraded.fetch_add(1,
                                           std::memory_order_relaxed);
                    call->respondOk(encodeMessage(response));

@@ -107,12 +107,16 @@ struct LeafNNResponse
 {
     std::vector<uint32_t> pointIds; //!< Local ids, nearest first.
     std::vector<float> distances;
+    /** True when the responder is itself a mid-tier that merged a
+     *  partial result (multi-hop deployments); leaves leave it false. */
+    bool degraded = false;
 
     void
     encode(WireWriter &out) const
     {
         out.putU32Vector(pointIds);
         out.putFloatVector(distances);
+        out.putBool(degraded);
     }
 
     bool
@@ -120,6 +124,8 @@ struct LeafNNResponse
     {
         pointIds = in.getU32Vector();
         distances = in.getFloatVector();
+        // Trailing optional field: absent in pre-resilience payloads.
+        degraded = in.remaining() > 0 ? in.getBool() : false;
         return in.ok() && pointIds.size() == distances.size();
     }
 };

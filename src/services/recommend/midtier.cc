@@ -31,6 +31,8 @@ MidTier::registerWith(rpc::Server &server)
 void
 MidTier::handle(rpc::ServerCallPtr call)
 {
+    if (failFastIfExpired(call))
+        return;
     RatingQuery query;
     if (!decodeMessage(call->body(), query)) {
         call->respond(StatusCode::InvalidArgument, "bad rating query");
@@ -56,6 +58,7 @@ MidTier::handle(rpc::ServerCallPtr call)
                [this, call](FanoutOutcome outcome) {
                    double sum = 0.0;
                    uint32_t answered = 0;
+                   bool downstream_degraded = false;
                    for (const LeafResult &result : outcome.results) {
                        if (!result.status.isOk())
                            continue;
@@ -63,17 +66,22 @@ MidTier::handle(rpc::ServerCallPtr call)
                        if (decodeMessage(result.payload, reply)) {
                            sum += reply.rating;
                            ++answered;
+                           // OR through a downstream mid-tier's own
+                           // degraded answer (multi-hop propagation).
+                           downstream_degraded |= reply.degraded;
                        }
                    }
                    if (answered == 0) {
-                       call->respond(StatusCode::Unavailable,
-                                     "no leaf predictions");
+                       respondFailure(
+                           call, dominantFailure(outcome.results,
+                                                 "no leaf predictions"));
                        return;
                    }
                    RatingReply averaged;
                    averaged.rating = sum / double(answered);
-                   averaged.degraded = outcome.degraded;
-                   if (outcome.degraded)
+                   averaged.degraded =
+                       outcome.degraded || downstream_degraded;
+                   if (averaged.degraded)
                        degraded.fetch_add(1,
                                           std::memory_order_relaxed);
                    call->respondOk(encodeMessage(averaged));

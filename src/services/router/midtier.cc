@@ -49,6 +49,8 @@ MidTier::replicaPool(std::string_view key) const
 void
 MidTier::handle(rpc::ServerCallPtr call)
 {
+    if (failFastIfExpired(call))
+        return;
     KvRequest request;
     if (!decodeMessage(call->body(), request) || request.key.empty()) {
         call->respond(StatusCode::InvalidArgument, "bad route request");
@@ -68,7 +70,7 @@ MidTier::handle(rpc::ServerCallPtr call)
         const size_t start = size_t(salt % pool.size());
         for (size_t i = 0; i < pool.size(); ++i)
             rotated[i] = pool[(start + i) % pool.size()];
-        routeGet(call, call->body(), std::move(rotated), 0);
+        routeGet(call, call->body(), std::move(rotated), 0, {});
     }
 }
 
@@ -92,24 +94,35 @@ MidTier::routeSet(rpc::ServerCallPtr call, const std::string &body,
     fanoutCall(kLeafOp, std::move(requests), fanout_options,
                [this, call](FanoutOutcome outcome) {
                    // The set succeeds if any replica stored it; a
-                   // fully failed pool is an Unavailable error.
+                   // fully failed pool reports the dominant failure
+                   // (a shedding replica's retry-after survives).
                    uint32_t stored = 0;
+                   bool downstream_degraded = false;
                    for (const LeafResult &result : outcome.results) {
                        KvReply reply;
                        if (result.status.isOk() &&
                            decodeMessage(result.payload, reply) &&
                            reply.found) {
                            ++stored;
+                           // A replica that is itself a mid-tier may
+                           // have stored the value degraded; OR that
+                           // through so the root sees it (multi-hop
+                           // degraded-propagation fix).
+                           downstream_degraded |= reply.degraded;
                        }
                    }
                    if (stored == 0) {
-                       call->respond(StatusCode::Unavailable,
-                                     "no replica stored the value");
+                       respondFailure(
+                           call,
+                           dominantFailure(
+                               outcome.results,
+                               "no replica stored the value"));
                        return;
                    }
                    KvReply reply;
                    reply.found = true;
                    reply.degraded =
+                       downstream_degraded ||
                        stored < uint32_t(outcome.results.size());
                    if (reply.degraded)
                        degraded.fetch_add(1,
@@ -120,32 +133,44 @@ MidTier::routeSet(rpc::ServerCallPtr call, const std::string &body,
 
 void
 MidTier::routeGet(rpc::ServerCallPtr call, std::string body,
-                  std::vector<uint32_t> pool, size_t attempt)
+                  std::vector<uint32_t> pool, size_t attempt,
+                  std::vector<LeafResult> failures)
 {
     if (attempt >= pool.size()) {
-        call->respond(StatusCode::Unavailable,
-                      "all replicas unreachable");
+        respondFailure(call,
+                       dominantFailure(failures,
+                                       "all replicas unreachable"));
         return;
     }
+    // A failover walk can outlive the caller's budget: stop promising
+    // replicas time the root no longer has.
+    if (attempt > 0 && failFastIfExpired(call))
+        return;
     if (attempt > 0)
         failoverCount.fetch_add(1, std::memory_order_relaxed);
 
     rpc::Channel *channel = leaves[pool[attempt]].get();
     std::string body_copy = body;
-    // Each failover attempt gets the per-leg resilience options so a
-    // dead replica is abandoned after the leg deadline instead of
-    // hanging the whole get.
+    // Each failover attempt gets the per-leg resilience options
+    // clamped to the budget *remaining now* — earlier attempts have
+    // already spent part of it (budget-decrement fix).
     channel->call(
-        kLeafOp, std::move(body_copy), options.fanout.leg,
+        kLeafOp, std::move(body_copy),
+        options.fanout.legOptions(call->remainingBudgetNs()),
         [this, call, body = std::move(body), pool = std::move(pool),
-         attempt](const Status &status, std::string_view payload) mutable {
+         attempt, failures = std::move(failures)](
+            const Status &status, std::string_view payload) mutable {
             if (status.isOk()) {
+                // Preserve a downstream mid-tier's degraded flag: the
+                // payload is relayed verbatim, so it already carries it.
                 call->respondOk(payload);
                 return;
             }
-            // Replica down: fall over to the next one in the pool.
+            // Replica down: fall over to the next one in the pool,
+            // remembering why this one failed.
+            failures.push_back(LeafResult{status, {}});
             routeGet(call, std::move(body), std::move(pool),
-                     attempt + 1);
+                     attempt + 1, std::move(failures));
         });
 }
 

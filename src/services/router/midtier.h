@@ -61,9 +61,15 @@ class MidTier
     void handle(rpc::ServerCallPtr call);
     void routeSet(rpc::ServerCallPtr call, const std::string &body,
                   const std::vector<uint32_t> &pool);
-    /** Try pool[attempt], fail over on Unavailable. */
+    /**
+     * Try pool[attempt], fail over on error. `failures` accumulates
+     * each attempt's failure status so pool exhaustion can report the
+     * dominant one (a shedding replica's retry-after survives the
+     * walk instead of being flattened to Unavailable).
+     */
     void routeGet(rpc::ServerCallPtr call, std::string body,
-                  std::vector<uint32_t> pool, size_t attempt);
+                  std::vector<uint32_t> pool, size_t attempt,
+                  std::vector<LeafResult> failures);
 
     std::vector<std::shared_ptr<rpc::Channel>> leaves;
     MidTierOptions options;

@@ -16,7 +16,7 @@ namespace sim {
 SimChannel::SimChannel(SimClock &clock_in, rpc::Server &server_in,
                        SimLink link_in, std::string name_in)
     : sim(clock_in), server(server_in), link(link_in),
-      label(std::move(name_in))
+      label(std::move(name_in)), latencyRng(link_in.seed)
 {
     MUSUITE_CHECK(&server.clock() == &clock_in)
         << "server '" << label
@@ -32,13 +32,27 @@ SimChannel::transportCall(uint32_t method, std::string body,
     transportCall(method, std::move(body), 0, std::move(callback));
 }
 
+int64_t
+SimChannel::sampleLatencyNs(int64_t base_ns)
+{
+    if (link.seed == 0)
+        return base_ns; // Constant-latency link (legacy replays).
+    int64_t ns = base_ns;
+    if (link.jitterNs > 0)
+        ns += int64_t(latencyRng.nextBounded(uint64_t(link.jitterNs)));
+    if (link.tailProb > 0.0 && link.tailNs > 0 &&
+        latencyRng.nextBool(link.tailProb))
+        ns += link.tailNs;
+    return ns;
+}
+
 void
 SimChannel::transportCall(uint32_t method, std::string body,
                           int64_t budget_ns, Callback callback)
 {
     sim.traceEvent(label + " send m=" + std::to_string(method));
     sim.schedule(
-        link.requestLatencyNs,
+        sampleLatencyNs(link.requestLatencyNs),
         [this, method, body = std::move(body), budget_ns,
          callback = std::move(callback)]() mutable {
             if (down) {
@@ -53,13 +67,14 @@ SimChannel::transportCall(uint32_t method, std::string body,
             server.invokeLocal(
                 method, std::move(body), budget_ns,
                 [this, callback = std::move(callback)](
-                    StatusCode code, std::string_view payload) {
+                    StatusCode code, std::string_view payload,
+                    int64_t retry_after_ns) {
                     // The handler may respond asynchronously (e.g.
                     // from a fan-out merge); whenever it does, the
                     // response crosses the link from that instant.
                     sim.schedule(
-                        link.responseLatencyNs,
-                        [this, callback, code,
+                        sampleLatencyNs(link.responseLatencyNs),
+                        [this, callback, code, retry_after_ns,
                          payload = std::string(payload)] {
                             sim.traceEvent(
                                 label + " recv code=" +
@@ -67,8 +82,16 @@ SimChannel::transportCall(uint32_t method, std::string body,
                             if (code == StatusCode::Ok) {
                                 callback(Status::ok(), payload);
                             } else {
-                                callback(Status(code, "remote error"),
-                                         payload);
+                                Status status(code, "remote error");
+                                // Map the pacing hint exactly like
+                                // the TCP client maps the response
+                                // header's budget slot.
+                                if (code ==
+                                        StatusCode::ResourceExhausted &&
+                                    retry_after_ns > 0)
+                                    status.setRetryAfterNs(
+                                        retry_after_ns);
+                                callback(status, payload);
                             }
                         });
                 });

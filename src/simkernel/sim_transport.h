@@ -23,6 +23,7 @@
 
 #include <string>
 
+#include "base/rng.h"
 #include "rpc/channel.h"
 #include "rpc/server.h"
 #include "simkernel/simclock.h"
@@ -30,11 +31,27 @@
 namespace musuite {
 namespace sim {
 
-/** One-way latencies of a simulated link (virtual ns). */
+/**
+ * One-way latencies of a simulated link (virtual ns).
+ *
+ * With `seed == 0` both directions are the constant base latencies
+ * (the original behavior, byte-compatible with existing replays).
+ * A non-zero seed turns the base values into a *distribution*: each
+ * message independently adds uniform jitter in [0, jitterNs) and,
+ * with probability tailProb, a fixed tail excursion of tailNs — a
+ * cheap bimodal shape that models switch-queueing tails well enough
+ * for brownout scenarios. Sampling is driven by one per-channel
+ * xoshiro stream, so a given (seed, message order) replays
+ * byte-identically.
+ */
 struct SimLink
 {
     int64_t requestLatencyNs = 50'000;  //!< Client -> server.
     int64_t responseLatencyNs = 50'000; //!< Server -> client.
+    int64_t jitterNs = 0;  //!< Uniform extra per message, both ways.
+    double tailProb = 0.0; //!< Chance a message pays the tail.
+    int64_t tailNs = 0;    //!< Tail excursion added on a tail hit.
+    uint64_t seed = 0;     //!< 0 = constant latencies (no sampling).
 };
 
 /**
@@ -71,10 +88,14 @@ class SimChannel final : public rpc::Channel
                        int64_t budget_ns, Callback callback) override;
 
   private:
+    /** Sample one direction's latency from the link distribution. */
+    int64_t sampleLatencyNs(int64_t base_ns);
+
     SimClock &sim;
     rpc::Server &server;
     SimLink link;
     std::string label;
+    Rng latencyRng; //!< Per-channel stream; unused when seed == 0.
     bool down = false;
 };
 

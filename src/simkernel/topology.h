@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Multi-host sim topologies: instantiate a whole N-tier deployment
+ * from a declarative GraphScenario in one call.
+ *
+ * Before this helper, every sim test wired its servers, channels, and
+ * fault injectors by hand (see tests/sim_replay_test's fan-out
+ * scenario). buildTopology() turns a GraphScenario — tiers of fan-out
+ * widths, compute models, link latency *distributions*, and fault
+ * shapes — into a tree of unstarted rpc::Servers hosting GraphNodes,
+ * wired parent-to-child through SimChannels on one SimClock. The
+ * returned Topology owns everything; callers drive traffic through
+ * `root` (a client-side SimChannel to the root node) and pump the
+ * clock.
+ *
+ * Determinism: all per-entity randomness (link jitter samplers, node
+ * cache RNGs, fault injectors) derives from scenario.seed mixed with
+ * the entity's tier/index, so (spec, seed) fully determines a replay.
+ */
+
+#ifndef MUSUITE_SIMKERNEL_TOPOLOGY_H
+#define MUSUITE_SIMKERNEL_TOPOLOGY_H
+
+#include <memory>
+#include <vector>
+
+#include "rpc/fault.h"
+#include "services/graph/node.h"
+#include "services/graph/scenario.h"
+#include "simkernel/sim_transport.h"
+#include "simkernel/simclock.h"
+
+namespace musuite {
+namespace sim {
+
+/** One simulated host: an unstarted server running one graph node. */
+struct SimHost
+{
+    std::unique_ptr<rpc::Server> server;
+    std::unique_ptr<graph::GraphNode> node;
+};
+
+struct Topology
+{
+    /** tiers[0] holds the single root host; tiers[d] the hosts at
+     *  depth d. Hosts own their nodes; nodes own child channels. */
+    std::vector<std::vector<std::unique_ptr<SimHost>>> tiers;
+    /** Fault injectors installed on faulted links (inspection). */
+    std::vector<std::shared_ptr<rpc::FaultInjector>> injectors;
+    /** Client-side channel into the root node. */
+    std::shared_ptr<rpc::Channel> root;
+
+    size_t
+    nodeCount() const
+    {
+        size_t total = 0;
+        for (const auto &tier : tiers)
+            total += tier.size();
+        return total;
+    }
+
+    graph::GraphNode &
+    rootNode() const
+    {
+        return *tiers.front().front()->node;
+    }
+};
+
+/**
+ * Build the scenario's tree on `clock`. `root_link` shapes the
+ * client->root link (constant 50us each way by default). All servers
+ * are constructed under a ScopedClock binding `clock`, per the
+ * SimChannel contract.
+ */
+Topology buildTopology(SimClock &clock,
+                       const graph::GraphScenario &scenario,
+                       SimLink root_link = {});
+
+} // namespace sim
+} // namespace musuite
+
+#endif // MUSUITE_SIMKERNEL_TOPOLOGY_H

@@ -24,14 +24,17 @@
 namespace musuite {
 namespace {
 
-/** A scripted leaf: replies with a fixed payload, error, or garbage. */
+/** A scripted leaf: replies with a fixed payload, error, shed (with a
+ *  retry-after pacing hint), or garbage. */
 class ScriptedChannel : public rpc::Channel
 {
   public:
-    enum class Mode { Reply, Error, Garbage };
+    enum class Mode { Reply, Error, Shed, Garbage };
 
-    explicit ScriptedChannel(Mode mode, std::string payload = "")
-        : mode(mode), payload(std::move(payload))
+    explicit ScriptedChannel(Mode mode, std::string payload = "",
+                             int64_t retry_after_ns = 0)
+        : mode(mode), payload(std::move(payload)),
+          retryAfterNs(retry_after_ns)
     {}
 
     int calls = 0;
@@ -48,6 +51,12 @@ class ScriptedChannel : public rpc::Channel
           case Mode::Error:
             callback(Status(StatusCode::Unavailable, "scripted"), {});
             return;
+          case Mode::Shed: {
+            Status status(StatusCode::ResourceExhausted, "scripted");
+            status.setRetryAfterNs(retryAfterNs);
+            callback(status, {});
+            return;
+          }
           case Mode::Garbage:
             callback(Status::ok(), "\x80\xFF\x01garbage");
             return;
@@ -57,6 +66,7 @@ class ScriptedChannel : public rpc::Channel
   private:
     Mode mode;
     std::string payload;
+    int64_t retryAfterNs;
 };
 
 /** Capture a mid-tier's response synchronously via invokeLocal-style
@@ -65,6 +75,7 @@ struct CapturedResponse
 {
     StatusCode code = StatusCode::Internal;
     std::string payload;
+    int64_t retryAfterNs = 0;
     bool responded = false;
 };
 
@@ -94,10 +105,12 @@ TEST(SetAlgebraMidTierTest, UnionsHealthyLeaves)
     rpc::Server host; // Unstarted: handler invoked directly.
     midtier.registerWith(host);
     host.invokeLocal(setalgebra::kSearch, encodeMessage(query),
-                     [&out](StatusCode code, std::string_view payload) {
+                     [&out](StatusCode code, std::string_view payload,
+                            int64_t retry_after) {
                          out.code = code;
                          out.payload.assign(payload.data(),
                                             payload.size());
+                         out.retryAfterNs = retry_after;
                          out.responded = true;
                      });
 
@@ -126,10 +139,12 @@ TEST(SetAlgebraMidTierTest, DegradedWhenOneLeafFailsOrGarbles)
     rpc::Server host;
     midtier.registerWith(host);
     host.invokeLocal(setalgebra::kSearch, encodeMessage(query),
-                     [&out](StatusCode code, std::string_view payload) {
+                     [&out](StatusCode code, std::string_view payload,
+                            int64_t retry_after) {
                          out.code = code;
                          out.payload.assign(payload.data(),
                                             payload.size());
+                         out.retryAfterNs = retry_after;
                          out.responded = true;
                      });
 
@@ -168,10 +183,12 @@ TEST(RecommendMidTierTest, AveragesOnlyHealthyLeaves)
     rpc::Server host;
     midtier.registerWith(host);
     host.invokeLocal(recommend::kPredict, encodeMessage(query),
-                     [&out](StatusCode code, std::string_view payload) {
+                     [&out](StatusCode code, std::string_view payload,
+                            int64_t retry_after) {
                          out.code = code;
                          out.payload.assign(payload.data(),
                                             payload.size());
+                         out.retryAfterNs = retry_after;
                          out.responded = true;
                      });
 
@@ -195,10 +212,12 @@ TEST(RecommendMidTierTest, TotalOutageIsUnavailable)
     rpc::Server host;
     midtier.registerWith(host);
     host.invokeLocal(recommend::kPredict, encodeMessage(query),
-                     [&out](StatusCode code, std::string_view payload) {
+                     [&out](StatusCode code, std::string_view payload,
+                            int64_t retry_after) {
                          out.code = code;
                          out.payload.assign(payload.data(),
                                             payload.size());
+                         out.retryAfterNs = retry_after;
                          out.responded = true;
                      });
     ASSERT_TRUE(out.responded);
@@ -242,10 +261,12 @@ TEST(RouterMidTierTest, SetSucceedsIfAnyReplicaStores)
     rpc::Server host;
     midtier.registerWith(host);
     host.invokeLocal(router::kRoute, encodeMessage(request),
-                     [&out](StatusCode code, std::string_view payload) {
+                     [&out](StatusCode code, std::string_view payload,
+                            int64_t retry_after) {
                          out.code = code;
                          out.payload.assign(payload.data(),
                                             payload.size());
+                         out.retryAfterNs = retry_after;
                          out.responded = true;
                      });
     ASSERT_TRUE(out.responded);
@@ -269,10 +290,12 @@ TEST(RouterMidTierTest, SetFailsWhenNoReplicaStores)
     rpc::Server host;
     midtier.registerWith(host);
     host.invokeLocal(router::kRoute, encodeMessage(request),
-                     [&out](StatusCode code, std::string_view payload) {
+                     [&out](StatusCode code, std::string_view payload,
+                            int64_t retry_after) {
                          out.code = code;
                          out.payload.assign(payload.data(),
                                             payload.size());
+                         out.retryAfterNs = retry_after;
                          out.responded = true;
                      });
     ASSERT_TRUE(out.responded);
@@ -298,10 +321,12 @@ TEST(RouterMidTierTest, GetExhaustsReplicasThenFails)
     rpc::Server host;
     midtier.registerWith(host);
     host.invokeLocal(router::kRoute, encodeMessage(request),
-                     [&out](StatusCode code, std::string_view payload) {
+                     [&out](StatusCode code, std::string_view payload,
+                            int64_t retry_after) {
                          out.code = code;
                          out.payload.assign(payload.data(),
                                             payload.size());
+                         out.retryAfterNs = retry_after;
                          out.responded = true;
                      });
     ASSERT_TRUE(out.responded);
@@ -350,10 +375,12 @@ TEST(HdSearchMidTierTest, DegradedMergeSkipsBrokenLeaves)
     midtier.registerWith(host);
     host.invokeLocal(hdsearch::kNearestNeighbors,
                      encodeMessage(query),
-                     [&out](StatusCode code, std::string_view payload) {
+                     [&out](StatusCode code, std::string_view payload,
+                            int64_t retry_after) {
                          out.code = code;
                          out.payload.assign(payload.data(),
                                             payload.size());
+                         out.retryAfterNs = retry_after;
                          out.responded = true;
                      });
 
@@ -363,6 +390,182 @@ TEST(HdSearchMidTierTest, DegradedMergeSkipsBrokenLeaves)
     ASSERT_TRUE(decodeMessage(out.payload, response));
     ASSERT_EQ(response.pointIds.size(), 1u); // Only the healthy leaf.
     EXPECT_EQ(response.pointIds[0], hdsearch::globalPointId(0, 0));
+}
+
+// --------------------------------------------------------------------
+// Multi-hop propagation contract (the three deep-DAG fixes), pinned at
+// the unit level: a "leaf" channel scripted to behave like a
+// downstream *mid-tier* — answering degraded, or shedding with a
+// retry-after hint — must have that state survive this hop.
+// --------------------------------------------------------------------
+
+TEST(SetAlgebraMidTierTest, DownstreamDegradedFlagIsOredThrough)
+{
+    // Both shards answer OK, but one is itself a mid-tier that merged
+    // a partial result. Before the fix this hop reported
+    // degraded=false upstream because its own quorum was healthy.
+    setalgebra::PostingReply degraded_reply;
+    degraded_reply.docIds = {8};
+    degraded_reply.degraded = true;
+    auto healthy = std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Reply, postingPayload({1}));
+    auto degraded_mid = std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Reply, encodeMessage(degraded_reply));
+    setalgebra::MidTier midtier({healthy, degraded_mid});
+
+    setalgebra::SearchQuery query;
+    query.terms = {1};
+    CapturedResponse out;
+    rpc::Server host;
+    midtier.registerWith(host);
+    host.invokeLocal(setalgebra::kSearch, encodeMessage(query),
+                     [&out](StatusCode code, std::string_view payload,
+                            int64_t retry_after) {
+                         out.code = code;
+                         out.payload.assign(payload.data(),
+                                            payload.size());
+                         out.retryAfterNs = retry_after;
+                         out.responded = true;
+                     });
+
+    ASSERT_TRUE(out.responded);
+    EXPECT_EQ(out.code, StatusCode::Ok);
+    setalgebra::PostingReply merged;
+    ASSERT_TRUE(decodeMessage(out.payload, merged));
+    EXPECT_EQ(merged.docIds, (std::vector<uint32_t>{1, 8}));
+    EXPECT_TRUE(merged.degraded);
+}
+
+TEST(RecommendMidTierTest, ShedLeavesPropagateMaxRetryAfter)
+{
+    // Every leaf sheds with a pacing hint; the mid-tier must report
+    // RESOURCE_EXHAUSTED upstream carrying the *largest* hint, not a
+    // hint-less Unavailable that restarts the root's backoff from
+    // zero (retry amplification).
+    auto slow = std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Shed, "", 9'000'000);
+    auto fast = std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Shed, "", 5'000'000);
+    recommend::MidTier midtier({slow, fast});
+
+    recommend::RatingQuery query{0, 0};
+    CapturedResponse out;
+    rpc::Server host;
+    midtier.registerWith(host);
+    host.invokeLocal(recommend::kPredict, encodeMessage(query),
+                     [&out](StatusCode code, std::string_view payload,
+                            int64_t retry_after) {
+                         out.code = code;
+                         out.payload.assign(payload.data(),
+                                            payload.size());
+                         out.retryAfterNs = retry_after;
+                         out.responded = true;
+                     });
+    ASSERT_TRUE(out.responded);
+    EXPECT_EQ(out.code, StatusCode::ResourceExhausted);
+    EXPECT_EQ(out.retryAfterNs, 9'000'000);
+}
+
+TEST(RouterMidTierTest, GetPoolExhaustionKeepsShedRetryAfter)
+{
+    // The failover walk hits one shedding replica among dead ones;
+    // pool exhaustion must surface the shed (with its hint) rather
+    // than flattening everything to Unavailable.
+    std::vector<std::shared_ptr<rpc::Channel>> leaves;
+    leaves.push_back(std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Error));
+    leaves.push_back(std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Shed, "", 7'000'000));
+    leaves.push_back(std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Error));
+    router::MidTier midtier(leaves);
+
+    router::KvRequest request;
+    request.op = router::Op::Get;
+    request.key = "k";
+    CapturedResponse out;
+    rpc::Server host;
+    midtier.registerWith(host);
+    host.invokeLocal(router::kRoute, encodeMessage(request),
+                     [&out](StatusCode code, std::string_view payload,
+                            int64_t retry_after) {
+                         out.code = code;
+                         out.payload.assign(payload.data(),
+                                            payload.size());
+                         out.retryAfterNs = retry_after;
+                         out.responded = true;
+                     });
+    ASSERT_TRUE(out.responded);
+    EXPECT_EQ(out.code, StatusCode::ResourceExhausted);
+    EXPECT_EQ(out.retryAfterNs, 7'000'000);
+}
+
+TEST(RouterMidTierTest, SetDegradedDownstreamMidTierPropagates)
+{
+    // All replicas store the value, but one is a downstream mid-tier
+    // that itself only reached part of *its* pool.
+    router::KvReply degraded_store;
+    degraded_store.found = true;
+    degraded_store.degraded = true;
+    std::vector<std::shared_ptr<rpc::Channel>> leaves;
+    leaves.push_back(std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Reply, kvFound("")));
+    leaves.push_back(std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Reply, encodeMessage(degraded_store)));
+    router::MidTierOptions options;
+    options.replicas = 2;
+    router::MidTier midtier(leaves, options);
+
+    router::KvRequest request;
+    request.op = router::Op::Set;
+    request.key = "k";
+    request.value = "v";
+    CapturedResponse out;
+    rpc::Server host;
+    midtier.registerWith(host);
+    host.invokeLocal(router::kRoute, encodeMessage(request),
+                     [&out](StatusCode code, std::string_view payload,
+                            int64_t retry_after) {
+                         out.code = code;
+                         out.payload.assign(payload.data(),
+                                            payload.size());
+                         out.retryAfterNs = retry_after;
+                         out.responded = true;
+                     });
+    ASSERT_TRUE(out.responded);
+    EXPECT_EQ(out.code, StatusCode::Ok);
+    router::KvReply reply;
+    ASSERT_TRUE(decodeMessage(out.payload, reply));
+    EXPECT_TRUE(reply.degraded);
+}
+
+TEST(SetAlgebraMidTierTest, ExpiredInboundBudgetFailsFastBeforeFanout)
+{
+    // A 1ns inbound budget is expired by the time the handler runs;
+    // the mid-tier must answer DEADLINE_EXCEEDED without issuing any
+    // leaf RPC (forwarding the 1ns sentinel would re-promise time the
+    // root no longer has — the depth-3 re-promise bug).
+    auto leaf = std::make_shared<ScriptedChannel>(
+        ScriptedChannel::Mode::Reply, postingPayload({1}));
+    setalgebra::MidTier midtier({leaf});
+
+    setalgebra::SearchQuery query;
+    query.terms = {1};
+    CapturedResponse out;
+    rpc::Server host;
+    midtier.registerWith(host);
+    host.invokeLocal(setalgebra::kSearch, encodeMessage(query), 1,
+                     [&out](StatusCode code, std::string_view payload,
+                            int64_t retry_after) {
+                         out.code = code;
+                         out.payload.assign(payload.data(),
+                                            payload.size());
+                         out.retryAfterNs = retry_after;
+                         out.responded = true;
+                     });
+    ASSERT_TRUE(out.responded);
+    EXPECT_EQ(out.code, StatusCode::DeadlineExceeded);
+    EXPECT_EQ(leaf->calls, 0); // Counter: fanout.expired_before_fanout.
 }
 
 } // namespace

@@ -1,5 +1,5 @@
-// Two budget-clamp violations: a FanoutPolicy resolved without the
-// inbound budget, and a fan-out issued without resolving at all.
+// Three budget-clamp violations: unclamped resolve, fanoutCall with
+// no resolve at all, and a raw call() with never-clamped leg options.
 
 struct FanoutPolicy
 {
@@ -20,4 +20,15 @@ void
 handleNoResolve(int reqs)
 {
     fanoutCall(2, reqs, 0); // Never resolves a policy: finding.
+}
+
+struct Channel
+{
+    int call(int method, int body, int options, int callback);
+};
+
+void
+handleRawLeg(Channel &channel, int body)
+{
+    channel.call(3, body, 0, 0); // Options never clamped: finding.
 }

@@ -15,3 +15,21 @@ handle(FanoutPolicy &policy, int reqs)
     int options = policy.resolve(reqs, remainingBudgetNs());
     fanoutCall(1, reqs, options);
 }
+
+struct Channel
+{
+    int call(int method, int body, int options, int callback);
+};
+
+struct LegPolicy
+{
+    int legOptions(long budgetNs);
+};
+
+// A raw downstream leg is fine when its options derive from the
+// per-leg budget-clamping helper.
+void
+handleClampedLeg(Channel &channel, LegPolicy &policy, int body)
+{
+    channel.call(2, body, policy.legOptions(remainingBudgetNs()), 0);
+}

@@ -189,13 +189,17 @@ TEST(MulintFixtures, BudgetClampBad)
 {
     const auto findings =
         lintFixture("budget_clamp_bad", "budget-clamp");
-    ASSERT_EQ(findings.size(), 2u);
+    ASSERT_EQ(findings.size(), 3u);
     EXPECT_EQ(findings[0].line, 15);
     EXPECT_NE(findings[0].message.find("without the inbound budget"),
               std::string::npos);
     EXPECT_EQ(findings[1].line, 22);
     EXPECT_NE(findings[1].message.find(
                   "fanoutCall without resolving FanoutOptions"),
+              std::string::npos);
+    EXPECT_EQ(findings[2].line, 33);
+    EXPECT_NE(findings[2].message.find(
+                  "without clamping leg options to the inbound"),
               std::string::npos);
 }
 

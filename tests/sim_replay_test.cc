@@ -29,13 +29,18 @@
 
 #include "base/clock.h"
 #include "base/rng.h"
+#include "loadgen/scenario.h"
 #include "rpc/channel.h"
 #include "rpc/fault.h"
 #include "rpc/overload.h"
 #include "rpc/server.h"
 #include "services/common/fanout.h"
+#include "services/graph/proto.h"
+#include "services/graph/scenario.h"
 #include "simkernel/sim_transport.h"
 #include "simkernel/simclock.h"
+#include "simkernel/topology.h"
+#include "stats/counters.h"
 
 namespace musuite {
 namespace {
@@ -466,6 +471,277 @@ TEST(SimReplayTest, SeedSweepHoldsInvariants)
         EXPECT_GT(result.okCalls, 0u);
         EXPECT_LE(result.leafRequests, 24u * 2 * 2 * 2 * 2);
     }
+}
+
+// ====================================================================
+// Spec-defined deep request DAGs: the composable graph service on the
+// topology builder (root -> 3 -> 9 -> 27 nodes), driven by the
+// load-shape scenario library — all in virtual time. These are the
+// depth-3 invariants for the three multi-hop fixes:
+//  - budget decrement: remaining = inbound - elapsed at every hop, so
+//    no request completes after its root deadline and an exhausted
+//    budget stops forwarding mid-tree;
+//  - degraded flag: a leaf-tier brownout surfaces as degraded=true in
+//    the *root* reply, three hops up;
+//  - retry-after: every RESOURCE_EXHAUSTED seen by the client carries
+//    a pacing hint, and rpc.call.retry_amplified stays zero.
+// ====================================================================
+
+struct DagRun
+{
+    std::string trace;
+    uint32_t ok = 0;
+    uint32_t failed = 0;
+    uint32_t degradedOk = 0;       //!< OK replies flagged degraded.
+    uint32_t exhausted = 0;        //!< RESOURCE_EXHAUSTED at the root.
+    uint32_t exhaustedWithHint = 0;
+    int64_t maxRetryAfterNs = 0;
+    uint32_t lateCompletions = 0;  //!< Completed past the root deadline.
+    uint32_t maxNodesVisited = 0;
+    size_t leakedTimers = 0;
+    CounterSnapshot delta;
+
+    uint64_t
+    counterDelta(const char *name) const
+    {
+        auto it = delta.find(name);
+        return it == delta.end() ? 0 : it->second;
+    }
+};
+
+DagRun
+runDagScenario(const graph::GraphScenario &scenario, double qps,
+               int64_t duration_ns, int64_t root_deadline_ns)
+{
+    SimClock clock;
+    ScopedClock ambient(clock);
+    clock.enableTrace();
+    sim::Topology topo = sim::buildTopology(clock, scenario);
+
+    const std::vector<int64_t> arrivals = loadgen::arrivalSchedule(
+        loadgen::LoadShape::constant(qps), duration_ns,
+        scenario.seed * 131 + 7);
+
+    const CounterSnapshot before = globalCounters().snapshot();
+    DagRun run;
+    auto completions = std::make_shared<std::atomic<size_t>>(0);
+    const uint64_t seed = scenario.seed;
+    for (size_t i = 0; i < arrivals.size(); ++i) {
+        const int64_t start = arrivals[i];
+        clock.schedule(start, [&clock, &topo, &run, completions, seed,
+                               i, start, root_deadline_ns] {
+            graph::GraphRequest request;
+            request.workId = i + 1;
+            CallOptions options;
+            options.totalDeadlineNs = root_deadline_ns;
+            options.deadlineNs = root_deadline_ns;
+            options.maxAttempts = 2;
+            options.backoffBaseNs = 2 * kMs;
+            options.backoffJitter = 0.2;
+            options.backoffJitterSeed = seed * 977 + 11 + uint64_t(i);
+            topo.root->call(
+                graph::kProcess, encodeMessage(request), options,
+                [&clock, &run, completions, start, root_deadline_ns,
+                 i](const Status &status, std::string_view payload) {
+                    const int64_t elapsed = clock.nowNanos() - start;
+                    if (elapsed > root_deadline_ns)
+                        run.lateCompletions++;
+                    clock.traceEvent(
+                        "dag " + std::to_string(i) + " done code=" +
+                        std::to_string(int(status.code())));
+                    if (status.isOk()) {
+                        run.ok++;
+                        graph::GraphReply reply;
+                        if (decodeMessage(payload, reply)) {
+                            run.maxNodesVisited =
+                                std::max(run.maxNodesVisited,
+                                         reply.nodesVisited);
+                            if (reply.degraded)
+                                run.degradedOk++;
+                        }
+                    } else {
+                        run.failed++;
+                        if (status.code() ==
+                            StatusCode::ResourceExhausted) {
+                            run.exhausted++;
+                            if (status.retryAfterNs() > 0) {
+                                run.exhaustedWithHint++;
+                                run.maxRetryAfterNs =
+                                    std::max(run.maxRetryAfterNs,
+                                             status.retryAfterNs());
+                            }
+                        }
+                    }
+                    completions->fetch_add(1);
+                });
+        });
+    }
+
+    clock.runUntilIdle();
+    EXPECT_EQ(completions->load(), arrivals.size())
+        << "lost DAG completions, scenario " << scenario.name
+        << " seed " << scenario.seed;
+    run.leakedTimers = clock.pendingTimers();
+    run.delta = CounterSet::diff(before, globalCounters().snapshot());
+    run.trace = clock.takeTrace();
+    return run;
+}
+
+TEST(SimDagTest, BrownoutScenarioReplaysByteIdentically)
+{
+    uint64_t seed = 42;
+    if (const char *env = std::getenv("MUSUITE_SIM_SEED"))
+        seed = uint64_t(std::strtoull(env, nullptr, 10));
+    const auto spec = graph::brownoutDag(seed);
+    const DagRun first =
+        runDagScenario(spec, 2'000.0, 50 * kMs, 100 * kMs);
+    const DagRun second =
+        runDagScenario(spec, 2'000.0, 50 * kMs, 100 * kMs);
+    ASSERT_FALSE(first.trace.empty());
+    EXPECT_EQ(first.trace, second.trace)
+        << "same (spec, seed) must replay byte-identically";
+    EXPECT_EQ(first.ok, second.ok);
+    EXPECT_EQ(first.failed, second.failed);
+    EXPECT_EQ(first.degradedOk, second.degradedOk);
+    EXPECT_EQ(first.maxRetryAfterNs, second.maxRetryAfterNs);
+}
+
+TEST(SimDagTest, SteadyScenarioTraversesFullTree)
+{
+    std::vector<uint64_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+    if (const char *env = std::getenv("MUSUITE_SIM_SEED"))
+        seeds.push_back(uint64_t(std::strtoull(env, nullptr, 10)));
+    for (uint64_t seed : seeds) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const auto spec = graph::steadyDag(seed);
+        ASSERT_EQ(spec.nodeCount(), 40u); // 1 + 3 + 9 + 27.
+        const DagRun run =
+            runDagScenario(spec, 2'000.0, 50 * kMs, 100 * kMs);
+        // Unloaded tree: everything succeeds, some reply reports the
+        // full 40-node traversal, and nothing outlives its deadline.
+        EXPECT_GT(run.ok, 0u);
+        EXPECT_EQ(run.failed, 0u);
+        EXPECT_EQ(run.maxNodesVisited, 40u);
+        EXPECT_EQ(run.lateCompletions, 0u);
+        EXPECT_EQ(run.leakedTimers, 0u);
+        EXPECT_EQ(run.counterDelta("rpc.call.retry_amplified"), 0u);
+    }
+}
+
+TEST(SimDagTest, BrownoutPropagatesDegradedThreeHopsUp)
+{
+    std::vector<uint64_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+    if (const char *env = std::getenv("MUSUITE_SIM_SEED"))
+        seeds.push_back(uint64_t(std::strtoull(env, nullptr, 10)));
+    for (uint64_t seed : seeds) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const DagRun run = runDagScenario(graph::brownoutDag(seed),
+                                          2'000.0, 50 * kMs, 100 * kMs);
+        // The slow leaf loses its group's quorum race on most
+        // requests; that partial merge must be visible at the *root*
+        // (degraded OR-ed through two interior mid-tiers), and must
+        // not cost deadline violations or timer leaks.
+        EXPECT_GT(run.ok, 0u);
+        EXPECT_GT(run.degradedOk, 0u);
+        EXPECT_EQ(run.lateCompletions, 0u);
+        EXPECT_EQ(run.leakedTimers, 0u);
+        EXPECT_EQ(run.counterDelta("rpc.call.retry_amplified"), 0u);
+    }
+}
+
+TEST(SimDagTest, RetryStormShedsWithHintsAndNoAmplification)
+{
+    std::vector<uint64_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+    if (const char *env = std::getenv("MUSUITE_SIM_SEED"))
+        seeds.push_back(uint64_t(std::strtoull(env, nullptr, 10)));
+    for (uint64_t seed : seeds) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        // ~2x the leaf tier's service capacity (1 worker x 400us).
+        const DagRun run = runDagScenario(graph::retryStormDag(seed),
+                                          5'000.0, 40 * kMs, 50 * kMs);
+        // The storm actually sheds and actually retries...
+        EXPECT_GT(run.counterDelta("graph.node.shed"), 0u);
+        EXPECT_GT(run.counterDelta("rpc.retry.scheduled"), 0u);
+        // ...yet every root-visible RESOURCE_EXHAUSTED carries the
+        // propagated pacing hint (retry-after fix), so not one retry
+        // was scheduled blind against an exhausted server.
+        EXPECT_EQ(run.exhaustedWithHint, run.exhausted);
+        if (run.exhausted > 0)
+            EXPECT_GT(run.maxRetryAfterNs, 0);
+        EXPECT_EQ(run.counterDelta("rpc.call.retry_amplified"), 0u);
+        // Overload degrades answers; it must not break timing.
+        EXPECT_GT(run.ok + run.failed, 0u);
+        EXPECT_EQ(run.lateCompletions, 0u);
+        EXPECT_EQ(run.leakedTimers, 0u);
+    }
+}
+
+TEST(SimDagTest, TightBudgetExpiresMidTreeNotAfterDeadline)
+{
+    SimClock clock;
+    ScopedClock ambient(clock);
+    auto spec = graph::steadyDag(7);
+    sim::Topology topo = sim::buildTopology(clock, spec);
+
+    const CounterSnapshot before = globalCounters().snapshot();
+    graph::GraphRequest request;
+    request.workId = 99;
+    CallOptions options;
+    // Far less than the ~600us end-to-end path: by the leaf tier the
+    // decremented budget is under the 120us leaf compute, so the
+    // request expires *inside* the tree, not just at the client.
+    options.totalDeadlineNs = 200'000;
+    options.deadlineNs = 200'000;
+    const auto result = simCallSync(clock, *topo.root, graph::kProcess,
+                                    encodeMessage(request), options);
+    ASSERT_FALSE(result.isOk());
+    EXPECT_EQ(result.status().code(), StatusCode::DeadlineExceeded);
+    // The client learned at exactly the deadline, not later.
+    EXPECT_LE(clock.nowNanos(), 200'000);
+
+    clock.runUntilIdle(); // Drain the abandoned in-tree work.
+    const CounterSnapshot delta =
+        CounterSet::diff(before, globalCounters().snapshot());
+    const auto counted = [&delta](const char *name) {
+        auto it = delta.find(name);
+        return it == delta.end() ? uint64_t(0) : it->second;
+    };
+    // Some hop refused to forward (or answer) on an exhausted budget:
+    // the decremented budget was visible deep in the tree.
+    EXPECT_GT(counted("fanout.expired_before_fanout") +
+                  counted("graph.node.expired"),
+              0u);
+    EXPECT_EQ(clock.pendingTimers(), 0u);
+}
+
+TEST(SimDagTest, CacheHitsShortCircuitTheTreeDeterministically)
+{
+    SimClock clock;
+    ScopedClock ambient(clock);
+    auto spec = graph::steadyDag(11);
+    // Every tier-1 mid answers from cache: the request never reaches
+    // the 36 nodes below them.
+    spec.stages[0].cacheHitRatio = 1.0;
+    sim::Topology topo = sim::buildTopology(clock, spec);
+
+    const CounterSnapshot before = globalCounters().snapshot();
+    graph::GraphRequest request;
+    request.workId = 5;
+    CallOptions options;
+    options.totalDeadlineNs = 100 * kMs;
+    const auto result = simCallSync(clock, *topo.root, graph::kProcess,
+                                    encodeMessage(request), options);
+    ASSERT_TRUE(result.isOk());
+    graph::GraphReply reply;
+    ASSERT_TRUE(decodeMessage(result.value(), reply));
+    EXPECT_EQ(reply.nodesVisited, 4u); // Root + 3 cached mids.
+    EXPECT_FALSE(reply.degraded);
+    const CounterSnapshot delta =
+        CounterSet::diff(before, globalCounters().snapshot());
+    auto it = delta.find("graph.node.cache_hit");
+    ASSERT_NE(it, delta.end());
+    EXPECT_EQ(it->second, 3u);
+    EXPECT_EQ(clock.pendingTimers(), 0u);
 }
 
 // ====================================================================

@@ -6,6 +6,7 @@
 #   1. -Werror release build            (warning-clean tree)
 #      + bench/micro_rpc smoke -> BENCH_rpc.json (rpc bench trajectory)
 #      + bench/overload_storm smoke -> BENCH_overload.json (goodput)
+#      + bench/dag_storm smoke -> BENCH_dag.json (deep-DAG goodput)
 #      + tools/mulint over src/ (static lock-rank, raw-sync, thread-role,
 #        unchecked-status, rank-table, guarded-by, plus the
 #        interprocedural clock-seam, budget-clamp, lock-across-blocking,
@@ -106,6 +107,22 @@ if cmake --build build-check-werror --target overload_storm -j "$jobs" \
 else
     echo "BENCH SMOKE FAILED"
     failures+=("bench-smoke: overload_storm")
+fi
+
+# ---- stage 1c2: dag_storm bench smoke ------------------------------------
+# Shortened deep-DAG storm (3-deep spec-built topology, 40 sim hosts)
+# against the werror build; emits BENCH_dag.json. Runs in virtual time,
+# so its gates are exact: every arrival completes once, nothing outlives
+# the root deadline, sheds carry pacing hints, zero retry amplification.
+banner "bench smoke: dag_storm"
+if cmake --build build-check-werror --target dag_storm -j "$jobs" \
+        >>build-check-werror/build.log 2>&1 \
+        && build-check-werror/bench/dag_storm \
+            --smoke-json="$repo_root/BENCH_dag.json"; then
+    :
+else
+    echo "BENCH SMOKE FAILED"
+    failures+=("bench-smoke: dag_storm")
 fi
 
 # ---- stage 1d: mulint (static invariant lint) ----------------------------

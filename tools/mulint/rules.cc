@@ -494,9 +494,20 @@ ruleBudgetClamp(const Tree &tree, std::vector<Finding> &findings)
             continue;
         for (const FunctionInfo &fn : fm.functions) {
             bool hasMemberResolve = false;
+            bool hasBudgetEvidence = false;
             for (const CallSite &call : fn.calls) {
                 if (call.memberCall && call.callee == "resolve")
                     hasMemberResolve = true;
+                // Evidence that this function clamps leg deadlines to
+                // the inbound budget: the budget-taking resolve
+                // overload, per-leg legOptions(budget), or a direct
+                // clampToBudget call.
+                if (call.memberCall && call.callee == "resolve" &&
+                    call.argCount == 2)
+                    hasBudgetEvidence = true;
+                if (call.callee == "legOptions" ||
+                    call.callee == "clampToBudget")
+                    hasBudgetEvidence = true;
             }
             std::set<int> reported;
             for (const CallSite &call : fn.calls) {
@@ -520,6 +531,21 @@ ruleBudgetClamp(const Tree &tree, std::vector<Finding> &findings)
                              "deadline budget; call FanoutPolicy::"
                              "resolve(legs, remainingBudgetNs()) "
                              "first"});
+                }
+                // A raw downstream leg — channel->call(method, body,
+                // options, callback) — issued by a function with no
+                // budget-clamp evidence re-promises the caller's full
+                // deadline at every hop of a deep DAG.
+                if (call.memberCall && call.callee == "call" &&
+                    call.argCount == 4 && !hasBudgetEvidence) {
+                    if (reported.insert(call.line).second)
+                        findings.push_back(
+                            {fm.rel, call.line, "budget-clamp",
+                             "downstream call() issued without "
+                             "clamping leg options to the inbound "
+                             "budget; derive them from FanoutPolicy::"
+                             "legOptions(remainingBudgetNs()) or the "
+                             "two-arg resolve() overload"});
                 }
             }
         }
