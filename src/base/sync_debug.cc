@@ -35,6 +35,8 @@ lockRankName(LockRank rank)
       case LockRank::fanout:          return "fanout";
       case LockRank::call:            return "rpc.call";
       case LockRank::overload:        return "rpc.overload";
+      case LockRank::ejection:        return "rpc.ejection";
+      case LockRank::peerHealth:      return "rpc.health";
       case LockRank::faultInjector:   return "rpc.fault";
       case LockRank::admission:       return "rpc.admission";
       case LockRank::clientConn:      return "rpc.client.conn";

@@ -57,6 +57,10 @@ enum class LockRank : int {
     overload = 32,       //!< Breaker / retry-throttle state (rpc/overload)
                          //!< — taken inside the attempt path, never
                          //!< while another overload lock is held.
+    ejection = 33,       //!< Outlier-ejection policy state (rpc/health)
+                         //!< — held while reading peer trackers, so it
+                         //!< ranks below peerHealth.
+    peerHealth = 34,     //!< Per-peer health tracker (rpc/health).
     faultInjector = 35,  //!< Fault-injection RNG (rpc/fault).
     admission = 37,      //!< Server admission controller (rpc/overload).
     clientConn = 40,     //!< Client connection + pending table.

@@ -71,6 +71,14 @@ struct LoadResult
     double offeredQps = 0.0;  //!< Open loop only.
     double achievedQps = 0.0; //!< completed / elapsed.
     int64_t elapsedNs = 0;
+    /**
+     * Time from a fault clearing until goodput sustainably returned
+     * to its pre-fault baseline, when the run measured one (see
+     * stats/recovery.h); -1 = not measured or never recovered.
+     * Filled by fault-recovery experiments (bench/chaos_storm), not
+     * by the generators themselves.
+     */
+    int64_t recoveryTimeNs = -1;
 
     /** Drop rate sanity check for experiments. */
     double

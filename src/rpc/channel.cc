@@ -21,6 +21,7 @@
 #include "base/threading.h"
 #include "ostrace/sync.h"
 #include "rpc/fault.h"
+#include "rpc/health.h"
 #include "rpc/overload.h"
 #include "serde/wire.h"
 #include "stats/counters.h"
@@ -346,7 +347,7 @@ issueAttempt(const std::shared_ptr<CallState> &state)
 
     if (deadline_ns > 0) {
         const uint64_t id = clock.schedule(
-            deadline_ns, [state, attempt, settled] {
+            deadline_ns, [state, attempt, settled, deadline_ns] {
                 if (settled->exchange(true))
                     return;
                 globalCounters()
@@ -359,7 +360,11 @@ issueAttempt(const std::shared_ptr<CallState> &state)
                 // request its own outcome recorder never runs. Feed
                 // the breaker/throttle here or a blackholed half-open
                 // probe wedges the breaker (see recordAttemptOutcome).
-                state->channel->recordAttemptOutcome(expired);
+                // The deadline doubles as the latency observation: a
+                // zombie peer took at least this long, and the health
+                // tracker's EWMA must feel it.
+                state->channel->recordAttemptOutcome(expired,
+                                                     deadline_ns);
                 onAttemptDone(state, attempt, expired, {});
             });
         timer_id->store(id);
@@ -375,8 +380,12 @@ issueAttempt(const std::shared_ptr<CallState> &state)
     }
     // The effective attempt deadline doubles as the wire budget: the
     // server learns exactly how long this attempt is worth queueing.
+    // `settled` is handed down so a response arriving after the
+    // deadline timer already settled (and recorded) the attempt is
+    // not recorded a second time.
     state->channel->attemptCall(state->method, state->body,
-                                deadline_ns, std::move(on_response));
+                                deadline_ns, std::move(on_response),
+                                settled);
     {
         MutexLock guard(state->mutex);
         auto it = std::find(state->issuers.begin(),
@@ -403,8 +412,20 @@ Channel::setCircuitBreaker(std::shared_ptr<CircuitBreaker> breaker_in)
 }
 
 void
-Channel::recordAttemptOutcome(const Status &status)
+Channel::setPeerHealth(std::shared_ptr<PeerHealth> health_in)
 {
+    MUSUITE_CHECK(!health_in || &health_in->clock() == boundClock)
+        << "peer health tracker bound to a different clock than its "
+           "channel: outcome instants and EWMA samples would be "
+           "compared across clock domains";
+    health = std::move(health_in);
+}
+
+void
+Channel::recordAttemptOutcome(const Status &status, int64_t latency_ns)
+{
+    if (health)
+        health->recordOutcome(status, latency_ns);
     const StatusCode code = status.code();
     const bool transport_failure =
         code == StatusCode::Unavailable ||
@@ -431,13 +452,15 @@ Channel::call(uint32_t method, std::string body, Callback callback)
 
 void
 Channel::attemptCall(uint32_t method, std::string body,
-                     int64_t budget_ns, Callback callback)
+                     int64_t budget_ns, Callback callback,
+                     std::shared_ptr<std::atomic<bool>> settled)
 {
     // Circuit-breaker gate: while the leaf is presumed down, fail fast
     // without touching the transport. The rejection is not recorded as
-    // a breaker failure (it never reached the wire), and it must not
-    // drain the retry throttle either, so it bypasses the outcome
-    // recorder below entirely.
+    // a breaker failure (it never reached the wire), it must not
+    // drain the retry throttle, and it must not count against the
+    // peer-health tracker either (the peer was never consulted), so
+    // it bypasses the outcome recorder below entirely.
     if (breaker && !breaker->allowRequest()) {
         callback(Status(StatusCode::Unavailable,
                         "circuit breaker open"),
@@ -445,21 +468,32 @@ Channel::attemptCall(uint32_t method, std::string body,
         return;
     }
 
-    if (breaker || throttle) {
-        // Record the outcome the transport (or injector) actually
-        // reports, even if the attempt already settled locally via its
-        // deadline timer — the breaker and throttle track server
-        // health, not per-call bookkeeping. UNAVAILABLE and
-        // DEADLINE_EXCEEDED mean the leaf is absent or drowning: both
-        // machines count them. RESOURCE_EXHAUSTED means the leaf is
-        // alive and shedding on purpose: the throttle backs off, but
-        // the breaker must stay closed or controlled shedding would
-        // blind the client. Anything else is an application-level
-        // answer from a healthy server.
-        callback = [this, inner = std::move(callback)](
+    if (breaker || throttle || health) {
+        // Record the outcome the transport (or injector) reports —
+        // unless the attempt already settled locally via its deadline
+        // timer (the `settled` flag), which recorded DEADLINE_EXCEEDED
+        // for it; one attempt yields exactly one outcome record, or a
+        // gray peer whose every answer overshoots its deadline would
+        // keep feeding "successes" to the health tracker and bounce
+        // out of ejection forever. UNAVAILABLE and DEADLINE_EXCEEDED
+        // mean the leaf is absent or drowning: all machines count
+        // them. RESOURCE_EXHAUSTED means the leaf is alive and
+        // shedding on purpose: the throttle backs off, but the breaker
+        // must stay closed (and the tracker counts a non-failure) or
+        // controlled shedding would blind the client. Anything else is
+        // an application-level answer from a healthy server. The issue
+        // instant is captured so the tracker's EWMA sees the attempt's
+        // real round trip, injected delays included — that latency
+        // signal is how gray (slow but successful) peers become
+        // ejectable at all.
+        const int64_t issued_at_ns = boundClock->nowNanos();
+        callback = [this, issued_at_ns, settled,
+                    inner = std::move(callback)](
                        const Status &status,
                        std::string_view payload) {
-            recordAttemptOutcome(status);
+            if (!settled || !settled->load())
+                recordAttemptOutcome(
+                    status, boundClock->nowNanos() - issued_at_ns);
             inner(status, payload);
         };
     }

@@ -41,6 +41,7 @@
 #define MUSUITE_RPC_CHANNEL_H
 
 #include <algorithm>
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -58,6 +59,7 @@ namespace rpc {
 class FaultInjector;
 class CircuitBreaker;
 class RetryThrottle;
+class PeerHealth;
 
 /**
  * Per-call resilience options (replaces reliance on the client-wide
@@ -224,6 +226,19 @@ class Channel
     RetryThrottle *retryThrottle() const { return throttle.get(); }
 
     /**
+     * Attach (or clear) a per-peer health tracker (rpc/health.h) fed
+     * every attempt outcome through this channel, with the measured
+     * attempt latency when one is available. Usually installed by
+     * EjectionPolicy::watch() rather than directly. Must share the
+     * channel's clock (outcome instants and EWMA samples are pinned
+     * to this channel's timeline); mixing domains aborts. Install
+     * before traffic, like the fault injector.
+     */
+    void setPeerHealth(std::shared_ptr<PeerHealth> health_in);
+
+    PeerHealth *peerHealth() const { return health.get(); }
+
+    /**
      * One attempt through the overload gate: circuit-breaker check,
      * fault injection, transport, then breaker/throttle outcome
      * recording around the callback. budget_ns is the remaining
@@ -232,9 +247,17 @@ class Channel
      * request once it expires. The retry/hedging layer funnels every
      * attempt through here; services needing a bare single-shot call
      * with an explicit budget may use it directly.
+     *
+     * `settled` (optional) is the retry layer's attempt-settled flag:
+     * when it is already true by the time the transport answers, the
+     * attempt's outcome was recorded elsewhere (the deadline timer
+     * settled it via recordAttemptOutcome) and the late response is
+     * NOT recorded again — one attempt yields exactly one outcome.
+     * Without the flag every transport response is recorded.
      */
     void attemptCall(uint32_t method, std::string body,
-                     int64_t budget_ns, Callback callback);
+                     int64_t budget_ns, Callback callback,
+                     std::shared_ptr<std::atomic<bool>> settled = nullptr);
 
     /**
      * Feed one attempt outcome to the breaker/retry throttle without
@@ -244,12 +267,22 @@ class Channel
      * otherwise never be recorded at all: a half-open probe that is
      * blackholed would leave the breaker wedged (probe slot occupied
      * forever, every later call rejected). The transport's own late
-     * outcome, if it ever arrives, is still recorded by attemptCall's
-     * wrapper; both events are evidence about server health and the
-     * state machines tolerate the duplicate (a late success against
-     * an open breaker is ignored by design).
+     * outcome, if it ever arrives, is suppressed by attemptCall's
+     * wrapper (via the `settled` flag), so each attempt yields
+     * exactly one outcome record. A late success after a deadline
+     * expiry is per-call trivia, not peer-health evidence: counting
+     * it would let a peer whose every answer overshoots its deadline
+     * keep "succeeding" its way out of ejection forever.
+     *
+     * latency_ns is the attempt's observed round trip; < 0 means
+     * "unknown" and leaves the health tracker's latency EWMA
+     * untouched (rates and streaks still update). A locally settled
+     * deadline expiry passes the attempt deadline itself — the peer
+     * provably took at least that long, which is exactly the signal a
+     * zombie leaf must raise.
      */
-    void recordAttemptOutcome(const Status &status);
+    void recordAttemptOutcome(const Status &status,
+                              int64_t latency_ns = -1);
 
   protected:
     /**
@@ -281,6 +314,7 @@ class Channel
     std::shared_ptr<FaultInjector> injector;
     std::shared_ptr<CircuitBreaker> breaker;
     std::shared_ptr<RetryThrottle> throttle;
+    std::shared_ptr<PeerHealth> health;
     Clock *boundClock; //!< Never null; see clock().
 };
 

@@ -48,9 +48,18 @@ struct FaultDecision
 
 /**
  * Fault plan. Counter rules (exact, 1-based over the injector's
- * lifetime) are evaluated before probabilistic rules, so a test can
- * script "fail calls 1-2, then behave" while a storm uses the seeded
+ * lifetime; requests and responses keep independent ordinals) are
+ * evaluated before probabilistic rules, so a test can script "fail
+ * calls 1-2, then behave" while a storm uses the seeded
  * probabilities.
+ *
+ * The gray-failure shapes compose from the response-side and shaping
+ * rules: a *zombie* (accepts, never answers) is dropResponseEveryNth
+ * = 1; *slow-ramp* degradation is delayEveryNth = 1 plus a nonzero
+ * delayRampPerCallNs; an *asymmetric partial partition* leaves the
+ * request side clean and drops/delays only responses; *flapping*
+ * gates every rule through alternating faulty/healthy windows of
+ * flapPeriod calls.
  */
 struct FaultSpec
 {
@@ -58,6 +67,28 @@ struct FaultSpec
     uint64_t errorFirstN = 0;   //!< Fail the first N requests.
     uint64_t delayFirstN = 0;   //!< Delay the first N requests.
     uint64_t dropEveryNth = 0;  //!< Blackhole every Nth request.
+    uint64_t delayEveryNth = 0; //!< Delay every Nth request.
+    /** Blackhole every Nth response (1 = zombie: the server does the
+     *  work, the answer never comes back). Counted on the response
+     *  ordinal, independent of the request rules. */
+    uint64_t dropResponseEveryNth = 0;
+    uint64_t delayResponseEveryNth = 0; //!< Delay every Nth response.
+
+    // --- fault shaping -----------------------------------------------
+    /**
+     * Slow-ramp: each delayed *request* pays an extra
+     * (ordinal - 1) * delayRampPerCallNs on top of delayNs, so the
+     * peer degrades gradually — successful but ever slower, the gray
+     * shape a circuit breaker never sees.
+     */
+    int64_t delayRampPerCallNs = 0;
+    /**
+     * Flapping: > 0 alternates windows of this many calls between
+     * faulty (all rules active) and healthy (all rules skipped),
+     * starting faulty. Requests and responses flap on their own
+     * ordinals.
+     */
+    uint64_t flapPeriod = 0;
 
     // --- seeded probabilistic rules ----------------------------------
     double errorProb = 0.0;        //!< Fail a request outright.
@@ -66,6 +97,10 @@ struct FaultSpec
     double delayRequestProb = 0.0; //!< Delay a request...
     double delayResponseProb = 0.0; //!< ...or a response...
     int64_t delayNs = 0;            //!< ...by this much.
+    /** Response-side delay duration; 0 falls back to delayNs, so the
+     *  two directions can be shaped independently (asymmetric
+     *  partition) without breaking existing specs. */
+    int64_t responseDelayNs = 0;
 
     StatusCode errorCode = StatusCode::Unavailable;
     uint64_t seed = 1;
@@ -85,15 +120,18 @@ class FaultInjector
     FaultDecision onResponse();
 
     uint64_t requestsSeen() const { return requestCount.load(); }
+    uint64_t responsesSeen() const { return responseCount.load(); }
     uint64_t faultsInjected() const { return faultCount.load(); }
 
   private:
     FaultDecision decideRequest(uint64_t ordinal);
+    FaultDecision decideResponse(uint64_t ordinal);
 
     FaultSpec spec;
     Mutex mutex{LockRank::faultInjector, "rpc.fault"};
     Rng rng GUARDED_BY(mutex);
     std::atomic<uint64_t> requestCount{0};
+    std::atomic<uint64_t> responseCount{0};
     std::atomic<uint64_t> faultCount{0};
 };
 

@@ -53,6 +53,7 @@
 #include "base/logging.h"
 #include "base/threading.h"
 #include "rpc/channel.h"
+#include "rpc/health.h"
 #include "rpc/server.h"
 #include "stats/counters.h"
 
@@ -85,6 +86,15 @@ struct FanoutOptions
      * abandoning the rest.
      */
     uint32_t quorum = 0;
+    /**
+     * Optional outlier-ejection gate (rpc/health.h), consulted per
+     * leg before the call is issued. A refused leg is skipped: it
+     * completes instantly as an UNAVAILABLE failure without touching
+     * its channel (so the breaker and health tracker never see the
+     * skip), and counts under fanout.outlier_skipped. Not owned; the
+     * policy must outlive the fan-out.
+     */
+    rpc::EjectionPolicy *ejection = nullptr;
 };
 
 /** What the merge receives. */
@@ -115,12 +125,21 @@ struct FanoutPolicy
      * one leg is always required.
      */
     double quorumFraction = 1.0;
+    /**
+     * Optional shared outlier-ejection policy for this fan-out's peer
+     * pool; copied into every resolved FanoutOptions. Configure its
+     * maxEjectedFraction <= 1 - quorumFraction so ejection can never
+     * starve the quorum (DESIGN.md "Gray failures & outlier
+     * ejection").
+     */
+    std::shared_ptr<rpc::EjectionPolicy> ejection;
 
     FanoutOptions
     resolve(size_t legs) const
     {
         FanoutOptions options;
         options.leg = leg;
+        options.ejection = ejection.get();
         if (quorumFraction < 1.0 && legs > 0) {
             options.quorum = std::max<uint32_t>(
                 1, uint32_t(std::ceil(quorumFraction * double(legs))));
@@ -290,6 +309,78 @@ fanoutCall(uint32_t method, std::vector<FanoutRequest> requests,
     state->merge = std::move(on_complete);
     globalCounters().counter("fanout.calls").add();
 
+    // Outlier ejection: consult the policy per leg before anything is
+    // issued. A refused leg never touches its channel in-band — no
+    // transport traffic, no breaker/throttle/health recording (skips
+    // are not evidence about the peer, and counting them would
+    // double-book the original failures that caused the ejection).
+    // The leg is pre-marked as an instant UNAVAILABLE completion so
+    // the quorum arithmetic below sees a terminal failure
+    // immediately: with a quorum set, the parent completes as soon as
+    // the healthy legs answer instead of waiting out the ejected
+    // peer's deadline. Probe legs are pre-marked the same way for the
+    // merge, then fired out-of-band below: their outcomes feed the
+    // peer's health tracker through the normal channel path, but a
+    // zombie probe burning its deadline never drags this fan-out.
+    std::vector<bool> skip;
+    std::vector<size_t> probes;
+    uint32_t skipped = 0;
+    if (options.ejection != nullptr) {
+        skip.assign(requests.size(), false);
+        for (size_t i = 0; i < requests.size(); ++i) {
+            switch (options.ejection->admitLeg(requests[i].channel)) {
+            case rpc::EjectionPolicy::LegDecision::Admit:
+                break;
+            case rpc::EjectionPolicy::LegDecision::Probe:
+                probes.push_back(i);
+                [[fallthrough]];
+            case rpc::EjectionPolicy::LegDecision::Skip:
+                skip[i] = true;
+                skipped++;
+                break;
+            }
+        }
+        if (skipped > 0) {
+            globalCounters()
+                .counter("fanout.outlier_skipped")
+                .add(skipped);
+            MutexLock guard(state->mutex);
+            for (size_t i = 0; i < requests.size(); ++i) {
+                if (!skip[i])
+                    continue;
+                state->results[i].status = Status(
+                    StatusCode::Unavailable, "peer ejected as outlier");
+                state->arrived[i] = true;
+                state->completedLegs++;
+            }
+        }
+        for (size_t i : probes) {
+            // mulint: allow(budget-clamp): probes reuse the caller-resolved leg options; clamping happened in the mid-tier's resolve() call
+            requests[i].channel->call(
+                method, std::move(requests[i].body), options.leg,
+                [](const Status &, std::string_view) {
+                    // Fire-and-forget: the channel already recorded
+                    // the outcome into the peer's health tracker.
+                });
+        }
+        if (skipped == requests.size()) {
+            // Degenerate: every leg ejected (only reachable with
+            // maxEjectedFraction == 1). Nothing will ever call back,
+            // so complete the all-failed outcome here.
+            FanoutOutcome outcome;
+            {
+                MutexLock guard(state->mutex);
+                state->done = true;
+                outcome.results = std::move(state->results);
+            }
+            outcome.okLegs = 0;
+            outcome.degraded = true;
+            globalCounters().counter("fanout.degraded").add();
+            state->merge(std::move(outcome));
+            return;
+        }
+    }
+
     // Cork every distinct channel for the duration of the issue loop:
     // all legs sharing a transport connection leave in one
     // scatter-gather syscall when the batch closes. Safe even when a
@@ -301,6 +392,8 @@ fanoutCall(uint32_t method, std::vector<FanoutRequest> requests,
 
     for (size_t i = 0; i < requests.size(); ++i) {
         FanoutRequest &request = requests[i];
+        if (!skip.empty() && skip[i])
+            continue; // Ejected: pre-completed above, channel untouched.
         // mulint: allow(budget-clamp): legs carry the caller-resolved FanoutOptions; clamping happened in the mid-tier's resolve()/legOptions() call
         request.channel->call(
             method, std::move(request.body), options.leg,

@@ -25,6 +25,14 @@ GraphNode::GraphNode(
       rng(options.seed)
 {
     MUSUITE_CHECK(options.computeNs >= 0) << "negative compute time";
+    // An ejection policy on the fan-out makes this node the pool
+    // owner: watch every downstream channel so each one gets a
+    // PeerHealth fed from its attempt outcomes, and the policy can
+    // judge the pool when fanoutDownstream resolves its options.
+    if (options.fanout.ejection) {
+        for (const auto &channel : downstream)
+            options.fanout.ejection->watch(*channel);
+    }
 }
 
 void

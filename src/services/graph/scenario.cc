@@ -103,6 +103,22 @@ brownoutDag(uint64_t seed)
 }
 
 GraphScenario
+grayDag(uint64_t seed, bool eject_outliers)
+{
+    GraphScenario scenario =
+        baseDag(seed, eject_outliers ? "gray" : "gray_noeject");
+    // No static faults: the chaos campaign injects its gray shapes
+    // (zombie, slow-ramp, flap, partition) onto the leaf links at
+    // runtime. Leaves complete on 2/3 quorum so ejecting the one bad
+    // child per group keeps requests whole, and the builder caps the
+    // policy's ejectable fraction at 1 - quorum.
+    StageSpec &leaves = scenario.stages[2];
+    leaves.quorumFraction = 0.5;
+    leaves.ejectOutliers = eject_outliers;
+    return scenario;
+}
+
+GraphScenario
 retryStormDag(uint64_t seed)
 {
     GraphScenario scenario = baseDag(seed, "retry_storm");

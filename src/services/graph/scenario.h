@@ -82,6 +82,13 @@ struct StageSpec
     int64_t legTotalDeadlineNs = 0;
     int maxAttempts = 1;
     int64_t backoffBaseNs = 1'000'000;
+    /**
+     * Give every parent of this tier an outlier-ejection policy
+     * (rpc/health.h) over its children. The builder caps the policy's
+     * maxEjectedFraction at 1 - quorumFraction when a quorum is set,
+     * so ejection can never starve the fan-out's quorum.
+     */
+    bool ejectOutliers = false;
 };
 
 struct GraphScenario
@@ -117,6 +124,16 @@ GraphScenario brownoutDag(uint64_t seed);
 /** 3-deep with tiny leaf queues that shed under pressure: the
  *  retry-after propagation / retry-amplification scenario. */
 GraphScenario retryStormDag(uint64_t seed);
+
+/**
+ * 3-deep gray-failure testbed: leaf fan-outs run at quorum 2/3 with
+ * outlier ejection armed (when `eject_outliers`), and carry no static
+ * faults — the chaos campaign (simkernel/chaos.h) injects zombie /
+ * slow-ramp / flap / partition shapes onto the leaf links at runtime.
+ * The eject_outliers=false variant is the ablation baseline
+ * bench/chaos_storm compares p99 against.
+ */
+GraphScenario grayDag(uint64_t seed, bool eject_outliers = true);
 
 } // namespace graph
 } // namespace musuite

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Implementation of the chaos campaign.
+ */
+
+#include "simkernel/chaos.h"
+
+#include <limits>
+#include <utility>
+
+#include "base/logging.h"
+#include "stats/counters.h"
+
+namespace musuite {
+namespace sim {
+
+rpc::FaultSpec
+ChaosCampaign::toFaultSpec(const ChaosEvent &event)
+{
+    rpc::FaultSpec spec;
+    switch (event.kind) {
+    case ChaosEvent::Kind::Zombie:
+        spec.dropResponseEveryNth = 1;
+        break;
+    case ChaosEvent::Kind::SlowRamp:
+        spec.delayEveryNth = 1;
+        spec.delayNs = event.delayNs;
+        spec.delayRampPerCallNs =
+            event.rampPerCallNs != 0 ? event.rampPerCallNs : 50'000;
+        break;
+    case ChaosEvent::Kind::Flap:
+        spec.flapPeriod = event.flapPeriod != 0 ? event.flapPeriod : 8;
+        spec.errorFirstN = std::numeric_limits<uint64_t>::max();
+        spec.errorCode = StatusCode::Unavailable;
+        break;
+    case ChaosEvent::Kind::PartialPartition:
+        spec.dropResponseEveryNth =
+            event.dropEveryNth != 0 ? event.dropEveryNth : 2;
+        break;
+    case ChaosEvent::Kind::LinkDown:
+        break; // No injector: the link itself is cut.
+    }
+    return spec;
+}
+
+std::vector<LinkRef>
+ChaosCampaign::targetsOf(const ChaosEvent &event) const
+{
+    std::vector<LinkRef> targets;
+    for (const LinkRef &link : topo.links) {
+        if (link.parentTier != event.tier)
+            continue;
+        if (event.onlyChild >= 0 &&
+            link.childOffset != uint32_t(event.onlyChild))
+            continue;
+        targets.push_back(link);
+    }
+    return targets;
+}
+
+void
+ChaosCampaign::arm(std::vector<ChaosEvent> schedule)
+{
+    MUSUITE_CHECK(!armed) << "campaign armed twice";
+    armed = true;
+    const int64_t now_ns = clock.nowNanos();
+    for (const ChaosEvent &event : schedule) {
+        MUSUITE_CHECK(event.injectAtNs >= now_ns)
+            << "chaos event injects in the past";
+        MUSUITE_CHECK(!targetsOf(event).empty())
+            << "chaos event targets no links (tier " << event.tier
+            << ")";
+        clock.schedule(event.injectAtNs - now_ns,
+                       [this, event] { inject(event); });
+        if (event.clearAtNs != 0) {
+            MUSUITE_CHECK(event.clearAtNs > event.injectAtNs)
+                << "chaos event clears before it injects";
+            clock.schedule(event.clearAtNs - now_ns,
+                           [this, event] { clear(event); });
+        }
+    }
+}
+
+void
+ChaosCampaign::inject(const ChaosEvent &event)
+{
+    for (const LinkRef &link : targetsOf(event)) {
+        if (event.kind == ChaosEvent::Kind::LinkDown) {
+            link.channel->setDown(true);
+            continue;
+        }
+        auto injector = std::make_shared<rpc::FaultInjector>(
+            toFaultSpec(event));
+        link.channel->setFaultInjector(injector);
+        injectors.push_back(std::move(injector));
+    }
+    ++injectedCount;
+    globalCounters().counter("chaos.fault_injected").add();
+}
+
+void
+ChaosCampaign::clear(const ChaosEvent &event)
+{
+    for (const LinkRef &link : targetsOf(event)) {
+        if (event.kind == ChaosEvent::Kind::LinkDown)
+            link.channel->setDown(false);
+        else
+            link.channel->setFaultInjector(nullptr);
+    }
+    ++clearedCount;
+    globalCounters().counter("chaos.fault_cleared").add();
+}
+
+} // namespace sim
+} // namespace musuite

@@ -5,6 +5,7 @@
 
 #include "simkernel/topology.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
@@ -116,6 +117,25 @@ buildTopology(SimClock &clock, const graph::GraphScenario &scenario,
                     scenario.stages[d];
                 node_options.fanout = legPolicy(
                     child_stage, mixSeed(scenario.seed, 300 + d, i));
+                if (child_stage.ejectOutliers) {
+                    rpc::EjectionPolicy::Options ejection_options;
+                    // Quorum soundness: never allow ejecting into the
+                    // quorum — cap the ejectable fraction at what the
+                    // fan-out can lose and still fire.
+                    if (child_stage.quorumFraction > 0.0 &&
+                        child_stage.quorumFraction < 1.0) {
+                        ejection_options.maxEjectedFraction = std::min(
+                            ejection_options.maxEjectedFraction,
+                            1.0 - child_stage.quorumFraction);
+                    }
+                    // Binds the ambient (sim) clock via ScopedClock.
+                    auto policy =
+                        std::make_shared<rpc::EjectionPolicy>(
+                            ejection_options);
+                    node_options.fanout.ejection = policy;
+                    topo.ejectionPolicies.push_back(
+                        std::move(policy));
+                }
                 children.reserve(child_stage.fanout);
                 for (uint32_t c = 0; c < child_stage.fanout; ++c) {
                     const size_t child_index =
@@ -148,6 +168,8 @@ buildTopology(SimClock &clock, const graph::GraphScenario &scenario,
                         channel->setFaultInjector(injector);
                         topo.injectors.push_back(std::move(injector));
                     }
+                    topo.links.push_back(
+                        {d, i, c, child_index, channel.get()});
                     children.push_back(std::move(channel));
                 }
             }

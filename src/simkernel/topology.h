@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "rpc/fault.h"
+#include "rpc/health.h"
 #include "services/graph/node.h"
 #include "services/graph/scenario.h"
 #include "simkernel/sim_transport.h"
@@ -40,6 +41,21 @@ struct SimHost
     std::unique_ptr<graph::GraphNode> node;
 };
 
+/** One parent->child link in the built tree, addressable by where it
+ *  sits in the scenario: `parentTier` is the parent's depth (so the
+ *  link belongs to stage `parentTier` of the scenario), `childOffset`
+ *  the child's index inside that parent's fan-out group. The chaos
+ *  campaign (simkernel/chaos.h) targets links through this registry
+ *  to install fault injectors or cut the link mid-run. */
+struct LinkRef
+{
+    size_t parentTier = 0;
+    size_t parentIndex = 0;
+    uint32_t childOffset = 0;
+    size_t childIndex = 0;
+    SimChannel *channel = nullptr;
+};
+
 struct Topology
 {
     /** tiers[0] holds the single root host; tiers[d] the hosts at
@@ -47,6 +63,14 @@ struct Topology
     std::vector<std::vector<std::unique_ptr<SimHost>>> tiers;
     /** Fault injectors installed on faulted links (inspection). */
     std::vector<std::shared_ptr<rpc::FaultInjector>> injectors;
+    /** Every parent->child link, in construction order. The channels
+     *  are owned by the parent nodes; refs stay valid for the
+     *  Topology's lifetime. */
+    std::vector<LinkRef> links;
+    /** Outlier-ejection policies, one per parent of a stage with
+     *  ejectOutliers set (construction order) — inspect for
+     *  ejections()/lastEjectAtNs() in benches and tests. */
+    std::vector<std::shared_ptr<rpc::EjectionPolicy>> ejectionPolicies;
     /** Client-side channel into the root node. */
     std::shared_ptr<rpc::Channel> root;
 

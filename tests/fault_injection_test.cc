@@ -318,5 +318,143 @@ TEST(FaultInjectionTest, HdSearchSurvivesLeafDeathWithQuorum)
     EXPECT_GE(degraded, kRequests - 10);
 }
 
+// --------------------------------------------------------------------
+// Gray fault shapes: counter-rule specs replayed in virtual time with
+// pinned instants. The default SimLink is 50us each way, so a clean
+// round trip is exactly 100us of virtual time.
+// --------------------------------------------------------------------
+
+constexpr int64_t kCleanRtt = 100'000;
+
+struct GrayRig
+{
+    sim::SimClock clock;
+    ScopedClock ambient{clock};
+    std::unique_ptr<Server> server;
+    std::unique_ptr<sim::SimChannel> channel;
+    std::atomic<int> served{0};
+
+    GrayRig()
+    {
+        server = std::make_unique<Server>(ServerOptions{});
+        server->registerHandler(kEcho, [this](ServerCallPtr call) {
+            served.fetch_add(1);
+            call->respondOk(call->body());
+        });
+        server->start();
+        channel = std::make_unique<sim::SimChannel>(
+            clock, *server, sim::SimLink{}, "leaf");
+    }
+
+    /** One synchronous call; returns {status code, virtual elapsed}. */
+    std::pair<StatusCode, int64_t>
+    callOnce(const CallOptions &options = {})
+    {
+        const int64_t start = clock.nowNanos();
+        auto result = sim::simCallSync(clock, *channel, kEcho, "g",
+                                       options);
+        return {result.status().code(), clock.nowNanos() - start};
+    }
+};
+
+TEST(GrayFaultTest, RequestAndResponseDelayRulesAreIndependent)
+{
+    // Request delays every 2nd request by 5ms; response delays every
+    // 3rd response by 7ms — each side on its own ordinal, so call 6
+    // pays both. Pinned per call.
+    GrayRig rig;
+    FaultSpec spec;
+    spec.delayEveryNth = 2;
+    spec.delayNs = 5'000'000;
+    spec.delayResponseEveryNth = 3;
+    spec.responseDelayNs = 7'000'000;
+    rig.channel->setFaultInjector(std::make_shared<FaultInjector>(spec));
+
+    const int64_t expected[] = {
+        kCleanRtt,                           // 1: neither.
+        kCleanRtt + 5'000'000,               // 2: request only.
+        kCleanRtt + 7'000'000,               // 3: response only.
+        kCleanRtt + 5'000'000,               // 4: request only.
+        kCleanRtt,                           // 5: neither.
+        kCleanRtt + 5'000'000 + 7'000'000,   // 6: both.
+    };
+    for (int64_t want : expected) {
+        const auto [code, elapsed] = rig.callOnce();
+        EXPECT_EQ(code, StatusCode::Ok);
+        EXPECT_EQ(elapsed, want);
+    }
+}
+
+TEST(GrayFaultTest, ZombieDoesTheWorkButNeverAnswers)
+{
+    // dropResponseEveryNth = 1: the server serves every request, the
+    // answer never comes back — only the attempt deadline recovers,
+    // at exactly the deadline instant.
+    GrayRig rig;
+    FaultSpec spec;
+    spec.dropResponseEveryNth = 1;
+    auto injector = std::make_shared<FaultInjector>(spec);
+    rig.channel->setFaultInjector(injector);
+
+    CallOptions options;
+    options.deadlineNs = 10'000'000;
+    const auto [code, elapsed] = rig.callOnce(options);
+    EXPECT_EQ(code, StatusCode::DeadlineExceeded);
+    EXPECT_EQ(elapsed, 10'000'000);
+    EXPECT_EQ(rig.served.load(), 1);          // The work WAS done.
+    EXPECT_EQ(injector->responsesSeen(), 1u); // And answered...
+    EXPECT_GE(injector->faultsInjected(), 1u); // ...into the void.
+    rig.clock.runUntilIdle();
+    EXPECT_EQ(rig.clock.pendingTimers(), 0u);
+}
+
+TEST(GrayFaultTest, SlowRampDelaysGrowLinearly)
+{
+    // delayRampPerCallNs: the k-th delayed request pays an extra
+    // (k-1) * ramp — successful but ever slower, the shape a breaker
+    // never sees. Byte-identical across runs (no RNG in the rule).
+    const auto run = [] {
+        GrayRig rig;
+        FaultSpec spec;
+        spec.delayEveryNth = 1;
+        spec.delayRampPerCallNs = 1'000'000;
+        rig.channel->setFaultInjector(
+            std::make_shared<FaultInjector>(spec));
+        std::vector<int64_t> elapsed;
+        for (int i = 0; i < 4; ++i)
+            elapsed.push_back(rig.callOnce().second);
+        return elapsed;
+    };
+    const std::vector<int64_t> first = run();
+    const std::vector<int64_t> expected = {
+        kCleanRtt,
+        kCleanRtt + 1'000'000,
+        kCleanRtt + 2'000'000,
+        kCleanRtt + 3'000'000,
+    };
+    EXPECT_EQ(first, expected);
+    EXPECT_EQ(first, run()) << "counter rules must replay identically";
+}
+
+TEST(GrayFaultTest, FlappingAlternatesFaultyAndHealthyWindows)
+{
+    // flapPeriod = 2, starting faulty: requests 1-2 hit the error
+    // rule, 3-4 pass clean, and so on — pinned per ordinal.
+    GrayRig rig;
+    FaultSpec spec;
+    spec.flapPeriod = 2;
+    spec.errorFirstN = UINT64_MAX;
+    rig.channel->setFaultInjector(std::make_shared<FaultInjector>(spec));
+
+    const StatusCode expected[] = {
+        StatusCode::Unavailable, StatusCode::Unavailable,
+        StatusCode::Ok,          StatusCode::Ok,
+        StatusCode::Unavailable, StatusCode::Unavailable,
+        StatusCode::Ok,          StatusCode::Ok,
+    };
+    for (StatusCode want : expected)
+        EXPECT_EQ(rig.callOnce().first, want);
+}
+
 } // namespace
 } // namespace musuite

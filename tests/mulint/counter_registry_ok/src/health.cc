@@ -1,0 +1,9 @@
+// Gray-failure layer emissions, also consistent with the table: one
+// tested counter, one untested.
+
+void
+transition(Registry &reg)
+{
+    reg.counter("health.ejected").add();
+    reg.counter("health.probe_sent").add();
+}

@@ -1,8 +1,9 @@
-// Fixture test layer: covers exactly the counter the table marks
+// Fixture test layer: covers exactly the counters the table marks
 // tested.
 
 void
 checkCounters(Registry &reg)
 {
     expectNonZero(reg.counter("app.requests").value());
+    expectNonZero(reg.counter("health.ejected").value());
 }

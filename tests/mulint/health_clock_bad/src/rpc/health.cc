@@ -1,0 +1,26 @@
+// A peer-health tracker that reads the wall instead of its bound
+// clock. Under SimClock these raw reads smear real time into the
+// outcome instants and the EWMA, so ejection decisions would stop
+// replaying byte-identically — exactly what the clock-seam rule
+// exists to catch in the gray-failure layer.
+
+long nowNanos();
+
+struct PeerHealth
+{
+    double ewmaNs;
+    long lastOutcomeAt;
+
+    void
+    recordOutcome(long latency_ns)
+    {
+        lastOutcomeAt = nowNanos(); // Raw read: finding.
+        ewmaNs = 0.3 * double(latency_ns) + 0.7 * ewmaNs;
+    }
+
+    long
+    sinceLastOutcome()
+    {
+        return std::chrono::steady_clock::now().time_since_epoch().count() - lastOutcomeAt;
+    }
+};

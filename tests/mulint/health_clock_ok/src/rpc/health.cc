@@ -1,0 +1,28 @@
+// The sanctioned form of the same tracker: every instant comes from
+// the bound Clock member, so the whole ejection state machine replays
+// byte-identically when that clock is a SimClock.
+
+struct Clock
+{
+    long nowNanos();
+};
+
+struct PeerHealth
+{
+    Clock *boundClock;
+    double ewmaNs;
+    long lastOutcomeAt;
+
+    void
+    recordOutcome(long latency_ns)
+    {
+        lastOutcomeAt = boundClock->nowNanos(); // Member call: fine.
+        ewmaNs = 0.3 * double(latency_ns) + 0.7 * ewmaNs;
+    }
+
+    long
+    sinceLastOutcome()
+    {
+        return boundClock->nowNanos() - lastOutcomeAt;
+    }
+};

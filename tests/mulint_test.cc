@@ -185,6 +185,29 @@ TEST(MulintFixtures, ClockSeamOk)
     EXPECT_TRUE(lintFixture("clock_seam_ok", "clock-seam").empty());
 }
 
+TEST(MulintFixtures, HealthClockBad)
+{
+    // The gray-failure layer's tracker with raw time in its outcome
+    // path: both reads would smear wall time into the ejection state
+    // machine and break byte-identical replay.
+    const auto findings =
+        lintFixture("health_clock_bad", "clock-seam");
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_EQ(findings[0].line, 17);
+    EXPECT_NE(findings[0].message.find("raw time source 'nowNanos'"),
+              std::string::npos);
+    EXPECT_EQ(findings[1].line, 24);
+    EXPECT_NE(findings[1].message.find(
+                  "'std::chrono::steady_clock::now'"),
+              std::string::npos);
+}
+
+TEST(MulintFixtures, HealthClockOk)
+{
+    // Same tracker, every instant through the bound Clock member.
+    EXPECT_TRUE(lintFixture("health_clock_ok", "clock-seam").empty());
+}
+
 TEST(MulintFixtures, BudgetClampBad)
 {
     const auto findings =

@@ -37,6 +37,7 @@
 #include "services/common/fanout.h"
 #include "services/graph/proto.h"
 #include "services/graph/scenario.h"
+#include "simkernel/chaos.h"
 #include "simkernel/sim_transport.h"
 #include "simkernel/simclock.h"
 #include "simkernel/topology.h"
@@ -666,8 +667,9 @@ TEST(SimDagTest, RetryStormShedsWithHintsAndNoAmplification)
         // propagated pacing hint (retry-after fix), so not one retry
         // was scheduled blind against an exhausted server.
         EXPECT_EQ(run.exhaustedWithHint, run.exhausted);
-        if (run.exhausted > 0)
+        if (run.exhausted > 0) {
             EXPECT_GT(run.maxRetryAfterNs, 0);
+        }
         EXPECT_EQ(run.counterDelta("rpc.call.retry_amplified"), 0u);
         // Overload degrades answers; it must not break timing.
         EXPECT_GT(run.ok + run.failed, 0u);
@@ -742,6 +744,147 @@ TEST(SimDagTest, CacheHitsShortCircuitTheTreeDeterministically)
     ASSERT_NE(it, delta.end());
     EXPECT_EQ(it->second, 3u);
     EXPECT_EQ(clock.pendingTimers(), 0u);
+}
+
+// ====================================================================
+// Chaos campaign: gray faults injected and cleared as virtual-time
+// events over the grayDag topology (1+3+9+27 nodes, leaf quorum 2/3,
+// outlier ejection on every leaf group). The invariants the campaign
+// must never break, under every sweep seed: every arrival completes
+// exactly once, no timer leaks, ejection never starves a group's
+// quorum (the cap holds), and the whole run replays byte-identically.
+// ====================================================================
+
+struct ChaosRun
+{
+    std::string trace;
+    uint32_t ok = 0;
+    uint32_t failed = 0;
+    size_t leakedTimers = 0;
+    uint64_t ejections = 0;
+    uint64_t reinstatements = 0;
+    size_t maxEjectedAtEnd = 0;
+    uint64_t faultsInjected = 0;
+    uint64_t faultsCleared = 0;
+    CounterSnapshot delta;
+};
+
+ChaosRun
+runChaosScenario(uint64_t seed, sim::ChaosEvent::Kind kind)
+{
+    SimClock clock;
+    ScopedClock ambient(clock);
+    clock.enableTrace();
+    sim::Topology topo =
+        sim::buildTopology(clock, graph::grayDag(seed));
+
+    sim::ChaosCampaign campaign(clock, topo);
+    sim::ChaosEvent event;
+    event.kind = kind;
+    event.tier = 2;      // Leaf links.
+    event.onlyChild = 0; // First leaf of every group.
+    event.injectAtNs = 40 * kMs;
+    event.clearAtNs = 80 * kMs;
+    event.delayNs = 5 * kMs;         // Slow-ramp baseline.
+    event.rampPerCallNs = 500'000;   // Crosses the leg deadline fast.
+    campaign.arm({event});
+
+    const std::vector<int64_t> arrivals = loadgen::arrivalSchedule(
+        loadgen::LoadShape::constant(2'000.0), 120 * kMs,
+        seed * 131 + 7);
+    const CounterSnapshot before = globalCounters().snapshot();
+    ChaosRun run;
+    auto completions = std::make_shared<std::atomic<size_t>>(0);
+    for (size_t i = 0; i < arrivals.size(); ++i) {
+        clock.schedule(arrivals[i], [&clock, &topo, &run, completions,
+                                     seed, i] {
+            graph::GraphRequest request;
+            request.workId = i + 1;
+            CallOptions options;
+            options.totalDeadlineNs = 50 * kMs;
+            options.deadlineNs = 50 * kMs;
+            options.maxAttempts = 2;
+            options.backoffBaseNs = 2 * kMs;
+            options.backoffJitter = 0.2;
+            options.backoffJitterSeed = seed * 977 + 11 + uint64_t(i);
+            topo.root->call(
+                graph::kProcess, encodeMessage(request), options,
+                [&clock, &run, completions, i](const Status &status,
+                                               std::string_view) {
+                    clock.traceEvent(
+                        "chaos " + std::to_string(i) + " done code=" +
+                        std::to_string(int(status.code())));
+                    if (status.isOk())
+                        run.ok++;
+                    else
+                        run.failed++;
+                    completions->fetch_add(1);
+                });
+        });
+    }
+
+    clock.runUntilIdle();
+    EXPECT_EQ(completions->load(), arrivals.size())
+        << "lost chaos completions at seed " << seed;
+    run.leakedTimers = clock.pendingTimers();
+    for (const auto &policy : topo.ejectionPolicies) {
+        run.ejections += policy->ejections();
+        run.reinstatements += policy->reinstatements();
+        run.maxEjectedAtEnd =
+            std::max(run.maxEjectedAtEnd, policy->ejectedCount());
+    }
+    run.faultsInjected = campaign.faultsInjected();
+    run.faultsCleared = campaign.faultsCleared();
+    run.delta = CounterSet::diff(before, globalCounters().snapshot());
+    run.trace = clock.takeTrace();
+    return run;
+}
+
+TEST(SimChaosTest, CampaignReplaysByteIdentically)
+{
+    uint64_t seed = 42;
+    if (const char *env = std::getenv("MUSUITE_SIM_SEED"))
+        seed = uint64_t(std::strtoull(env, nullptr, 10));
+    const ChaosRun first =
+        runChaosScenario(seed, sim::ChaosEvent::Kind::Zombie);
+    const ChaosRun second =
+        runChaosScenario(seed, sim::ChaosEvent::Kind::Zombie);
+    ASSERT_FALSE(first.trace.empty());
+    EXPECT_EQ(first.trace, second.trace)
+        << "same (topology, campaign, seed) must replay "
+           "byte-identically";
+    EXPECT_EQ(first.ok, second.ok);
+    EXPECT_EQ(first.failed, second.failed);
+    EXPECT_EQ(first.ejections, second.ejections);
+    EXPECT_EQ(first.reinstatements, second.reinstatements);
+}
+
+TEST(SimChaosTest, SeedSweepHoldsInvariants)
+{
+    std::vector<uint64_t> seeds = {1, 2, 3, 4, 5, 6, 7, 8};
+    if (const char *env = std::getenv("MUSUITE_SIM_SEED"))
+        seeds.push_back(uint64_t(std::strtoull(env, nullptr, 10)));
+    for (uint64_t seed : seeds) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const ChaosRun run =
+            runChaosScenario(seed, sim::ChaosEvent::Kind::SlowRamp);
+        // Exactly one inject and one clear fired, the faulted leaf
+        // was detected (ejected at least once), and the ejection cap
+        // — floor((1 - quorumFraction) * 3) = 1 of each 3-leaf group
+        // — never starved a quorum: the run keeps answering.
+        EXPECT_EQ(run.faultsInjected, 1u);
+        EXPECT_EQ(run.faultsCleared, 1u);
+        EXPECT_GT(run.ejections, 0u);
+        EXPECT_LE(run.maxEjectedAtEnd, 1u);
+        EXPECT_GT(run.ok, 0u);
+        EXPECT_EQ(run.leakedTimers, 0u);
+        const auto injected = run.delta.find("chaos.fault_injected");
+        ASSERT_NE(injected, run.delta.end());
+        EXPECT_EQ(injected->second, 1u);
+        const auto cleared = run.delta.find("chaos.fault_cleared");
+        ASSERT_NE(cleared, run.delta.end());
+        EXPECT_EQ(cleared->second, 1u);
+    }
 }
 
 // ====================================================================

@@ -7,6 +7,7 @@
 #      + bench/micro_rpc smoke -> BENCH_rpc.json (rpc bench trajectory)
 #      + bench/overload_storm smoke -> BENCH_overload.json (goodput)
 #      + bench/dag_storm smoke -> BENCH_dag.json (deep-DAG goodput)
+#      + bench/chaos_storm smoke -> BENCH_chaos.json (gray failures)
 #      + tools/mulint over src/ (static lock-rank, raw-sync, thread-role,
 #        unchecked-status, rank-table, guarded-by, plus the
 #        interprocedural clock-seam, budget-clamp, lock-across-blocking,
@@ -123,6 +124,25 @@ if cmake --build build-check-werror --target dag_storm -j "$jobs" \
 else
     echo "BENCH SMOKE FAILED"
     failures+=("bench-smoke: dag_storm")
+fi
+
+# ---- stage 1c3: chaos_storm bench smoke ----------------------------------
+# Gray-failure campaign (zombie / slow-ramp / flap / partial partition,
+# each with and without outlier ejection) on the grayDag topology;
+# emits BENCH_chaos.json. Virtual time again, so the gates are exact:
+# every arrival completes exactly once, no leaked timers, ejection
+# detects within the fault window, goodput recovers within the bound,
+# and the eject arm beats the baseline on settled-fault-window p99 for
+# the shapes where ejection should win (zombie, slow-ramp).
+banner "bench smoke: chaos_storm"
+if cmake --build build-check-werror --target chaos_storm -j "$jobs" \
+        >>build-check-werror/build.log 2>&1 \
+        && build-check-werror/bench/chaos_storm \
+            --smoke-json="$repo_root/BENCH_chaos.json"; then
+    :
+else
+    echo "BENCH SMOKE FAILED"
+    failures+=("bench-smoke: chaos_storm")
 fi
 
 # ---- stage 1d: mulint (static invariant lint) ----------------------------
