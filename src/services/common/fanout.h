@@ -187,7 +187,7 @@ struct FanoutPolicy
     /**
      * Budget-clamped options for a *single* downstream call outside a
      * fanoutCall (e.g. the router's sequential failover walk). Same
-     * clamp as resolve(legs, budget); mulint's budget-clamp rule
+     * clamp as resolve(legs, budget); mulint's deadline-taint rule
      * accepts either as evidence that a services call site propagates
      * its inbound deadline.
      */
@@ -355,7 +355,7 @@ fanoutCall(uint32_t method, std::vector<FanoutRequest> requests,
             }
         }
         for (size_t i : probes) {
-            // mulint: allow(budget-clamp): probes reuse the caller-resolved leg options; clamping happened in the mid-tier's resolve() call
+            // mulint: allow(deadline-taint): probes reuse the caller-resolved leg options; the budget was applied in the mid-tier's resolve() call
             requests[i].channel->call(
                 method, std::move(requests[i].body), options.leg,
                 [](const Status &, std::string_view) {
@@ -394,7 +394,7 @@ fanoutCall(uint32_t method, std::vector<FanoutRequest> requests,
         FanoutRequest &request = requests[i];
         if (!skip.empty() && skip[i])
             continue; // Ejected: pre-completed above, channel untouched.
-        // mulint: allow(budget-clamp): legs carry the caller-resolved FanoutOptions; clamping happened in the mid-tier's resolve()/legOptions() call
+        // mulint: allow(deadline-taint): legs carry the caller-resolved FanoutOptions; the budget was applied in the mid-tier's resolve()/legOptions() call
         request.channel->call(
             method, std::move(request.body), options.leg,
             [state, i](const Status &status, std::string_view payload) {
@@ -465,7 +465,7 @@ inline void
 fanoutCall(uint32_t method, std::vector<FanoutRequest> requests,
            std::function<void(std::vector<LeafResult>)> on_complete)
 {
-    // mulint: allow(budget-clamp): compatibility shim with no inbound call context; FanoutOptions{} means no per-leg deadline to clamp
+    // mulint: allow(deadline-taint): compatibility shim with no inbound call context; FanoutOptions{} means no per-leg deadline to derive
     fanoutCall(method, std::move(requests), FanoutOptions{},
                [on_complete = std::move(on_complete)](
                    FanoutOutcome outcome) {

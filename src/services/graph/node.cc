@@ -146,8 +146,8 @@ GraphNode::fanoutDownstream(rpc::ServerCallPtr call, uint64_t work_id)
 
     // The budget is re-read *here*, after queue wait + compute: each
     // hop forwards only what is actually left of the root deadline
-    // (budget-decrement rule; mulint budget-clamp enforces the
-    // two-argument resolve at every services/graph fan-out).
+    // (budget-decrement rule; mulint deadline-taint enforces that the
+    // resolve argument is budget-derived at every services fan-out).
     const FanoutOptions fanout_options = options.fanout.resolve(
         requests.size(), call->remainingBudgetNs());
     fanoutCall(

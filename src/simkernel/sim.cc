@@ -330,6 +330,7 @@ class LeafStation
     {
         ++busy;
         const int64_t service = serviceTime.sample(rng);
+        // mulint: allow(dangling-capture): rng is the driver-owned generator; it outlives engine.run(), which completes every timer
         engine.schedule(service, [this, &rng,
                                   on_done = std::move(on_done)] {
             on_done(engine.now());
@@ -495,6 +496,7 @@ simulate(const MachineParams &machine, const ServiceParams &service,
         stats.record(OsCategory::Hardirq, hardirq);
         stats.record(OsCategory::NetRx, netrx);
         result.syscalls.recvmsg++;
+        // mulint: allow(dangling-capture): [&] binds driver locals that live until engine.run() returns, after all timers fire
         engine.schedule(
             arrival + hardirq + netrx - engine.now(), [&, query] {
                 Work work;
@@ -538,9 +540,11 @@ simulate(const MachineParams &machine, const ServiceParams &service,
                     LeafStation &leaf =
                         *leaves[next_leaf++ % leaves.size()];
                     const int64_t wire = usToNs(machine.wireDelayUs);
+                    // mulint: allow(dangling-capture): [&] binds driver locals that live until engine.run() returns, after all timers fire
                     engine.schedule(
                         end + wire - engine.now(), [&, query] {
                             leaf.submit(rng, [&, query](int64_t done) {
+                                // mulint: allow(dangling-capture): [&] binds driver locals that live until engine.run() returns, after all timers fire
                                 engine.schedule(
                                     usToNs(machine.wireDelayUs),
                                     [&, query, done] {
@@ -570,6 +574,7 @@ simulate(const MachineParams &machine, const ServiceParams &service,
         result.syscalls.recvmsg++;
         const int64_t delivered = engine.now() + hardirq + netrx;
         query->deliveredAt = delivered;
+        // mulint: allow(dangling-capture): [&] binds driver locals that live until engine.run() returns, after all timers fire
         engine.schedule(delivered - engine.now(), [&, query] {
             Work work;
             work.serviceNs = [] { return usToNs(1.5); }; // Read+parse.

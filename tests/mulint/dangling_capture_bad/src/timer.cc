@@ -1,0 +1,25 @@
+// Two dangling-capture violations: a by-ref lambda handed to a
+// deferred schedule() with no drain before the scope dies, and one
+// whose drain happens on only one path.
+
+struct Clock
+{
+    template <typename F> void schedule(long delayNs, F fn);
+    void runUntilIdle();
+};
+
+void
+armTimer(Clock &clock)
+{
+    int hits = 0;
+    clock.schedule(10, [&hits] { ++hits; }); // Escapes scope: finding.
+}
+
+void
+armHalfDrained(Clock &clock, bool flush)
+{
+    int hits = 0;
+    clock.schedule(10, [&] { ++hits; }); // Undrained when !flush: finding.
+    if (flush)
+        clock.runUntilIdle();
+}

@@ -1,0 +1,40 @@
+// Four deadline-taint violations: an unclamped resolve, a fan-out
+// whose deadline argument carries no budget derivation, a deadline
+// that is budget-derived on only one path, and a raw downstream leg
+// with untainted options.
+
+struct FanoutPolicy
+{
+    int resolve(int legs);
+    int resolve(int legs, long budgetNs);
+};
+
+void fanoutCall(int method, int requests, int options);
+long remainingBudgetNs();
+
+void
+handleUnclamped(FanoutPolicy &policy, int reqs)
+{
+    int options = policy.resolve(reqs); // No budget argument: finding.
+    fanoutCall(1, reqs, options);       // options untainted: finding.
+}
+
+void
+handleHalfClamped(int reqs, bool fast)
+{
+    long deadline = 0;
+    if (fast)
+        deadline = remainingBudgetNs();
+    fanoutCall(2, reqs, deadline); // Untainted on the !fast path: finding.
+}
+
+struct Channel
+{
+    int call(int method, int body, int options, int callback);
+};
+
+void
+handleRawLeg(Channel &channel, int body)
+{
+    channel.call(3, body, 0, 0); // Options never budget-derived: finding.
+}

@@ -1,0 +1,41 @@
+// Clean fan-outs: every deadline reaching a fan-out sink is
+// data-derived from the inbound budget on every path.
+
+struct FanoutPolicy
+{
+    int resolve(int legs, long budgetNs);
+    int legOptions(long budgetNs);
+};
+
+void fanoutCall(int method, int requests, int options);
+long remainingBudgetNs();
+
+void
+handle(FanoutPolicy &policy, int reqs)
+{
+    int options = policy.resolve(reqs, remainingBudgetNs());
+    fanoutCall(1, reqs, options);
+}
+
+// Taint survives a branch when both paths stay budget-derived.
+void
+handleBothBranches(int reqs, bool fast)
+{
+    long deadline = remainingBudgetNs();
+    if (fast)
+        deadline = deadline / 2;
+    fanoutCall(2, reqs, deadline);
+}
+
+struct Channel
+{
+    int call(int method, int body, int options, int callback);
+};
+
+// A raw downstream leg is fine when its options derive from the
+// per-leg budget helper.
+void
+handleClampedLeg(Channel &channel, FanoutPolicy &policy, int body)
+{
+    channel.call(3, body, policy.legOptions(remainingBudgetNs()), 0);
+}

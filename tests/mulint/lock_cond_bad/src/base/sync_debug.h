@@ -1,0 +1,7 @@
+// Fixture rank table: inner under outer, state for the queue lock.
+enum class LockRank : int {
+    unranked = 0,
+    inner = 10,
+    outer = 20,
+    state = 30,
+};

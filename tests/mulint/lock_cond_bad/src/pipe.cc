@@ -1,0 +1,30 @@
+// Path-sensitive lock violations the old linear held-stack simulation
+// could not see. The unlock happens on the early-return path only, so
+// the blocking call on the fall-through still holds the lock; and the
+// one-sided manual unlock leaves the outer lock held on SOME paths at
+// the later acquisition.
+
+Mutex stateMutex{LockRank::state, "state"};
+Mutex outerMutex{LockRank::outer, "outer"};
+Mutex innerMutex{LockRank::inner, "inner"};
+BlockingQueue<int> jobs;
+
+void
+popAfterEarlyReturn(bool fast)
+{
+    MutexLock guard(stateMutex);
+    if (fast) {
+        guard.unlock();
+        return;
+    }
+    jobs.pop(); // Still held on this path: lock-across-blocking.
+}
+
+void
+mayHeldInversion(bool fast)
+{
+    MutexLock outer(outerMutex); // rank 20
+    if (fast)
+        outer.unlock();          // Released on this path only.
+    MutexLock inner(innerMutex); // rank 10 under 20 on !fast: finding.
+}

@@ -1,0 +1,40 @@
+// Path-precise clean cases: the lock is released on EVERY path that
+// reaches the blocking call, a MutexUnlock window covers the blocking
+// call, and a conditional nested acquisition respects the rank order.
+
+Mutex stateMutex{LockRank::state, "state"};
+Mutex outerMutex{LockRank::outer, "outer"};
+Mutex innerMutex{LockRank::inner, "inner"};
+BlockingQueue<int> jobs;
+
+void
+popAfterFullRelease(bool fast)
+{
+    MutexLock guard(stateMutex);
+    if (fast) {
+        guard.unlock();
+        jobs.pop(); // Released above: ok.
+        return;
+    }
+    guard.unlock();
+    jobs.pop(); // Released on this path too: ok.
+}
+
+void
+popInWindow()
+{
+    MutexLock guard(stateMutex);
+    {
+        MutexUnlock window(guard);
+        jobs.pop(); // Lock suspended for the window: ok.
+    }
+}
+
+void
+orderedConditionalNesting(bool fast)
+{
+    MutexLock first(innerMutex); // rank 10
+    if (fast) {
+        MutexLock second(outerMutex); // rank 20 over 10: ok.
+    }
+}

@@ -1,0 +1,38 @@
+// Three use-before-check violations: a Result consumed with no check
+// at all, a value() on the path where isOk() is known false, and an
+// access after a reassignment invalidated the earlier check.
+
+template <typename T> struct Result
+{
+    bool isOk() const;
+    T value() const;
+    T take();
+};
+
+Result<int> fetch();
+
+int
+useUnchecked()
+{
+    Result<int> r = fetch();
+    return r.value(); // Never checked: finding.
+}
+
+int
+useWrongBranch()
+{
+    Result<int> r = fetch();
+    if (r.isOk())
+        return 1;
+    return r.value(); // isOk() is false here: finding.
+}
+
+int
+useAfterReassign()
+{
+    Result<int> r = fetch();
+    if (!r.isOk())
+        return 0;
+    r = fetch();      // Reassignment invalidates the check.
+    return r.value(); // Unchecked again: finding.
+}

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "callgraph.h"
+#include "cfg.h"
 #include "mulint.h"
 #include "summary.h"
 
@@ -208,28 +209,114 @@ TEST(MulintFixtures, HealthClockOk)
     EXPECT_TRUE(lintFixture("health_clock_ok", "clock-seam").empty());
 }
 
-TEST(MulintFixtures, BudgetClampBad)
+TEST(MulintFixtures, DeadlineTaintBad)
 {
     const auto findings =
-        lintFixture("budget_clamp_bad", "budget-clamp");
-    ASSERT_EQ(findings.size(), 3u);
-    EXPECT_EQ(findings[0].line, 15);
-    EXPECT_NE(findings[0].message.find("without the inbound budget"),
+        lintFixture("deadline_taint_bad", "deadline-taint");
+    ASSERT_EQ(findings.size(), 4u);
+    EXPECT_EQ(findings[0].line, 18);
+    EXPECT_NE(findings[0].message.find(
+                  "'resolve' called without the inbound budget"),
               std::string::npos);
-    EXPECT_EQ(findings[1].line, 22);
+    EXPECT_EQ(findings[1].line, 19);
     EXPECT_NE(findings[1].message.find(
-                  "fanoutCall without resolving FanoutOptions"),
+                  "deadline argument 3 of 'fanoutCall'"),
               std::string::npos);
-    EXPECT_EQ(findings[2].line, 33);
+    // The flow-sensitive case: budget-derived on one path only.
+    EXPECT_EQ(findings[2].line, 28);
     EXPECT_NE(findings[2].message.find(
-                  "without clamping leg options to the inbound"),
+                  "not derived from the inbound budget on every path"),
+              std::string::npos);
+    EXPECT_EQ(findings[3].line, 39);
+    EXPECT_NE(findings[3].message.find("deadline argument 3 of 'call'"),
               std::string::npos);
 }
 
-TEST(MulintFixtures, BudgetClampOk)
+TEST(MulintFixtures, DeadlineTaintOk)
 {
     EXPECT_TRUE(
-        lintFixture("budget_clamp_ok", "budget-clamp").empty());
+        lintFixture("deadline_taint_ok", "deadline-taint").empty());
+}
+
+TEST(MulintFixtures, UseBeforeCheckBad)
+{
+    const auto findings =
+        lintFixture("use_before_check_bad", "use-before-check");
+    ASSERT_EQ(findings.size(), 3u);
+    EXPECT_EQ(findings[0].line, 18);
+    EXPECT_NE(findings[0].message.find(
+                  "'r.value()' without 'r.isOk()' established"),
+              std::string::npos);
+    // The refuted branch: isOk() known false on the reaching path.
+    EXPECT_EQ(findings[1].line, 27);
+    EXPECT_NE(findings[1].message.find(
+                  "'r.value()' on a path where 'r.isOk()' is false"),
+              std::string::npos);
+    // Reassignment invalidates the earlier check.
+    EXPECT_EQ(findings[2].line, 37);
+    EXPECT_NE(findings[2].message.find(
+                  "'r.value()' without 'r.isOk()' established"),
+              std::string::npos);
+}
+
+TEST(MulintFixtures, UseBeforeCheckOk)
+{
+    EXPECT_TRUE(
+        lintFixture("use_before_check_ok", "use-before-check")
+            .empty());
+}
+
+TEST(MulintFixtures, DanglingCaptureBad)
+{
+    const auto findings =
+        lintFixture("dangling_capture_bad", "dangling-capture");
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_EQ(findings[0].line, 15);
+    EXPECT_NE(findings[0].message.find("captures by reference (&hits)"),
+              std::string::npos);
+    // Drained on one path only: the other path still escapes.
+    EXPECT_EQ(findings[1].line, 22);
+    EXPECT_NE(findings[1].message.find("captures by reference (&)"),
+              std::string::npos);
+}
+
+TEST(MulintFixtures, DanglingCaptureOk)
+{
+    EXPECT_TRUE(
+        lintFixture("dangling_capture_ok", "dangling-capture")
+            .empty());
+}
+
+// The cases the old linear held-stack simulation got wrong: an unlock
+// on the early-return path does not release the lock on the
+// fall-through, and a one-sided manual unlock leaves the lock held on
+// some (not all) paths at a later acquisition.
+TEST(MulintFixtures, ConditionalLockBad)
+{
+    const auto blocking =
+        lintFixture("lock_cond_bad", "lock-across-blocking");
+    ASSERT_EQ(blocking.size(), 1u);
+    EXPECT_EQ(blocking[0].line, 20);
+    EXPECT_NE(blocking[0].message.find(
+                  "blocking call 'jobs.pop' while holding "
+                  "'stateMutex' (rank 30)"),
+              std::string::npos);
+
+    const auto rank = lintFixture("lock_cond_bad", "lock-rank");
+    ASSERT_EQ(rank.size(), 1u);
+    EXPECT_EQ(rank[0].line, 29);
+    EXPECT_NE(rank[0].message.find(
+                  "acquires 'innerMutex' (rank 10 'inner') while "
+                  "holding 'outerMutex' (rank 20 'outer') "
+                  "(held on some paths)"),
+              std::string::npos);
+}
+
+TEST(MulintFixtures, ConditionalLockOk)
+{
+    EXPECT_TRUE(
+        lintFixture("lock_cond_ok", "lock-across-blocking").empty());
+    EXPECT_TRUE(lintFixture("lock_cond_ok", "lock-rank").empty());
 }
 
 TEST(MulintFixtures, LockBlockingBad)
@@ -445,6 +532,96 @@ TEST(MulintCallGraph, RecursionReachesFixpoint)
     EXPECT_EQ(
         mulint::witnessChain(tree, g, summaries, ping, /*time=*/false),
         "pong -> sleepFor");
+}
+
+// --------------------------------------------------------------------
+// CFG construction unit tests, over in-memory functions.
+// --------------------------------------------------------------------
+
+const mulint::FunctionInfo &
+fnNamed(const mulint::FileModel &fm, const std::string &name)
+{
+    for (const auto &fn : fm.functions) {
+        if (fn.name == name)
+            return fn;
+    }
+    ADD_FAILURE() << "no function named " << name;
+    return fm.functions.front();
+}
+
+TEST(MulintCfg, BranchEdgesCarryAnnotatedSenses)
+{
+    const mulint::Tree tree = treeOf(
+        {{"src/a.cc", "int f(bool c) { int a = 0; if (c) { a = 1; } "
+                      "else { a = 2; } return a; }\n"}});
+    const mulint::FileModel &fm = tree.files[0];
+    const mulint::Cfg cfg = mulint::buildCfg(fm, fnNamed(fm, "f"));
+    int atoms = 0;
+    bool sawTrue = false;
+    bool sawFalse = false;
+    for (size_t b : cfg.rpo) {
+        for (const mulint::Stmt &st : cfg.blocks[b].stmts) {
+            if (st.kind == mulint::Stmt::Cond)
+                ++atoms;
+        }
+        for (const mulint::CfgEdge &e : cfg.blocks[b].succs) {
+            if (e.condBeginCi == SIZE_MAX)
+                continue;
+            if (e.condSense)
+                sawTrue = true;
+            else
+                sawFalse = true;
+        }
+    }
+    EXPECT_EQ(atoms, 1);
+    EXPECT_TRUE(sawTrue);
+    EXPECT_TRUE(sawFalse);
+}
+
+TEST(MulintCfg, ShortCircuitSplitsIntoOneAtomPerOperand)
+{
+    const mulint::Tree tree = treeOf(
+        {{"src/a.cc", "int f(bool a, bool b) { if (a && b) return 1; "
+                      "return 0; }\n"}});
+    const mulint::FileModel &fm = tree.files[0];
+    const mulint::Cfg cfg = mulint::buildCfg(fm, fnNamed(fm, "f"));
+    int atoms = 0;
+    for (size_t b : cfg.rpo) {
+        for (const mulint::Stmt &st : cfg.blocks[b].stmts) {
+            if (st.kind == mulint::Stmt::Cond)
+                ++atoms;
+        }
+    }
+    // `a && b` decomposes so dataflow can refine each operand's true
+    // and false edges independently.
+    EXPECT_EQ(atoms, 2);
+}
+
+TEST(MulintCfg, LoopsHaveBackedgesAndDeadCodeLeavesRpo)
+{
+    const mulint::Tree tree = treeOf(
+        {{"src/a.cc",
+          "void spin(int n) { while (n > 0) { n = n - 1; } }\n"
+          "int dead() { return 1; int unreached = 0; }\n"}});
+    const mulint::FileModel &fm = tree.files[0];
+
+    const mulint::Cfg loop = mulint::buildCfg(fm, fnNamed(fm, "spin"));
+    std::vector<size_t> pos(loop.blocks.size(), SIZE_MAX);
+    for (size_t i = 0; i < loop.rpo.size(); ++i)
+        pos[loop.rpo[i]] = i;
+    bool backedge = false;
+    for (size_t b : loop.rpo) {
+        for (const mulint::CfgEdge &e : loop.blocks[b].succs) {
+            if (pos[e.to] != SIZE_MAX && pos[e.to] <= pos[b])
+                backedge = true;
+        }
+    }
+    EXPECT_TRUE(backedge);
+
+    // Statements after an unconditional return are not reachable, so
+    // RPO (which drives every analysis) must exclude their block.
+    const mulint::Cfg dead = mulint::buildCfg(fm, fnNamed(fm, "dead"));
+    EXPECT_LT(dead.rpo.size(), dead.blocks.size());
 }
 
 // Dogfooding: the repository's own tree must lint clean with every

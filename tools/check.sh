@@ -10,9 +10,12 @@
 #      + bench/chaos_storm smoke -> BENCH_chaos.json (gray failures)
 #      + tools/mulint over src/ (static lock-rank, raw-sync, thread-role,
 #        unchecked-status, rank-table, guarded-by, plus the
-#        interprocedural clock-seam, budget-clamp, lock-across-blocking,
-#        counter-registry and stale-pragma rules; see DESIGN.md) with a
-#        runtime budget, archiving mulint_findings.json
+#        interprocedural clock-seam and counter-registry rules and the
+#        CFG/dataflow lock-across-blocking, use-before-check,
+#        dangling-capture, deadline-taint and stale-pragma rules; see
+#        DESIGN.md) with a runtime budget, archiving
+#        mulint_findings.json and diffing it against the committed
+#        tools/mulint/baseline.json (lost findings fail the gate)
 #      + deterministic sim replay suite under 8 distinct seeds
 #   2. MUSUITE_DEBUG_SYNC debug build   (lock-rank + thread-role checks)
 #   3. ThreadSanitizer                  (data races, lock-order inversions)
@@ -166,6 +169,39 @@ if cmake --build build-check-werror --target mulint -j "$jobs" \
 else
     echo "MULINT FAILED"
     failures+=("mulint: findings")
+fi
+
+# ---- stage 1d2: mulint baseline diff -------------------------------------
+# The committed tools/mulint/baseline.json pins the full finding set
+# (pragma-suppressed findings included) expected at HEAD. A finding
+# present in the baseline but missing from this run means a rule
+# silently stopped firing — a lint regression — so lost findings fail
+# the gate. New findings show up as exit-code failures in stage 1d (if
+# live) or as a baseline-refresh diff here (if suppressed); refresh
+# with: mulint --root . --json tools/mulint/baseline.json
+banner "mulint baseline diff"
+if [[ -f build-check-werror/mulint_findings.json ]]; then
+    if ! python3 - "$repo_root/tools/mulint/baseline.json" \
+            build-check-werror/mulint_findings.json <<'PYEOF'
+import json, sys
+key = lambda f: (f["file"], f["line"], f["rule"], f["message"])
+base = {key(f) for f in json.load(open(sys.argv[1]))}
+now = {key(f) for f in json.load(open(sys.argv[2]))}
+lost = sorted(base - now)
+new = sorted(now - base)
+for f in lost:
+    print("LOST: %s:%d: [%s] %s" % f)
+for f in new:
+    print("new (refresh baseline): %s:%d: [%s] %s" % f)
+sys.exit(1 if lost else 0)
+PYEOF
+    then
+        echo "MULINT BASELINE DIFF FAILED (findings lost)"
+        failures+=("mulint: baseline diff")
+    fi
+else
+    echo "MULINT BASELINE DIFF SKIPPED (no findings json)"
+    failures+=("mulint: baseline missing findings json")
 fi
 
 # ---- stage 1e: deterministic sim suite under 8 seeds ---------------------

@@ -27,13 +27,20 @@ lex(const std::string &content)
     const size_t n = content.size();
     size_t i = 0;
     int line = 1;
+    size_t line_begin = 0; // Offset of the current line's first char.
     bool at_line_start = true; // Only whitespace seen since the last \n.
 
     auto countLines = [&](size_t from, size_t to) {
         for (size_t k = from; k < to; ++k) {
-            if (content[k] == '\n')
+            if (content[k] == '\n') {
                 ++line;
+                line_begin = k + 1;
+            }
         }
+    };
+
+    auto colAt = [&](size_t pos) {
+        return static_cast<int>(pos - line_begin) + 1;
     };
 
     while (i < n) {
@@ -42,6 +49,7 @@ lex(const std::string &content)
         if (c == '\n') {
             ++line;
             ++i;
+            line_begin = i;
             at_line_start = true;
             continue;
         }
@@ -73,8 +81,10 @@ lex(const std::string &content)
                 }
                 ++j;
             }
+            const int start_col = colAt(i);
             countLines(i, j);
-            out.push_back({Tok::Pp, content.substr(i, j - i), start_line});
+            out.push_back({Tok::Pp, content.substr(i, j - i), start_line,
+                           start_col});
             i = j;
             at_line_start = false;
             continue;
@@ -86,20 +96,22 @@ lex(const std::string &content)
             size_t j = i;
             while (j < n && content[j] != '\n')
                 ++j;
-            out.push_back({Tok::Comment, content.substr(i, j - i), line});
+            out.push_back(
+                {Tok::Comment, content.substr(i, j - i), line, colAt(i)});
             i = j;
             continue;
         }
         if (c == '/' && i + 1 < n && content[i + 1] == '*') {
             const int start_line = line;
+            const int start_col = colAt(i);
             size_t j = i + 2;
             while (j + 1 < n &&
                    !(content[j] == '*' && content[j + 1] == '/'))
                 ++j;
             j = (j + 1 < n) ? j + 2 : n;
             countLines(i, j);
-            out.push_back(
-                {Tok::Comment, content.substr(i, j - i), start_line});
+            out.push_back({Tok::Comment, content.substr(i, j - i),
+                           start_line, start_col});
             i = j;
             continue;
         }
@@ -114,9 +126,10 @@ lex(const std::string &content)
             size_t end = content.find(close, j);
             end = (end == std::string::npos) ? n : end + close.size();
             const int start_line = line;
+            const int start_col = colAt(i);
             countLines(i, end);
-            out.push_back(
-                {Tok::Str, content.substr(i, end - i), start_line});
+            out.push_back({Tok::Str, content.substr(i, end - i),
+                           start_line, start_col});
             i = end;
             continue;
         }
@@ -125,6 +138,7 @@ lex(const std::string &content)
         if (c == '"' || c == '\'') {
             const char quote = c;
             const int start_line = line;
+            const int start_col = colAt(i);
             size_t j = i + 1;
             while (j < n && content[j] != quote) {
                 if (content[j] == '\\' && j + 1 < n)
@@ -134,7 +148,8 @@ lex(const std::string &content)
             j = (j < n) ? j + 1 : n;
             countLines(i, j);
             out.push_back({quote == '"' ? Tok::Str : Tok::Chr,
-                           content.substr(i, j - i), start_line});
+                           content.substr(i, j - i), start_line,
+                           start_col});
             i = j;
             continue;
         }
@@ -144,7 +159,8 @@ lex(const std::string &content)
             size_t j = i + 1;
             while (j < n && isIdentChar(content[j]))
                 ++j;
-            out.push_back({Tok::Ident, content.substr(i, j - i), line});
+            out.push_back(
+                {Tok::Ident, content.substr(i, j - i), line, colAt(i)});
             i = j;
             continue;
         }
@@ -155,7 +171,8 @@ lex(const std::string &content)
             while (j < n && (isIdentChar(content[j]) ||
                              content[j] == '\'' || content[j] == '.'))
                 ++j;
-            out.push_back({Tok::Number, content.substr(i, j - i), line});
+            out.push_back(
+                {Tok::Number, content.substr(i, j - i), line, colAt(i)});
             i = j;
             continue;
         }
@@ -163,16 +180,16 @@ lex(const std::string &content)
         // Punctuation: keep "::" and "->" whole, split everything else
         // into single characters (so ">>" closes two templates).
         if (c == ':' && i + 1 < n && content[i + 1] == ':') {
-            out.push_back({Tok::Punct, "::", line});
+            out.push_back({Tok::Punct, "::", line, colAt(i)});
             i += 2;
             continue;
         }
         if (c == '-' && i + 1 < n && content[i + 1] == '>') {
-            out.push_back({Tok::Punct, "->", line});
+            out.push_back({Tok::Punct, "->", line, colAt(i)});
             i += 2;
             continue;
         }
-        out.push_back({Tok::Punct, std::string(1, c), line});
+        out.push_back({Tok::Punct, std::string(1, c), line, colAt(i)});
         ++i;
     }
     return out;

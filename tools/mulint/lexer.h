@@ -32,7 +32,8 @@ struct Token
 {
     Tok kind;
     std::string text;
-    int line; //!< 1-based line of the token's first character
+    int line;    //!< 1-based line of the token's first character
+    int col = 0; //!< 1-based column of the token's first character
 };
 
 /** Tokenize `content`. Never fails: unknown bytes become 1-char puncts. */

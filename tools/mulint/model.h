@@ -113,10 +113,28 @@ struct Finding
     int line = 0;
     std::string rule;
     std::string message;
+    /** 1-based column of the offending token (0 = whole line, e.g.
+     *  DESIGN.md table rows). */
+    int col = 0;
+    /** Interprocedural witness chain, outermost call first, ending at
+     *  the primitive that grounds the property (e.g. ["drainOne",
+     *  "jobs.pop"]). Empty for intraprocedural findings. Serialized
+     *  into --json / --sarif so archived findings diff cleanly. */
+    std::vector<std::string> witness;
     /** Absorbed by an allow pragma. Only present in the output when
      *  Options::keepSuppressed is set (the --json mode); the human
      *  mode drops suppressed findings entirely. */
     bool suppressed = false;
+
+    Finding() = default;
+    Finding(std::string file_, int line_, std::string rule_,
+            std::string message_, int col_ = 0,
+            std::vector<std::string> witness_ = {})
+        : file(std::move(file_)), line(line_), rule(std::move(rule_)),
+          message(std::move(message_)), col(col_),
+          witness(std::move(witness_))
+    {
+    }
 };
 
 /** One LockRank enumerator parsed from the sync_debug header. */
@@ -151,8 +169,9 @@ ruleNames()
     static const std::set<std::string> names = {
         "lock-rank",   "rank-table",       "raw-sync",
         "guarded-by",  "thread-role",      "unchecked-status",
-        "bad-pragma",  "clock-seam",       "budget-clamp",
+        "bad-pragma",  "clock-seam",       "deadline-taint",
         "lock-across-blocking", "counter-registry", "stale-pragma",
+        "use-before-check",     "dangling-capture",
     };
     return names;
 }

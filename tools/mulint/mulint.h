@@ -15,15 +15,25 @@
  *   unchecked-status dropped base::Status / Result<T> return values
  *   bad-pragma       malformed or unjustified allow pragmas
  *   clock-seam       raw time sources reachable from rpc/services/simkernel
- *   budget-clamp     fan-outs that skip the inbound-deadline budget clamp
+ *   deadline-taint   fan-out deadlines not data-derived from the budget
  *   lock-across-blocking  locks held across (transitively) blocking calls
  *   counter-registry counter names: src emission vs DESIGN.md vs tests
  *   stale-pragma     allow pragmas that no longer suppress anything
+ *   use-before-check Result value()/take() where isOk() is unestablished
+ *   dangling-capture by-ref lambda captures handed to deferred schedule()
  *
- * The last five are interprocedural: they run over a whole-program call
- * graph (callgraph.h) with per-function summaries propagated to a
- * fixpoint (summary.h), so a finding can cite a transitive witness
- * chain like "handle -> pollOnce -> nowNanos".
+ * clock-seam, lock-across-blocking, counter-registry, stale-pragma and
+ * lock-rank's cross-call half are interprocedural: they run over a
+ * whole-program call graph (callgraph.h) with per-function summaries
+ * propagated to a fixpoint (summary.h), so a finding can cite a
+ * transitive witness chain like "handle -> pollOnce -> nowNanos".
+ *
+ * lock-rank, lock-across-blocking, use-before-check, dangling-capture
+ * and deadline-taint are flow-sensitive: they run on a per-function
+ * control-flow graph (cfg.h) under a forward-dataflow fixpoint
+ * (dataflow.h), so conditional locks, check-dominated accesses and
+ * per-path budget derivation are analyzed path-precisely instead of
+ * linearly.
  *
  * Findings are suppressed by `// mulint: allow(<rule>): <justification>`
  * on the finding's line or the line above; the justification text is

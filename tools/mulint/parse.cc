@@ -4,16 +4,20 @@
  * structure, function extents, mutex/queue declarations, annotation
  * references, and Status-returning declaration names.
  *
- * Pass 2 (finalizeTree): per-function body walk simulating the
- * held-lock stack (MutexLock / unique_lock / MutexUnlock / manual
- * lock()/unlock()) to emit intra-function lock-rank findings and to
- * record call sites with the max rank held at each call.
+ * Pass 2 (finalizeTree): rank-table extraction and a per-function body
+ * walk recording call sites and thread-role facts, followed by the
+ * path-sensitive lock analysis (dataflow.cc) which emits the
+ * intra-function lock-rank findings and annotates each call site with
+ * the max rank that may be held there. Mutex resolution lives in
+ * cfg.h/cfg.cc, shared with the dataflow analyses.
  */
 
 #include "mulint.h"
 
 #include <algorithm>
 #include <cassert>
+
+#include "dataflow.h"
 
 namespace mulint {
 
@@ -626,85 +630,6 @@ parseFile(const std::string &rel, const std::string &content)
 
 namespace {
 
-/** A mutex name resolved against the module declaration table. */
-struct ResolvedMutex
-{
-    bool known = false;
-    int value = 0; //!< 0 = unranked (exempt from the order check).
-    std::string rankName;
-};
-
-/** Per-module (file-stem) mutex declaration table. */
-struct ModuleTable
-{
-    // name -> declarations (possibly several classes in one module).
-    std::map<std::string, std::vector<std::pair<std::string, ResolvedMutex>>>
-        decls; // pair: (class scope, resolution)
-};
-
-ResolvedMutex
-resolveDecl(const Tree &tree, const MutexDecl &decl)
-{
-    ResolvedMutex r;
-    if (!decl.rankName.empty()) {
-        auto it = tree.ranks.find(decl.rankName);
-        if (it == tree.ranks.end())
-            return r; // LockRank name missing from the enum: unknown.
-        r.known = true;
-        r.value = it->second.value;
-        r.rankName = decl.rankName;
-        return r;
-    }
-    if (decl.traced) {
-        auto it = tree.ranks.find("queue");
-        if (it == tree.ranks.end())
-            return r;
-        r.known = true;
-        r.value = it->second.value;
-        r.rankName = "queue";
-        return r;
-    }
-    r.known = true; // Plain Mutex: unranked by construction.
-    r.value = 0;
-    r.rankName = "unranked";
-    return r;
-}
-
-/**
- * Look up `name` in the module table, preferring a declaration whose
- * class scope matches `fnScope`. Ambiguity (several declarations with
- * different resolutions and no scope match) yields unknown.
- */
-ResolvedMutex
-lookupMutex(const ModuleTable &table, const std::string &name,
-            const std::string &fnScope)
-{
-    auto it = table.decls.find(name);
-    if (it == table.decls.end())
-        return ResolvedMutex{};
-    const auto &candidates = it->second;
-    if (candidates.size() == 1)
-        return candidates[0].second;
-    const ResolvedMutex *scoped = nullptr;
-    for (const auto &cand : candidates) {
-        if (cand.first == fnScope) {
-            if (scoped)
-                return ResolvedMutex{}; // Two in the same class: odd.
-            scoped = &cand.second;
-        }
-    }
-    if (scoped)
-        return *scoped;
-    // All candidates agreeing is still usable.
-    for (size_t i = 1; i < candidates.size(); ++i) {
-        if (candidates[i].second.known !=
-                candidates[0].second.known ||
-            candidates[i].second.value != candidates[0].second.value)
-            return ResolvedMutex{};
-    }
-    return candidates[0].second;
-}
-
 /** Parse `enum class LockRank { ... }` out of one file, if present. */
 bool
 parseRankEnum(const FileModel &fm, Tree &tree)
@@ -778,44 +703,16 @@ parseRankImpl(const FileModel &fm, Tree &tree)
     return found;
 }
 
-/** One entry of the simulated held-lock stack. */
-struct Held
-{
-    std::string expr;      //!< Full mutex expression text (identity).
-    std::string mutexName; //!< Last identifier of the expression.
-    std::string guardVar;  //!< RAII guard variable ("" for none).
-    ResolvedMutex res;
-    int depth = 0;         //!< Brace depth at acquisition.
-    bool active = true;
-    int suspendDepth = -1; //!< MutexUnlock scope depth, -1 if none.
-};
-
-std::string
-exprText(const Ctx &c, size_t from, size_t to)
-{
-    std::string out;
-    for (size_t i = from; i < to; ++i) {
-        if (!out.empty())
-            out += ' ';
-        out += c.tok(i).text;
-    }
-    return out;
-}
-
-std::string
-lastIdent(const Ctx &c, size_t from, size_t to)
-{
-    std::string out;
-    for (size_t i = from; i < to; ++i) {
-        if (c.isIdent(i) && c.tok(i).text != "this")
-            out = c.tok(i).text;
-    }
-    return out;
-}
-
+/**
+ * Extract call sites and thread-role facts from one function body.
+ * Lock semantics (who holds what where) are NOT computed here any
+ * more — that is runLockAnalysis (dataflow.cc) over the CFG — but the
+ * lock-construct token patterns are still recognized so a RAII guard
+ * declaration like `MutexLock guard(mu)` is skipped instead of being
+ * misread as a call to a function named `guard`.
+ */
 void
-analyzeBody(FileModel &fm, FunctionInfo &fn,
-            const ModuleTable &table, std::vector<Finding> &findings)
+analyzeBody(FileModel &fm, FunctionInfo &fn)
 {
     Ctx c{fm.toks, fm.code, fm.codeMatch};
     const auto &code = fm.code;
@@ -838,59 +735,6 @@ analyzeBody(FileModel &fm, FunctionInfo &fn,
                                 codeIndexOf(other.bodyEnd - 1));
     }
 
-    std::vector<Held> held;
-    int depth = 0;
-
-    auto maxHeld = [&]() -> const Held * {
-        const Held *best = nullptr;
-        for (const Held &h : held) {
-            if (h.active && h.res.known && h.res.value > 0 &&
-                (!best || h.res.value > best->res.value))
-                best = &h;
-        }
-        return best;
-    };
-
-    auto checkAgainstHeld = [&](const Held &incoming, int line) {
-        for (const Held &h : held) {
-            if (!h.active)
-                continue;
-            if (h.expr == incoming.expr) {
-                findings.push_back(
-                    {fm.rel, line, "lock-rank",
-                     "recursive acquisition of '" + incoming.expr +
-                         "'"});
-                return;
-            }
-            if (h.res.known && h.res.value > 0 && incoming.res.known &&
-                incoming.res.value > 0 &&
-                h.res.value >= incoming.res.value) {
-                findings.push_back(
-                    {fm.rel, line, "lock-rank",
-                     "acquires '" + incoming.mutexName + "' (rank " +
-                         std::to_string(incoming.res.value) + " '" +
-                         incoming.res.rankName + "') while holding '" +
-                         h.mutexName + "' (rank " +
-                         std::to_string(h.res.value) + " '" +
-                         h.res.rankName + "')"});
-            }
-        }
-    };
-
-    auto acquire = [&](size_t exprFrom, size_t exprTo,
-                       const std::string &guardVar, int line) {
-        Held h;
-        h.expr = exprText(c, exprFrom, exprTo);
-        h.mutexName = lastIdent(c, exprFrom, exprTo);
-        h.guardVar = guardVar;
-        h.res = lookupMutex(table, h.mutexName, fn.scope);
-        h.depth = depth;
-        checkAgainstHeld(h, line);
-        if (h.res.known && h.res.value > 0)
-            fn.directRanks.insert(h.res.value);
-        held.push_back(std::move(h));
-    };
-
     size_t nextNested = 0;
     for (size_t i = cb; i <= ce && i < code.size(); ++i) {
         // Skip nested function bodies.
@@ -905,60 +749,16 @@ analyzeBody(FileModel &fm, FunctionInfo &fn,
         }
 
         const Token &t = c.tok(i);
-        if (t.kind == Tok::Punct) {
-            if (t.text == "{") {
-                ++depth;
-            } else if (t.text == "}") {
-                --depth;
-                held.erase(std::remove_if(
-                               held.begin(), held.end(),
-                               [&](const Held &h) {
-                                   return h.depth > depth;
-                               }),
-                           held.end());
-                for (Held &h : held) {
-                    if (!h.active && h.suspendDepth > depth) {
-                        h.active = true;
-                        h.suspendDepth = -1;
-                        // Reacquisition: recheck order against the
-                        // other active locks.
-                        Held copy = h;
-                        h.active = false;
-                        checkAgainstHeld(copy, t.line);
-                        h.active = true;
-                    }
-                }
-            }
-            continue;
-        }
         if (t.kind != Tok::Ident)
             continue;
 
-        // MutexLock guard(expr) / MutexLock guard{expr}.
-        if (t.text == "MutexLock" && c.isIdent(i + 1) &&
+        // MutexLock guard(expr) / MutexLock guard{expr} — and the
+        // MutexUnlock window variant: RAII declarations, not calls.
+        if ((t.text == "MutexLock" || t.text == "MutexUnlock") &&
+            c.isIdent(i + 1) &&
             (c.isPunct(i + 2, "(") || c.isPunct(i + 2, "{")) &&
             fm.codeMatch[i + 2] != SIZE_MAX) {
-            const size_t close = fm.codeMatch[i + 2];
-            acquire(i + 3, close, c.tok(i + 1).text, t.line);
-            i = close;
-            continue;
-        }
-
-        // MutexUnlock relock(guard).
-        if (t.text == "MutexUnlock" && c.isIdent(i + 1) &&
-            (c.isPunct(i + 2, "(") || c.isPunct(i + 2, "{")) &&
-            fm.codeMatch[i + 2] != SIZE_MAX) {
-            const size_t close = fm.codeMatch[i + 2];
-            const std::string target = lastIdent(c, i + 3, close);
-            for (size_t h = held.size(); h-- > 0;) {
-                if (held[h].active && (held[h].guardVar == target ||
-                                       held[h].mutexName == target)) {
-                    held[h].active = false;
-                    held[h].suspendDepth = depth;
-                    break;
-                }
-            }
-            i = close;
+            i = fm.codeMatch[i + 2];
             continue;
         }
 
@@ -985,37 +785,18 @@ analyzeBody(FileModel &fm, FunctionInfo &fn,
             }
             if (wrapped && c.isIdent(j) && c.isPunct(j + 1, "(") &&
                 fm.codeMatch[j + 1] != SIZE_MAX) {
-                const size_t close = fm.codeMatch[j + 1];
-                acquire(j + 2, close, c.tok(j).text, c.tok(j).line);
-                i = close;
+                i = fm.codeMatch[j + 1];
             }
             continue;
         }
 
-        // guard.unlock() / guard.lock() (also mutex.lock()).
+        // guard.unlock() / guard.lock(): lock ops, not call sites the
+        // interprocedural rules should see (raw-sync flags them).
         if ((c.isPunct(i + 1, ".") || c.isPunct(i + 1, "->")) &&
             c.isIdent(i + 2) &&
             (c.tok(i + 2).text == "lock" ||
              c.tok(i + 2).text == "unlock") &&
             c.isPunct(i + 3, "(") && c.isPunct(i + 4, ")")) {
-            const bool is_unlock = c.tok(i + 2).text == "unlock";
-            const std::string target = t.text;
-            for (size_t h = held.size(); h-- > 0;) {
-                Held &hh = held[h];
-                if (hh.guardVar != target && hh.mutexName != target)
-                    continue;
-                if (is_unlock && hh.active) {
-                    hh.active = false;
-                    break;
-                }
-                if (!is_unlock && !hh.active) {
-                    Held copy = hh;
-                    checkAgainstHeld(copy, t.line);
-                    hh.active = true;
-                    hh.suspendDepth = -1;
-                    break;
-                }
-            }
             i += 4;
             continue;
         }
@@ -1065,10 +846,7 @@ analyzeBody(FileModel &fm, FunctionInfo &fn,
                 if (call.receiver == "std")
                     continue; // std:: free functions: never ours.
             }
-            if (const Held *top = maxHeld()) {
-                call.heldRank = top->res.value;
-                call.heldName = top->mutexName;
-            }
+            // heldRank/heldName are filled by runLockAnalysis later.
             fn.calls.push_back(std::move(call));
             continue;
         }
@@ -1092,20 +870,9 @@ finalizeTree(Tree &tree, std::vector<Finding> &findings)
             parseRankImpl(fm, tree);
     }
 
-    // Module tables: declarations grouped by file stem so a header's
-    // mutexes are visible to its .cc and vice versa.
-    std::map<std::string, ModuleTable> modules;
-    for (const FileModel &fm : tree.files) {
-        ModuleTable &table = modules[fm.stem];
-        for (const MutexDecl &decl : fm.mutexes)
-            table.decls[decl.name].emplace_back(
-                decl.scope, resolveDecl(tree, decl));
-    }
-
     for (FileModel &fm : tree.files) {
-        const ModuleTable &table = modules[fm.stem];
         for (FunctionInfo &fn : fm.functions)
-            analyzeBody(fm, fn, table, findings);
+            analyzeBody(fm, fn);
 
         // Record direct lambda nesting: L is directly nested in F when
         // F is the smallest enclosing function range.
@@ -1128,6 +895,11 @@ finalizeTree(Tree &tree, std::vector<Finding> &findings)
                 fm.functions[bestFn].nestedFns.push_back(li);
         }
     }
+
+    // Path-sensitive lock analysis (dataflow.cc): intra-function
+    // lock-rank findings plus CallSite::heldRank / directRanks, which
+    // the interprocedural rules consume.
+    runLockAnalysis(tree, findings);
 }
 
 } // namespace mulint

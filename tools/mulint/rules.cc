@@ -15,6 +15,7 @@
 #include <sstream>
 
 #include "callgraph.h"
+#include "dataflow.h"
 #include "summary.h"
 
 namespace mulint {
@@ -82,6 +83,16 @@ Ctx
 ctxOf(const FileModel &fm)
 {
     return Ctx{fm.toks, fm.code, fm.codeMatch};
+}
+
+/** Column of a call site's callee token (0 when unknown). */
+int
+callCol(const FileModel &fm, const CallSite &call)
+{
+    if (call.argOpen == SIZE_MAX || call.argOpen == 0 ||
+        call.argOpen > fm.code.size())
+        return 0;
+    return fm.toks[fm.code[call.argOpen - 1]].col;
 }
 
 /**
@@ -309,7 +320,9 @@ ruleLockRankCalls(const Tree &tree, const CallGraph &g,
                          std::to_string(minAcq) + " ('" + rankName +
                          "') while holding '" + call.heldName +
                          "' (rank " + std::to_string(call.heldRank) +
-                         ")"});
+                         ")",
+                     callCol(fm, call),
+                     {call.callee, g.info(tree, cand).name}});
             }
         }
     }
@@ -429,22 +442,27 @@ ruleClockSeam(const Tree &tree, const CallGraph &g,
                          "raw time source '" + what +
                              "' on the clock seam; go through the "
                              "bound musuite::Clock (clock().nowNanos() "
-                             "/ clock().schedule())"});
+                             "/ clock().schedule())",
+                         callCol(fm, call)});
                 continue;
             }
             for (size_t cand : g.resolved[i][ci]) {
                 if (!summaries.byFn[cand].touchesRealTime)
                     continue;
+                std::vector<std::string> path =
+                    witnessPath(tree, g, summaries, cand, true);
                 const std::string chain =
                     call.callee + " -> " +
                     witnessChain(tree, g, summaries, cand, true);
+                path.insert(path.begin(), call.callee);
                 if (reported.insert({call.line, call.callee}).second)
                     findings.push_back(
                         {fm.rel, call.line, "clock-seam",
                          "call to '" + call.callee +
                              "' reaches a raw time source (" + chain +
                              ") on the clock seam; thread the bound "
-                             "musuite::Clock through instead"});
+                             "musuite::Clock through instead",
+                         callCol(fm, call), std::move(path)});
                 break;
             }
             // schedule(cb, ...) with a lambda callback that blocks:
@@ -473,79 +491,10 @@ ruleClockSeam(const Tree &tree, const CallGraph &g,
                                  witness +
                                  "); timer callbacks run on the "
                                  "clock's dispatch thread and must "
-                                 "not block"});
-                }
-            }
-        }
-    }
-}
-
-// --------------------------------------------------------------------
-// budget-clamp: fan-out call sites in src/services must resolve their
-// FanoutOptions against the inbound deadline budget, so leg deadlines
-// clamp to the parent deadline instead of silently outliving it.
-// --------------------------------------------------------------------
-
-void
-ruleBudgetClamp(const Tree &tree, std::vector<Finding> &findings)
-{
-    for (const FileModel &fm : tree.files) {
-        if (fm.rel.rfind("src/services/", 0) != 0)
-            continue;
-        for (const FunctionInfo &fn : fm.functions) {
-            bool hasMemberResolve = false;
-            bool hasBudgetEvidence = false;
-            for (const CallSite &call : fn.calls) {
-                if (call.memberCall && call.callee == "resolve")
-                    hasMemberResolve = true;
-                // Evidence that this function clamps leg deadlines to
-                // the inbound budget: the budget-taking resolve
-                // overload, per-leg legOptions(budget), or a direct
-                // clampToBudget call.
-                if (call.memberCall && call.callee == "resolve" &&
-                    call.argCount == 2)
-                    hasBudgetEvidence = true;
-                if (call.callee == "legOptions" ||
-                    call.callee == "clampToBudget")
-                    hasBudgetEvidence = true;
-            }
-            std::set<int> reported;
-            for (const CallSite &call : fn.calls) {
-                if (call.memberCall && call.callee == "resolve" &&
-                    call.argCount == 1) {
-                    if (reported.insert(call.line).second)
-                        findings.push_back(
-                            {fm.rel, call.line, "budget-clamp",
-                             "FanoutPolicy::resolve() called without "
-                             "the inbound budget; pass the server "
-                             "call's remainingBudgetNs() so leg "
-                             "deadlines clamp to the parent deadline"});
-                }
-                if (!call.memberCall && call.callee == "fanoutCall" &&
-                    !hasMemberResolve) {
-                    if (reported.insert(call.line).second)
-                        findings.push_back(
-                            {fm.rel, call.line, "budget-clamp",
-                             "fanoutCall without resolving "
-                             "FanoutOptions against the inbound "
-                             "deadline budget; call FanoutPolicy::"
-                             "resolve(legs, remainingBudgetNs()) "
-                             "first"});
-                }
-                // A raw downstream leg — channel->call(method, body,
-                // options, callback) — issued by a function with no
-                // budget-clamp evidence re-promises the caller's full
-                // deadline at every hop of a deep DAG.
-                if (call.memberCall && call.callee == "call" &&
-                    call.argCount == 4 && !hasBudgetEvidence) {
-                    if (reported.insert(call.line).second)
-                        findings.push_back(
-                            {fm.rel, call.line, "budget-clamp",
-                             "downstream call() issued without "
-                             "clamping leg options to the inbound "
-                             "budget; derive them from FanoutPolicy::"
-                             "legOptions(remainingBudgetNs()) or the "
-                             "two-arg resolve() overload"});
+                                 "not block",
+                             callCol(fm, call),
+                             witnessPath(tree, g, summaries, lg,
+                                         /*time=*/false)});
                 }
             }
         }
@@ -585,7 +534,8 @@ ruleLockAcrossBlocking(const Tree &tree, const CallGraph &g,
                              "' while holding '" + call.heldName +
                              "' (rank " +
                              std::to_string(call.heldRank) +
-                             "); release the lock before blocking"});
+                             "); release the lock before blocking",
+                         callCol(fm, call)});
                 continue;
             }
             if (callIsScheduleRegistration(call)) {
@@ -597,16 +547,20 @@ ruleLockAcrossBlocking(const Tree &tree, const CallGraph &g,
                              std::to_string(call.heldRank) +
                              "); register timers outside the lock to "
                              "avoid lock-order cycles with the timer "
-                             "thread"});
+                             "thread",
+                         callCol(fm, call)});
                 continue;
             }
             for (size_t cand : g.resolved[i][ci]) {
                 if (!summaries.byFn[cand].blocks)
                     continue;
+                std::vector<std::string> path = witnessPath(
+                    tree, g, summaries, cand, /*time=*/false);
                 const std::string chain =
                     call.callee + " -> " +
                     witnessChain(tree, g, summaries, cand,
                                  /*time=*/false);
+                path.insert(path.begin(), call.callee);
                 if (reported.insert({call.line, call.callee}).second)
                     findings.push_back(
                         {fm.rel, call.line, "lock-across-blocking",
@@ -615,7 +569,8 @@ ruleLockAcrossBlocking(const Tree &tree, const CallGraph &g,
                              ") while holding '" + call.heldName +
                              "' (rank " +
                              std::to_string(call.heldRank) +
-                             "); release the lock first"});
+                             "); release the lock first",
+                         callCol(fm, call), std::move(path)});
                 break;
             }
         }
@@ -869,8 +824,12 @@ runRules(const Tree &tree, const std::vector<std::string> &designLines,
         if (enabled("lock-across-blocking"))
             ruleLockAcrossBlocking(tree, g, summaries, findings);
     }
-    if (enabled("budget-clamp"))
-        ruleBudgetClamp(tree, findings);
+    if (enabled("use-before-check"))
+        runUseBeforeCheck(tree, findings);
+    if (enabled("dangling-capture"))
+        runDanglingCapture(tree, findings);
+    if (enabled("deadline-taint"))
+        runDeadlineTaint(tree, findings);
     if (enabled("counter-registry"))
         ruleCounterRegistry(tree, designLines, findings);
     if (enabled("rank-table"))
@@ -955,8 +914,10 @@ applyPragmas(const Tree &tree, std::vector<Finding> findings,
 
     std::sort(kept.begin(), kept.end(),
               [](const Finding &a, const Finding &b) {
-                  return std::tie(a.file, a.line, a.rule, a.message) <
-                         std::tie(b.file, b.line, b.rule, b.message);
+                  return std::tie(a.file, a.line, a.col, a.rule,
+                                  a.message) < std::tie(b.file, b.line,
+                                                        b.col, b.rule,
+                                                        b.message);
               });
     kept.erase(std::unique(kept.begin(), kept.end(),
                            [](const Finding &a, const Finding &b) {

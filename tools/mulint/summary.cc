@@ -225,11 +225,11 @@ computeSummaries(const Tree &tree, const CallGraph &g)
     return summaries;
 }
 
-std::string
-witnessChain(const Tree &tree, const CallGraph &g,
-             const Summaries &summaries, size_t fn, bool time)
+std::vector<std::string>
+witnessPath(const Tree &tree, const CallGraph &g,
+            const Summaries &summaries, size_t fn, bool time)
 {
-    std::string chain;
+    std::vector<std::string> path;
     std::set<size_t> seen;
     size_t at = fn;
     for (int hops = 0; hops < 6; ++hops) {
@@ -238,26 +238,35 @@ witnessChain(const Tree &tree, const CallGraph &g,
         const Summary &s = summaries.byFn[at];
         const bool has = time ? s.touchesRealTime : s.blocks;
         if (!has)
-            return chain;
-        if (at != fn) {
-            if (!chain.empty())
-                chain += " -> ";
-            chain += g.info(tree, at).name;
-        }
+            return path;
+        if (at != fn)
+            path.push_back(g.info(tree, at).name);
         const std::string &direct = time ? s.timeDirect : s.blockDirect;
         const size_t via = time ? s.timeVia : s.blockVia;
         if (!direct.empty()) {
-            if (!chain.empty())
-                chain += " -> ";
-            chain += direct;
-            return chain;
+            path.push_back(direct);
+            return path;
         }
         if (via == SIZE_MAX)
-            return chain;
+            return path;
         at = via;
     }
-    if (!chain.empty())
-        chain += " -> ...";
+    if (!path.empty())
+        path.push_back("...");
+    return path;
+}
+
+std::string
+witnessChain(const Tree &tree, const CallGraph &g,
+             const Summaries &summaries, size_t fn, bool time)
+{
+    std::string chain;
+    for (const std::string &hop :
+         witnessPath(tree, g, summaries, fn, time)) {
+        if (!chain.empty())
+            chain += " -> ";
+        chain += hop;
+    }
     return chain;
 }
 

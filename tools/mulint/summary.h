@@ -114,6 +114,13 @@ std::string witnessChain(const Tree &tree, const CallGraph &g,
                          const Summaries &summaries, size_t fn,
                          bool time);
 
+/** Same walk as witnessChain, one hop per element — the structured
+ *  form carried on Finding::witness for --json / --sarif output. */
+std::vector<std::string> witnessPath(const Tree &tree,
+                                     const CallGraph &g,
+                                     const Summaries &summaries,
+                                     size_t fn, bool time);
+
 } // namespace mulint
 
 #endif // MULINT_SUMMARY_H
